@@ -1,0 +1,24 @@
+"""Shared helper for the per-experiment benchmarks.
+
+Each benchmark runs one experiment at quick scale under
+pytest-benchmark (timing the full regeneration) and asserts that every
+claim of the experiment passes — so ``pytest benchmarks/
+--benchmark-only`` both times the reproduction and gates its
+correctness.  Experiments are stochastic multi-second simulations, so
+each is timed as a single pedantic round.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, get_experiment
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str, seed: int = 0) -> ExperimentResult:
+    """Benchmark one experiment at quick scale and assert its claims."""
+    fn = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        fn, kwargs={"scale": "quick", "seed": seed}, rounds=1, iterations=1
+    )
+    assert isinstance(result, ExperimentResult)
+    assert result.all_ok, f"\n{result.report()}"
+    return result

@@ -1,0 +1,11 @@
+"""Benchmark E15 — Remark 3.4: correlated-feedback robustness.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_ablation_median_window(benchmark):
+    run_experiment_benchmark(benchmark, "E15")

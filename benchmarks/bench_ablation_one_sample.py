@@ -1,0 +1,11 @@
+"""Benchmark E14 — Ablation: spaced two-sample rule vs one-sample variant.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_ablation_one_sample(benchmark):
+    run_experiment_benchmark(benchmark, "E14")

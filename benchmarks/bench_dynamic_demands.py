@@ -1,0 +1,11 @@
+"""Benchmark E13 — Remark 3.4: re-convergence after a demand step change.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_dynamic_demands(benchmark):
+    run_experiment_benchmark(benchmark, "E13")

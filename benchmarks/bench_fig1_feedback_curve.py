@@ -1,0 +1,11 @@
+"""Benchmark E1 — Figure 1: the sigmoid feedback curve and its grey zone.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_fig1_feedback_curve(benchmark):
+    run_experiment_benchmark(benchmark, "E1")

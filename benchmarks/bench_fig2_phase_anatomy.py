@@ -1,0 +1,11 @@
+"""Benchmark E2 — Figure 2: two-sample phase anatomy and the stable zone.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_fig2_phase_anatomy(benchmark):
+    run_experiment_benchmark(benchmark, "E2")

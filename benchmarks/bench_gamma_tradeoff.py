@@ -1,0 +1,11 @@
+"""Benchmark E12 — Learning-rate tradeoff: steady regret vs convergence time.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_gamma_tradeoff(benchmark):
+    run_experiment_benchmark(benchmark, "E12")

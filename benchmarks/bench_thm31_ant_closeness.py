@@ -1,0 +1,11 @@
+"""Benchmark E3 — Theorem 3.1: Algorithm Ant closeness under both noise models.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_thm31_ant_closeness(benchmark):
+    run_experiment_benchmark(benchmark, "E3")

@@ -1,0 +1,11 @@
+"""Benchmark E4 — Theorem 3.1: self-stabilization from adversarial starts.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_thm31_self_stabilization(benchmark):
+    run_experiment_benchmark(benchmark, "E4")

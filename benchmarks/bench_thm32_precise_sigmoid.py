@@ -1,0 +1,11 @@
+"""Benchmark E5 — Theorem 3.2: Precise Sigmoid eps-linearity of the regret rate.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_thm32_precise_sigmoid(benchmark):
+    run_experiment_benchmark(benchmark, "E5")

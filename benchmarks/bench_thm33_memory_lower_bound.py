@@ -1,0 +1,11 @@
+"""Benchmark E6 — Theorem 3.3: memory/closeness tradeoff curve.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_thm33_memory_lower_bound(benchmark):
+    run_experiment_benchmark(benchmark, "E6")

@@ -1,0 +1,11 @@
+"""Benchmark E7 — Theorem 3.3: oscillation blow-up when the deficit is pinned at 0.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_thm33_oscillation(benchmark):
+    run_experiment_benchmark(benchmark, "E7")

@@ -1,0 +1,11 @@
+"""Benchmark E8 — Theorem 3.5: indistinguishable-demands adversarial lower bound.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_thm35_adversarial_lb(benchmark):
+    run_experiment_benchmark(benchmark, "E8")

@@ -1,0 +1,11 @@
+"""Benchmark E9 — Theorem 3.6: Precise Adversarial closeness and switch cost.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_thm36_precise_adversarial(benchmark):
+    run_experiment_benchmark(benchmark, "E9")

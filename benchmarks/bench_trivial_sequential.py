@@ -1,0 +1,11 @@
+"""Benchmark E10 — Appendix D.1: sequential trivial algorithm converges.
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_trivial_sequential(benchmark):
+    run_experiment_benchmark(benchmark, "E10")

@@ -1,0 +1,11 @@
+"""Benchmark E11 — Appendix D.2: synchronous trivial algorithm oscillates at Theta(n).
+
+Times the quick-scale regeneration of this paper artifact and asserts
+every measured-vs-theory claim passes (see DESIGN.md experiment index).
+"""
+
+from benchmarks._common import run_experiment_benchmark
+
+
+def test_trivial_synchronous(benchmark):
+    run_experiment_benchmark(benchmark, "E11")

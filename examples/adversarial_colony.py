@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Stress Algorithm Ant and Precise Adversarial against grey-zone adversaries.
+
+The adversarial noise model lets an adversary choose feedback whenever a
+task's deficit is inside the grey zone.  This example pits the two
+algorithms against every built-in adversary strategy and shows that both
+stay within their closeness guarantees — while the trivial algorithm is
+destroyed by the same adversaries.
+
+Run:  python examples/adversarial_colony.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AdversarialFeedback,
+    AntAlgorithm,
+    PreciseAdversarialAlgorithm,
+    Simulator,
+    TrivialAlgorithm,
+    make_adversary,
+    uniform_demands,
+)
+from repro.analysis import format_table
+from repro.types import assignment_from_loads
+
+STRATEGIES = ["correct", "random", "inverted", "always_lack", "always_overload", "push_away"]
+
+
+def main() -> None:
+    n, k = 8000, 4
+    demand = uniform_demands(n=n, k=k)
+    gamma_ad = 0.01  # the adversarial critical value gamma*
+    gamma = 0.025
+    rounds, burn = 12000, 6000
+    start = assignment_from_loads(
+        np.round(demand.as_array() * (1.0 + 2.0 * gamma)).astype(np.int64), n
+    )
+
+    algorithms = {
+        "Algorithm Ant": AntAlgorithm(gamma=gamma),
+        "Precise Adversarial (eps=0.5)": PreciseAdversarialAlgorithm(gamma=gamma, eps=0.5),
+        "Trivial": TrivialAlgorithm(),
+    }
+
+    rows = []
+    for strat in STRATEGIES:
+        for name, alg in algorithms.items():
+            fb = AdversarialFeedback(gamma_ad=gamma_ad, strategy=make_adversary(strat))
+            out = Simulator(alg, demand, fb, seed=3, initial_assignment=start).run(
+                rounds, burn_in=burn
+            )
+            rows.append(
+                [
+                    strat,
+                    name,
+                    out.metrics.closeness(gamma_ad, demand.total),
+                    out.metrics.max_abs_deficit,
+                ]
+            )
+
+    print(
+        format_table(
+            ["adversary", "algorithm", "closeness", "max|deficit|"],
+            rows,
+            title=(
+                f"Grey-zone adversaries, gamma_ad={gamma_ad}, n={n} "
+                f"(Ant bound: {5 * gamma / gamma_ad:.1f}; Thm 3.5 floor: 1)"
+            ),
+            float_fmt="{:.3g}",
+        )
+    )
+    print(
+        "\nNote how the trivial algorithm's closeness explodes under the "
+        "malicious strategies while both paper algorithms stay bounded."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline environment lacks ``wheel``, so PEP 517 editable installs
+(``pip install -e .``) cannot build; this shim enables the legacy path
+(``pip install -e . --no-use-pep517 --no-build-isolation``).  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

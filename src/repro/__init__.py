@@ -1,0 +1,154 @@
+"""repro — Self-stabilizing distributed task allocation under noisy feedback.
+
+A production-quality reproduction of
+
+    Dornhaus, Lynch, Mallmann-Trenn, Pajak, Radeva:
+    "Self-Stabilizing Task Allocation In Spite of Noise", SPAA 2020
+    (arXiv:1805.03691).
+
+Quickstart
+----------
+>>> from repro import (
+...     AntAlgorithm, SigmoidFeedback, Simulator, uniform_demands,
+...     lambda_for_critical_value,
+... )
+>>> demand = uniform_demands(n=2000, k=4)
+>>> lam = lambda_for_critical_value(demand, gamma_star=0.02)
+>>> sim = Simulator(AntAlgorithm(gamma=0.02), demand,
+...                 SigmoidFeedback(lam), seed=0)
+>>> result = sim.run(4000, burn_in=2000)
+>>> result.metrics.closeness(0.02, demand.total) < 5.0
+True
+
+Layout
+------
+``repro.env``         demands / noise models / critical value (substrates)
+``repro.core``        the paper's algorithms (Ant, Precise Sigmoid,
+                      Precise Adversarial, trivial baseline)
+``repro.sim``         simulation engines, metrics, multi-trial runner
+``repro.automaton``   finite-state-machine substrate (Assumption 2.2,
+                      Theorem 3.3 memory-bounded algorithm family)
+``repro.analysis``    statistics, oscillation detection, theorem bounds
+``repro.baselines``   the noise-free algorithm of Cornejo et al. [11]
+``repro.experiments`` harness regenerating every figure/theorem claim
+"""
+
+from repro._version import __version__
+from repro.types import IDLE, Feedback, NoiseKind, loads_from_assignment, idle_count
+from repro.exceptions import (
+    ReproError,
+    ConfigurationError,
+    AssumptionViolation,
+    SimulationError,
+    AnalysisError,
+)
+from repro.env import (
+    DemandVector,
+    DemandSchedule,
+    StaticDemandSchedule,
+    StepDemandSchedule,
+    PeriodicDemandSchedule,
+    uniform_demands,
+    proportional_demands,
+    PopulationSchedule,
+    StaticPopulation,
+    StepPopulation,
+    critical_value_sigmoid,
+    lambda_for_critical_value,
+    grey_zone,
+    GreyZone,
+    FeedbackModel,
+    SigmoidFeedback,
+    AdversarialFeedback,
+    ExactBinaryFeedback,
+    CorrelatedSigmoidFeedback,
+    make_adversary,
+)
+from repro.core import (
+    ColonyAlgorithm,
+    InitialAssignment,
+    AlgorithmConstants,
+    DEFAULT_CONSTANTS,
+    AntAlgorithm,
+    OneSampleAntAlgorithm,
+    ScoutAntAlgorithm,
+    PreciseSigmoidAlgorithm,
+    PreciseAdversarialAlgorithm,
+    TrivialAlgorithm,
+    make_algorithm,
+    available_algorithms,
+)
+from repro.sim import (
+    Simulator,
+    CountingSimulator,
+    SequentialSimulator,
+    SimulationResult,
+    RegretTracker,
+    RunMetrics,
+    Trace,
+    run_trials,
+    sweep,
+    TrialSummary,
+    SweepResult,
+)
+
+__all__ = [
+    "__version__",
+    # types / errors
+    "IDLE",
+    "Feedback",
+    "NoiseKind",
+    "loads_from_assignment",
+    "idle_count",
+    "ReproError",
+    "ConfigurationError",
+    "AssumptionViolation",
+    "SimulationError",
+    "AnalysisError",
+    # env
+    "DemandVector",
+    "DemandSchedule",
+    "StaticDemandSchedule",
+    "StepDemandSchedule",
+    "PeriodicDemandSchedule",
+    "uniform_demands",
+    "proportional_demands",
+    "PopulationSchedule",
+    "StaticPopulation",
+    "StepPopulation",
+    "critical_value_sigmoid",
+    "lambda_for_critical_value",
+    "grey_zone",
+    "GreyZone",
+    "FeedbackModel",
+    "SigmoidFeedback",
+    "AdversarialFeedback",
+    "ExactBinaryFeedback",
+    "CorrelatedSigmoidFeedback",
+    "make_adversary",
+    # core
+    "ColonyAlgorithm",
+    "InitialAssignment",
+    "AlgorithmConstants",
+    "DEFAULT_CONSTANTS",
+    "AntAlgorithm",
+    "OneSampleAntAlgorithm",
+    "ScoutAntAlgorithm",
+    "PreciseSigmoidAlgorithm",
+    "PreciseAdversarialAlgorithm",
+    "TrivialAlgorithm",
+    "make_algorithm",
+    "available_algorithms",
+    # sim
+    "Simulator",
+    "CountingSimulator",
+    "SequentialSimulator",
+    "SimulationResult",
+    "RegretTracker",
+    "RunMetrics",
+    "Trace",
+    "run_trials",
+    "sweep",
+    "TrialSummary",
+    "SweepResult",
+]

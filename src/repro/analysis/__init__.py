@@ -1,0 +1,68 @@
+"""Analysis layer: statistics, oscillation detection, theorem bounds."""
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    mean_confidence_interval,
+    geometric_decay_fit,
+)
+from repro.analysis.oscillation import (
+    OscillationStats,
+    oscillation_stats,
+    zero_crossings,
+    detect_blowups,
+)
+from repro.analysis.theory import (
+    ant_regret_bound,
+    ant_closeness_bound,
+    precise_sigmoid_rate,
+    precise_adversarial_rate,
+    adversarial_lower_bound_rate,
+    memory_lower_bound_far,
+    stable_zone,
+)
+from repro.analysis.convergence import (
+    deficit_band,
+    rounds_to_band,
+    band_residence,
+    ConvergenceSummary,
+    summarize_convergence,
+)
+from repro.analysis.potentials import (
+    phi_potential,
+    psi_potential,
+    saturation_round,
+    count_upcrossings,
+    PotentialTrace,
+    potential_trace,
+)
+from repro.analysis.report import format_table, format_comparison
+
+__all__ = [
+    "bootstrap_ci",
+    "mean_confidence_interval",
+    "geometric_decay_fit",
+    "OscillationStats",
+    "oscillation_stats",
+    "zero_crossings",
+    "detect_blowups",
+    "ant_regret_bound",
+    "ant_closeness_bound",
+    "precise_sigmoid_rate",
+    "precise_adversarial_rate",
+    "adversarial_lower_bound_rate",
+    "memory_lower_bound_far",
+    "stable_zone",
+    "deficit_band",
+    "rounds_to_band",
+    "band_residence",
+    "ConvergenceSummary",
+    "summarize_convergence",
+    "phi_potential",
+    "psi_potential",
+    "saturation_round",
+    "count_upcrossings",
+    "PotentialTrace",
+    "potential_trace",
+    "format_table",
+    "format_comparison",
+]

@@ -1,0 +1,132 @@
+"""Convergence detection on load trajectories.
+
+"Convergence" in this self-stabilizing setting means *entering and
+staying in* the Theorem 3.1 deficit band ``|Delta(j)| <= 5 gamma d(j) + 3``
+(classical fixed-point convergence never happens — the paper proves
+oscillations are intrinsic).  These helpers locate band entries,
+measure residence, and aggregate convergence times across trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "deficit_band",
+    "rounds_to_band",
+    "band_residence",
+    "ConvergenceSummary",
+    "summarize_convergence",
+]
+
+
+def deficit_band(demands: np.ndarray, gamma: float, *, coefficient: float = 5.0, slack: float = 3.0) -> np.ndarray:
+    """Per-task half-width of the Theorem 3.1 band: ``coeff*gamma*d + slack``."""
+    demands = np.asarray(demands, dtype=np.float64)
+    if np.any(demands <= 0) or gamma <= 0:
+        raise AnalysisError("demands and gamma must be positive")
+    return coefficient * gamma * demands + slack
+
+
+def rounds_to_band(
+    loads: np.ndarray,
+    demands: np.ndarray,
+    gamma: float,
+    *,
+    coefficient: float = 5.0,
+    slack: float = 3.0,
+) -> int | None:
+    """First row of a ``(T, k)`` load history with every task in the band.
+
+    Returns None when the band is never entered.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    demands = np.asarray(demands, dtype=np.float64)
+    if loads.ndim != 2 or loads.shape[1] != demands.shape[0]:
+        raise AnalysisError(f"loads {loads.shape} do not match demands {demands.shape}")
+    band = deficit_band(demands, gamma, coefficient=coefficient, slack=slack)
+    ok = np.all(np.abs(demands[np.newaxis, :] - loads) <= band[np.newaxis, :], axis=1)
+    if not ok.any():
+        return None
+    return int(np.argmax(ok))
+
+
+def band_residence(
+    loads: np.ndarray,
+    demands: np.ndarray,
+    gamma: float,
+    *,
+    after: int = 0,
+    coefficient: float = 5.0,
+    slack: float = 3.0,
+) -> float:
+    """Fraction of rounds from index ``after`` on with all tasks in the band.
+
+    Theorem 3.1's "all but O(k log n / gamma) rounds" claim translates to
+    residence close to 1 over long horizons.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    demands = np.asarray(demands, dtype=np.float64)
+    if after >= loads.shape[0]:
+        raise AnalysisError("'after' exceeds the trajectory length")
+    band = deficit_band(demands, gamma, coefficient=coefficient, slack=slack)
+    window = loads[after:]
+    ok = np.all(np.abs(demands[np.newaxis, :] - window) <= band[np.newaxis, :], axis=1)
+    return float(ok.mean())
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Aggregate convergence statistics over independent trials."""
+
+    trials: int
+    converged_trials: int
+    mean_rounds: float
+    max_rounds: float
+    mean_residence: float
+
+    @property
+    def all_converged(self) -> bool:
+        return self.converged_trials == self.trials
+
+
+def summarize_convergence(
+    trajectories: list[np.ndarray],
+    demands: np.ndarray,
+    gamma: float,
+    **band_kwargs,
+) -> ConvergenceSummary:
+    """Summarize band-entry times and residence over trial trajectories.
+
+    ``trajectories`` is a list of ``(T_i, k)`` load histories; residence
+    is measured from each trial's own entry round.  Non-converged trials
+    are excluded from the time/residence means but counted in ``trials``.
+    """
+    if not trajectories:
+        raise AnalysisError("no trajectories given")
+    times, residences = [], []
+    for loads in trajectories:
+        t = rounds_to_band(loads, demands, gamma, **band_kwargs)
+        if t is None:
+            continue
+        times.append(t)
+        residences.append(band_residence(loads, demands, gamma, after=t, **band_kwargs))
+    if times:
+        return ConvergenceSummary(
+            trials=len(trajectories),
+            converged_trials=len(times),
+            mean_rounds=float(np.mean(times)),
+            max_rounds=float(np.max(times)),
+            mean_residence=float(np.mean(residences)),
+        )
+    return ConvergenceSummary(
+        trials=len(trajectories),
+        converged_trials=0,
+        mean_rounds=float("inf"),
+        max_rounds=float("inf"),
+        mean_residence=0.0,
+    )

@@ -1,0 +1,105 @@
+"""Oscillation analysis of deficit traces.
+
+The paper argues oscillations are *intrinsic*: any constant-memory
+algorithm whose deficit stays too close to 0 must eventually blow up by
+``omega(gamma* d)`` (Theorem 3.3, second part), and the proposed
+algorithms embrace this by oscillating *controlledly* inside
+``~gamma d``.  These tools quantify both phenomena on recorded traces:
+zero-crossing counts/periods of the deficit, amplitude statistics, and
+blow-up detection (excursions beyond a threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["zero_crossings", "OscillationStats", "oscillation_stats", "detect_blowups"]
+
+
+def zero_crossings(series: np.ndarray) -> np.ndarray:
+    """Indices ``i`` where ``series`` changes sign between ``i`` and ``i+1``.
+
+    Exact zeros are treated as belonging to the previous sign regime, so
+    a touch-and-return does not count as two crossings.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.size < 2:
+        return np.zeros(0, dtype=np.int64)
+    sign = np.sign(x)
+    # Propagate the previous nonzero sign through exact zeros.
+    for i in range(1, sign.size):
+        if sign[i] == 0:
+            sign[i] = sign[i - 1]
+    return np.nonzero(sign[:-1] * sign[1:] < 0)[0]
+
+
+@dataclass(frozen=True)
+class OscillationStats:
+    """Summary of one task's deficit oscillation."""
+
+    crossings: int
+    mean_period: float
+    amplitude_mean: float
+    amplitude_max: float
+    fraction_inside: float
+    threshold: float
+
+    @property
+    def oscillates(self) -> bool:
+        """True when the deficit crossed zero more than once."""
+        return self.crossings > 1
+
+
+def oscillation_stats(deficits: np.ndarray, threshold: float) -> OscillationStats:
+    """Analyze one task's deficit series against an amplitude threshold.
+
+    Parameters
+    ----------
+    deficits:
+        Deficit series of one task (consecutive rounds).
+    threshold:
+        Reference amplitude, typically ``gamma* * d(j)`` — the grey-zone
+        half-width; ``fraction_inside`` is the share of rounds with
+        ``|deficit| <= threshold``.
+    """
+    x = np.asarray(deficits, dtype=np.float64)
+    if x.size == 0:
+        raise AnalysisError("empty deficit series")
+    crossings = zero_crossings(x)
+    if crossings.size >= 2:
+        mean_period = float(np.diff(crossings).mean() * 2.0)  # full cycle = 2 crossings
+    else:
+        mean_period = float("inf")
+    return OscillationStats(
+        crossings=int(crossings.size),
+        mean_period=mean_period,
+        amplitude_mean=float(np.abs(x).mean()),
+        amplitude_max=float(np.abs(x).max()),
+        fraction_inside=float((np.abs(x) <= threshold).mean()),
+        threshold=float(threshold),
+    )
+
+
+def detect_blowups(
+    deficits: np.ndarray, threshold: float
+) -> list[tuple[int, int, float]]:
+    """Find excursions where ``|deficit|`` exceeds ``threshold``.
+
+    Returns ``(start_index, end_index_exclusive, peak)`` per excursion.
+    Used by E7 to show that pinning the deficit near zero provokes
+    ``omega(gamma* d)`` blow-ups, and by E11 to count the trivial
+    algorithm's Theta(n) swings.
+    """
+    x = np.abs(np.asarray(deficits, dtype=np.float64))
+    above = x > threshold
+    if not above.any():
+        return []
+    # Edges of the True runs.
+    padded = np.concatenate(([False], above, [False]))
+    starts = np.nonzero(padded[1:] & ~padded[:-1])[0]
+    ends = np.nonzero(~padded[1:] & padded[:-1])[0]
+    return [(int(s), int(e), float(x[s:e].max())) for s, e in zip(starts, ends)]

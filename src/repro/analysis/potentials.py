@@ -1,0 +1,139 @@
+"""The Section 4 proof's potential functions, as run instrumentation.
+
+The Theorem 3.1 analysis tracks two potentials over phase starts
+(``t`` even, phase number ``p = t/2``):
+
+* ``Phi(p) = sum_j ((1+gamma) d(j) - W_2p(j))+`` — the total *shortfall*
+  below the saturation level,
+* ``Psi(p) = #{j : W_2p(j) < (1+gamma) d(j)}``  — the number of
+  unsaturated tasks,
+
+and shows (Claim 4.5) that both are non-increasing along typical runs
+and that every two phases either ``Phi`` drops by ``Omega(gamma n)``,
+``Psi`` drops by 1, or all tasks are saturated — which is how the
+``R-`` lack-regret gets bounded by ``O(nk/gamma)``.
+
+Computing these on recorded traces turns the proof's internal objects
+into measurable run diagnostics; ``tests/analysis/test_potentials.py``
+verifies the monotonicity and decrease claims on real trajectories, and
+Claim 4.2's "at most one upcrossing of ``d(1+gamma)`` per task" is
+checkable with :func:`count_upcrossings`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "phi_potential",
+    "psi_potential",
+    "saturation_round",
+    "count_upcrossings",
+    "PotentialTrace",
+    "potential_trace",
+]
+
+
+def phi_potential(loads: np.ndarray, demands: np.ndarray, gamma: float) -> np.ndarray:
+    """``Phi`` evaluated on a ``(T, k)`` load history (or a ``(k,)`` vector).
+
+    ``Phi = sum_j max((1+gamma) d(j) - W(j), 0)``.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    demands = np.asarray(demands, dtype=np.float64)
+    level = (1.0 + gamma) * demands
+    short = np.maximum(level - loads, 0.0)
+    return short.sum(axis=-1)
+
+
+def psi_potential(loads: np.ndarray, demands: np.ndarray, gamma: float) -> np.ndarray:
+    """``Psi`` = number of unsaturated tasks (``W < (1+gamma) d``)."""
+    loads = np.asarray(loads, dtype=np.float64)
+    demands = np.asarray(demands, dtype=np.float64)
+    level = (1.0 + gamma) * demands
+    return (loads < level).sum(axis=-1)
+
+
+def saturation_round(
+    loads: np.ndarray, demands: np.ndarray, gamma: float
+) -> int | None:
+    """First row index of a ``(T, k)`` history where all tasks are saturated.
+
+    Saturated means ``W(j) >= (1-gamma) d(j)`` for every ``j``
+    (the Claim 4.4 sense); returns None if it never happens.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    demands = np.asarray(demands, dtype=np.float64)
+    ok = np.all(loads >= (1.0 - gamma) * demands[np.newaxis, :], axis=1)
+    if not ok.any():
+        return None
+    return int(np.argmax(ok))
+
+
+def count_upcrossings(series: np.ndarray, level: float) -> int:
+    """Number of upward crossings of ``level`` by ``series``.
+
+    Claim 4.2 asserts each task's phase-start load crosses
+    ``d(1+gamma)`` from below at most once per ``n^4`` interval.
+    """
+    x = np.asarray(series, dtype=np.float64)
+    if x.size < 2:
+        return 0
+    above = x >= level
+    return int(np.count_nonzero(~above[:-1] & above[1:]))
+
+
+@dataclass(frozen=True)
+class PotentialTrace:
+    """Phi/Psi evaluated at phase starts of one run."""
+
+    phases: np.ndarray
+    phi: np.ndarray
+    psi: np.ndarray
+
+    @property
+    def phi_monotone_fraction(self) -> float:
+        """Fraction of consecutive phase pairs with non-increasing Phi."""
+        if self.phi.size < 2:
+            return 1.0
+        return float((np.diff(self.phi) <= 1e-9).mean())
+
+    @property
+    def psi_monotone_fraction(self) -> float:
+        """Fraction of consecutive phase pairs with non-increasing Psi."""
+        if self.psi.size < 2:
+            return 1.0
+        return float((np.diff(self.psi) <= 0).mean())
+
+
+def potential_trace(
+    rounds: np.ndarray,
+    loads: np.ndarray,
+    demands: np.ndarray,
+    gamma: float,
+    *,
+    phase_length: int = 2,
+) -> PotentialTrace:
+    """Evaluate Phi/Psi at the recorded phase-start rounds.
+
+    ``rounds``/``loads`` come from a dense :class:`~repro.sim.trace.Trace`;
+    phase starts are the rounds ``t`` with ``t % phase_length == 0``
+    (decisions have just been applied).
+    """
+    rounds = np.asarray(rounds, dtype=np.int64)
+    loads = np.asarray(loads, dtype=np.float64)
+    if rounds.size != loads.shape[0]:
+        raise AnalysisError("rounds and loads must align")
+    mask = rounds % phase_length == 0
+    if not mask.any():
+        raise AnalysisError("trace contains no phase-start rounds")
+    sel = loads[mask]
+    return PotentialTrace(
+        phases=rounds[mask] // phase_length,
+        phi=phi_potential(sel, demands, gamma),
+        psi=psi_potential(sel, demands, gamma).astype(np.float64),
+    )

@@ -1,0 +1,69 @@
+"""Plain-text report formatting for experiment outputs.
+
+The experiment harness prints machine-greppable tables (aligned columns,
+one row per configuration) — the stand-in for the paper's figures in an
+environment without matplotlib.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label: str,
+    measured: float,
+    bound: float,
+    *,
+    kind: str = "upper",
+) -> str:
+    """One-line measured-vs-theory comparison with a pass/fail marker.
+
+    ``kind='upper'`` checks measured <= bound, ``'lower'`` the reverse.
+    """
+    if kind == "upper":
+        ok = measured <= bound
+        rel = measured / bound if bound else float("inf")
+        verdict = "OK (within bound)" if ok else "VIOLATION"
+        return f"{label}: measured {measured:.4g} vs bound {bound:.4g} ({rel:.2%}) -> {verdict}"
+    if kind == "lower":
+        ok = measured >= bound
+        rel = measured / bound if bound else float("inf")
+        verdict = "OK (above lower bound)" if ok else "BELOW LOWER BOUND"
+        return f"{label}: measured {measured:.4g} vs bound {bound:.4g} ({rel:.2%}) -> {verdict}"
+    raise ValueError(f"kind must be 'upper' or 'lower', got {kind!r}")

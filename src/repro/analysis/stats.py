@@ -1,0 +1,71 @@
+"""Statistical helpers for multi-trial experiment summaries.
+
+All theorem claims are probabilistic, so experiments report means with
+confidence intervals.  scipy is used for the t-quantile; the bootstrap
+is seeded and fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.exceptions import AnalysisError
+from repro.util.rng import as_generator
+
+__all__ = ["bootstrap_ci", "mean_confidence_interval", "geometric_decay_fit"]
+
+
+def mean_confidence_interval(
+    samples: np.ndarray, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """``(mean, low, high)`` Student-t confidence interval of the mean."""
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size == 0:
+        raise AnalysisError("no samples")
+    mean = float(x.mean())
+    if x.size == 1:
+        return mean, mean, mean
+    sem = float(x.std(ddof=1) / np.sqrt(x.size))
+    tq = float(sps.t.ppf(0.5 + confidence / 2.0, df=x.size - 1))
+    return mean, mean - tq * sem, mean + tq * sem
+
+
+def bootstrap_ci(
+    samples: np.ndarray,
+    statistic=np.mean,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng=0,
+) -> tuple[float, float, float]:
+    """``(point, low, high)`` percentile bootstrap CI of any statistic."""
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size == 0:
+        raise AnalysisError("no samples")
+    gen = as_generator(rng)
+    idx = gen.integers(0, x.size, size=(n_resamples, x.size))
+    boot = np.apply_along_axis(statistic, 1, x[idx])
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(statistic(x)),
+        float(np.quantile(boot, alpha)),
+        float(np.quantile(boot, 1.0 - alpha)),
+    )
+
+
+def geometric_decay_fit(values: np.ndarray) -> tuple[float, float]:
+    """Fit ``values[t] ~ A * rho^t`` by least squares in log space.
+
+    Returns ``(rho, A)``.  Used to verify the proof's claim that an
+    overload decays geometrically at rate ``~(1 - gamma/(2 c_d))`` per
+    phase (Claim 4.3).  Non-positive entries are dropped (the decay has
+    reached the noise floor there).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    t = np.arange(v.size, dtype=np.float64)
+    mask = v > 0
+    if mask.sum() < 2:
+        raise AnalysisError("need at least two positive values to fit a decay")
+    slope, intercept = np.polyfit(t[mask], np.log(v[mask]), 1)
+    return float(np.exp(slope)), float(np.exp(intercept))

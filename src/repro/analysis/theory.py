@@ -1,0 +1,101 @@
+"""Closed-form theorem bounds, for measured-vs-theory comparisons.
+
+Each function returns the paper's bound for a given configuration so
+experiment reports can print "measured X vs bound Y".  Constants hidden
+inside O(.) are exposed as parameters with the values the proofs yield.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import DEFAULT_CONSTANTS, AlgorithmConstants
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ant_regret_bound",
+    "ant_closeness_bound",
+    "precise_sigmoid_rate",
+    "precise_adversarial_rate",
+    "adversarial_lower_bound_rate",
+    "memory_lower_bound_far",
+    "stable_zone",
+]
+
+
+def ant_regret_bound(
+    t: int,
+    n: int,
+    k: int,
+    gamma: float,
+    total_demand: float,
+    *,
+    c_transient: float = 4.0,
+) -> float:
+    """Theorem 3.1: ``R(t) <= c*n*k/gamma + (5*gamma*sum_d + 3) * t``.
+
+    ``c_transient`` is the constant of the one-off term; the proof gives
+    ``2 c_d / gamma`` per task for R+ plus a similar R- term, i.e. a
+    small multiple of ``n k / gamma``.
+    """
+    if min(t, n, k) <= 0 or gamma <= 0:
+        raise ConfigurationError("t, n, k, gamma must be positive")
+    return c_transient * n * k / gamma + (5.0 * gamma * total_demand + 3.0) * t
+
+
+def ant_closeness_bound(gamma: float, gamma_star: float) -> float:
+    """Theorem 3.1 steady-state closeness bound ``5 * gamma / gamma*``."""
+    if gamma_star <= 0 or gamma < gamma_star:
+        raise ConfigurationError("requires gamma >= gamma* > 0")
+    return 5.0 * gamma / gamma_star
+
+
+def precise_sigmoid_rate(eps: float, gamma: float, total_demand: float) -> float:
+    """Theorem 3.2 steady-state regret rate ``eps * gamma * sum_d``."""
+    if not (0 < eps < 1) or gamma <= 0:
+        raise ConfigurationError("requires eps in (0,1), gamma > 0")
+    return eps * gamma * total_demand
+
+
+def precise_adversarial_rate(eps: float, gamma: float, total_demand: float) -> float:
+    """Theorem 3.6 steady-state regret rate ``gamma * (1 + eps) * sum_d``."""
+    if not (0 < eps < 1) or gamma <= 0:
+        raise ConfigurationError("requires eps in (0,1), gamma > 0")
+    return gamma * (1.0 + eps) * total_demand
+
+
+def adversarial_lower_bound_rate(gamma_star: float, total_demand: float) -> float:
+    """Theorem 3.5: any algorithm's expected regret rate is at least
+    ``(1 - o(1)) * gamma* * sum_d`` under adversarial noise.
+
+    The ``(1-o(1))`` factor is reported as 1; callers compare measured
+    rates against this asymptote.
+    """
+    if gamma_star <= 0:
+        raise ConfigurationError("gamma_star must be positive")
+    return gamma_star * total_demand
+
+
+def memory_lower_bound_far(eps: float, gamma_star: float, total_demand: float) -> float:
+    """Theorem 3.3: with ``c log(1/eps)`` memory bits, the regret rate is
+    at least ``eps * gamma* * sum_d`` (the allocation is eps-far)."""
+    if not (0 < eps < 1):
+        raise ConfigurationError("eps must be in (0,1)")
+    return eps * gamma_star * total_demand
+
+
+def stable_zone(
+    demand: float,
+    gamma: float,
+    constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+) -> tuple[float, float]:
+    """Algorithm Ant's per-task stable zone (proof of Claim 4.2).
+
+    ``[d(1+gamma), d(1 + (0.9 c_s - 1) gamma)]`` — loads at phase starts
+    inside this band neither gain nor lose ants w.h.p.
+    """
+    if demand <= 0 or gamma <= 0:
+        raise ConfigurationError("demand and gamma must be positive")
+    lo = demand * (1.0 + gamma)
+    hi = demand * (1.0 + (0.9 * constants.c_s - 1.0) * gamma)
+    if hi < lo:
+        raise ConfigurationError("constants give an empty stable zone (need c_s > 20/9)")
+    return lo, hi

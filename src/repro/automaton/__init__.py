@@ -1,0 +1,32 @@
+"""Finite-state-machine substrate.
+
+The paper models each ant as a finite state automaton whose states must
+all be mutually reachable (Assumptions 2.2) and proves the memory /
+regret tradeoff of Theorem 3.3 for automata with ``c log(1/eps)`` bits.
+This subpackage provides:
+
+* :class:`~repro.automaton.fsm.FiniteAntAutomaton` — explicit tabular
+  automata over feedback alphabets, with an Assumption 2.2 reachability
+  verifier built on networkx strong connectivity;
+* :class:`~repro.automaton.fsm.FSMColonyAlgorithm` — adapter running a
+  population of identical automata under the standard engine;
+* :func:`~repro.automaton.compile_ant.compile_ant_automaton` — Algorithm
+  Ant compiled into an explicit automaton (used to validate the FSM
+  substrate against the vectorized implementation, and to check that
+  Algorithm Ant satisfies Assumption 2.2);
+* :func:`~repro.automaton.bounded.bounded_memory_family` — the
+  Theorem 3.3 experiment family: median-window algorithms whose per-ant
+  memory is capped at a given number of counter bits.
+"""
+
+from repro.automaton.fsm import FiniteAntAutomaton, FSMColonyAlgorithm
+from repro.automaton.compile_ant import compile_ant_automaton
+from repro.automaton.bounded import bounded_memory_family, BoundedMemorySpec
+
+__all__ = [
+    "FiniteAntAutomaton",
+    "FSMColonyAlgorithm",
+    "compile_ant_automaton",
+    "bounded_memory_family",
+    "BoundedMemorySpec",
+]

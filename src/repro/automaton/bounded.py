@@ -1,0 +1,87 @@
+"""Memory-bounded algorithm family for the Theorem 3.3 experiment (E6).
+
+Theorem 3.3: with ``c * log(1/eps)`` bits of memory no algorithm can be
+better than ``eps``-far, and Algorithm Precise Sigmoid shows
+``O(log(1/eps))`` bits suffice for ``eps``-closeness — i.e. the optimal
+achievable closeness decays *exponentially in the memory budget*.
+
+The family below instantiates the achievability side at each budget:
+``b`` counter bits hold a median window of ``m = 2^b - 1`` rounds, which
+is Algorithm Precise Sigmoid at ``eps(b) = 2 c_chi / (m - 1)``; the
+smallest budgets (windows below the ``eps < 1`` validity floor) fall
+back to Algorithm Ant, the 1-sample-bit member.  Measured closeness per
+budget should therefore halve per added bit until it hits the Ant
+ceiling — the tradeoff curve E6 regenerates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.ant import AntAlgorithm
+from repro.core.base import ColonyAlgorithm
+from repro.core.constants import DEFAULT_CONSTANTS, AlgorithmConstants
+from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.util.validation import check_integer
+
+__all__ = ["BoundedMemorySpec", "bounded_memory_family"]
+
+
+@dataclass(frozen=True)
+class BoundedMemorySpec:
+    """One member of the memory/closeness tradeoff family."""
+
+    counter_bits: int
+    window: int
+    eps_effective: float
+    algorithm: ColonyAlgorithm
+
+    @property
+    def predicted_closeness_scale(self) -> float:
+        """The theory-side scale ``eps(b)`` (1.0 for the Ant member)."""
+        return min(self.eps_effective, 1.0)
+
+
+def bounded_memory_family(
+    gamma: float,
+    counter_bits: list[int] | tuple[int, ...] = (1, 5, 6, 7, 8),
+    constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+) -> list[BoundedMemorySpec]:
+    """Build the family of algorithms, one per memory budget.
+
+    Parameters
+    ----------
+    gamma:
+        Learning rate shared by all members (>= the critical value).
+    counter_bits:
+        Memory budgets; each budget ``b`` allows a median window
+        ``m = 2^b - 1``.  Budgets whose window is too small for a valid
+        Precise-Sigmoid ``eps`` (``m <= 2*c_chi + 1``) produce the
+        Algorithm Ant member (window 1).
+    """
+    specs: list[BoundedMemorySpec] = []
+    for b in counter_bits:
+        b = check_integer("counter_bits", b, minimum=1)
+        m = 2**b - 1
+        eps = 2.0 * constants.c_chi / (m - 1) if m > 1 else math.inf
+        if eps >= 1.0:
+            specs.append(
+                BoundedMemorySpec(
+                    counter_bits=b,
+                    window=1,
+                    eps_effective=1.0,
+                    algorithm=AntAlgorithm(gamma=gamma, constants=constants),
+                )
+            )
+        else:
+            alg = PreciseSigmoidAlgorithm(gamma=gamma, eps=eps, constants=constants)
+            if alg.m != m:
+                raise ConfigurationError(
+                    f"window inversion failed: bits={b} -> m={m} but algorithm chose {alg.m}"
+                )
+            specs.append(
+                BoundedMemorySpec(counter_bits=b, window=m, eps_effective=eps, algorithm=alg)
+            )
+    return specs

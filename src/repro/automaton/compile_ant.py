@@ -1,0 +1,130 @@
+"""Algorithm Ant compiled into an explicit finite automaton.
+
+This serves three purposes:
+
+1. it *proves constructively* that Algorithm Ant is implementable by the
+   paper's computational model (a constant-memory FSM whose size is
+   independent of ``n``);
+2. it lets the test suite verify Assumptions 2.2 for Algorithm Ant
+   mechanically (strong connectivity of the support digraph);
+3. it cross-validates the FSM substrate against the hand-vectorized
+   implementation (same distribution of trajectories on small colonies).
+
+State encoding (``k`` tasks, alphabet ``2^k`` symbols of packed LACK bits):
+
+* ``A(a)`` — start of an odd round holding action ``a`` in
+  ``{idle, 0..k-1}``: the decision state at a phase boundary.
+* ``B_idle(s1)`` — idle ant mid-phase remembering its first sample
+  ``s1`` (all ``k`` bits, needed to pick a join target).
+* ``B(j, s1_j, paused)`` — working ant mid-phase on task ``j``
+  remembering only *its own task's* first-sample bit and whether it
+  temporarily paused.
+
+Total ``(k+1) + 2^k + 4k`` states — constant in ``n`` as the paper
+requires (for the mid-phase working states we keep one own-task bit, not
+the full vector, since the algorithm never reads the rest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automaton.fsm import FiniteAntAutomaton
+from repro.core.constants import DEFAULT_CONSTANTS, AlgorithmConstants
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE
+from repro.util.validation import check_in_range
+
+__all__ = ["compile_ant_automaton"]
+
+
+def compile_ant_automaton(
+    k: int,
+    gamma: float,
+    constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+) -> tuple[FiniteAntAutomaton, dict[int, int]]:
+    """Build the Algorithm-Ant automaton for ``k`` tasks.
+
+    Returns ``(automaton, initial_state_for_action)`` where the dict maps
+    an action to its ``A(action)`` state (for adopting arbitrary initial
+    assignments).
+
+    Limited to ``k <= 6`` (the ``2^k`` sample register of idle ants).
+    """
+    if not 1 <= k <= 6:
+        raise ConfigurationError(f"compile_ant_automaton supports 1 <= k <= 6, got {k}")
+    gamma = check_in_range("gamma", gamma, 0.0, 1.0 / 16.0, inclusive_low=False)
+    p_pause = min(constants.c_s * gamma, 1.0)
+    p_leave = gamma / constants.c_d
+
+    n_symbols = 2**k
+    # ---- state numbering -------------------------------------------------
+    states: list[tuple] = []
+    index: dict[tuple, int] = {}
+
+    def add(desc: tuple) -> int:
+        index[desc] = len(states)
+        states.append(desc)
+        return index[desc]
+
+    for a in range(-1, k):  # A(a)
+        add(("A", a))
+    for s1 in range(n_symbols):  # B_idle(s1)
+        add(("Bi", s1))
+    for j in range(k):  # B(j, s1_bit, paused)
+        for s1_bit in (0, 1):
+            for paused in (0, 1):
+                add(("Bw", j, s1_bit, paused))
+
+    S = len(states)
+    T = np.zeros((S, n_symbols, S), dtype=np.float64)
+    outputs = np.zeros(S, dtype=np.int64)
+
+    # ---- outputs ----------------------------------------------------------
+    for desc, s in index.items():
+        if desc[0] == "A":
+            outputs[s] = desc[1]
+        elif desc[0] == "Bi":
+            outputs[s] = IDLE
+        else:  # Bw
+            _, j, _, paused = desc
+            outputs[s] = IDLE if paused else j
+
+    # ---- odd-round transitions: A(a) --f--> B states -----------------------
+    for a in range(-1, k):
+        src = index[("A", a)]
+        for f in range(n_symbols):
+            if a == IDLE:
+                T[src, f, index[("Bi", f)]] = 1.0
+            else:
+                bit = (f >> a) & 1
+                T[src, f, index[("Bw", a, bit, 1)]] += p_pause
+                T[src, f, index[("Bw", a, bit, 0)]] += 1.0 - p_pause
+
+    # ---- even-round transitions: B states --f2--> A states -----------------
+    for s1 in range(n_symbols):
+        src = index[("Bi", s1)]
+        for f2 in range(n_symbols):
+            both = s1 & f2  # tasks whose two samples both read LACK
+            targets = [j for j in range(k) if (both >> j) & 1]
+            if targets:
+                share = 1.0 / len(targets)
+                for j in targets:
+                    T[src, f2, index[("A", j)]] += share
+            else:
+                T[src, f2, index[("A", IDLE)]] += 1.0
+    for j in range(k):
+        for s1_bit in (0, 1):
+            for paused in (0, 1):
+                src = index[("Bw", j, s1_bit, paused)]
+                for f2 in range(n_symbols):
+                    s2_bit = (f2 >> j) & 1
+                    if s1_bit == 0 and s2_bit == 0:  # both samples OVERLOAD
+                        T[src, f2, index[("A", IDLE)]] += p_leave
+                        T[src, f2, index[("A", j)]] += 1.0 - p_leave
+                    else:
+                        T[src, f2, index[("A", j)]] += 1.0
+
+    automaton = FiniteAntAutomaton(T, outputs, k)
+    initial = {a: index[("A", a)] for a in range(-1, k)}
+    return automaton, initial

@@ -1,0 +1,192 @@
+"""Explicit finite ant automata (the paper's computational model).
+
+An ant is a finite state machine: each round it reads the feedback
+vector (one LACK/OVERLOAD bit per task, i.e. an alphabet of ``2^k``
+symbols) and transitions stochastically; each state outputs an action
+(idle or a task).  Assumptions 2.2 require that every state be reachable
+from every other under *some* feedback sequence — i.e. the support
+digraph of the transition relation is strongly connected — which
+:meth:`FiniteAntAutomaton.check_reachability` verifies with networkx.
+
+:class:`FSMColonyAlgorithm` adapts an automaton to the
+:class:`~repro.core.base.ColonyAlgorithm` interface so a population of
+identical automata runs under the standard engines.  The per-round
+update is vectorized: feedback rows are packed into symbol indices and
+next states are drawn by inverse-CDF lookup into the cumulative
+transition tensor — no per-ant Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.core.base import ColonyAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE, AssignmentVector, LackMatrix
+
+__all__ = ["FiniteAntAutomaton", "FSMColonyAlgorithm"]
+
+
+class FiniteAntAutomaton:
+    """Tabular stochastic automaton over the feedback alphabet.
+
+    Parameters
+    ----------
+    transitions:
+        Array of shape ``(S, 2**k, S)``: ``transitions[s, f, s']`` is the
+        probability of moving from state ``s`` to ``s'`` on feedback
+        symbol ``f`` (the symbol packs the per-task LACK bits,
+        ``f = sum_j lack_j << j``).  Rows must sum to 1.
+    outputs:
+        Array of shape ``(S,)``: action of each state (``-1`` for idle or
+        a task index).
+    k:
+        Number of tasks.
+    """
+
+    def __init__(self, transitions: np.ndarray, outputs: np.ndarray, k: int) -> None:
+        transitions = np.asarray(transitions, dtype=np.float64)
+        outputs = np.asarray(outputs, dtype=np.int64)
+        if transitions.ndim != 3 or transitions.shape[0] != transitions.shape[2]:
+            raise ConfigurationError(
+                f"transitions must have shape (S, 2**k, S), got {transitions.shape}"
+            )
+        S = transitions.shape[0]
+        if transitions.shape[1] != 2**k:
+            raise ConfigurationError(
+                f"feedback alphabet must have 2**k={2**k} symbols, got {transitions.shape[1]}"
+            )
+        if outputs.shape != (S,):
+            raise ConfigurationError(f"outputs must have shape ({S},)")
+        if np.any(transitions < 0):
+            raise ConfigurationError("transition probabilities must be non-negative")
+        sums = transitions.sum(axis=2)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise ConfigurationError("every transition row must sum to 1")
+        if np.any((outputs < IDLE) | (outputs >= k)):
+            raise ConfigurationError("outputs must be -1 (idle) or a task index")
+        self.transitions = transitions
+        self.outputs = outputs
+        self.k = int(k)
+        # Precompute the cumulative tensor for inverse-CDF sampling.
+        self._cumulative = np.cumsum(transitions, axis=2)
+
+    @property
+    def num_states(self) -> int:
+        return int(self.transitions.shape[0])
+
+    @property
+    def memory_bits(self) -> float:
+        """Bits needed to store one state: ``log2(S)``."""
+        return float(np.log2(self.num_states))
+
+    # ------------------------------------------------------------------
+    def support_digraph(self) -> nx.DiGraph:
+        """Digraph with an edge ``s -> s'`` iff some symbol moves s to s'."""
+        reach = (self.transitions > 0.0).any(axis=1)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_states))
+        src, dst = np.nonzero(reach)
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        return g
+
+    def check_reachability(self) -> bool:
+        """Assumptions 2.2: every state reachable from every state.
+
+        True iff the support digraph is strongly connected.
+        """
+        return nx.is_strongly_connected(self.support_digraph())
+
+    def validate_assumption_2_2(self) -> None:
+        """Raise :class:`ConfigurationError` when Assumptions 2.2 fail."""
+        if not self.check_reachability():
+            comps = list(nx.strongly_connected_components(self.support_digraph()))
+            raise ConfigurationError(
+                f"Assumptions 2.2 violated: {len(comps)} strongly connected "
+                f"components (need 1); smallest: {min(comps, key=len)}"
+            )
+
+    # ------------------------------------------------------------------
+    def step_population(
+        self,
+        states: np.ndarray,
+        lack: LackMatrix,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Advance a population of automata one round (vectorized).
+
+        ``states`` has shape ``(n,)``; ``lack`` shape ``(n, k)``.
+        Returns the new state array.
+        """
+        if self.k > 20:
+            raise ConfigurationError("feedback alphabet too large to pack (k > 20)")
+        weights = (1 << np.arange(self.k)).astype(np.int64)
+        symbols = lack.astype(np.int64) @ weights
+        cdf = self._cumulative[states, symbols]  # (n, S) gather
+        u = rng.random(states.shape[0])
+        return np.argmax(cdf > u[:, np.newaxis], axis=1).astype(np.int64)
+
+    def actions(self, states: np.ndarray) -> AssignmentVector:
+        """Map a state array to the corresponding action array."""
+        return self.outputs[states]
+
+
+class FSMColonyAlgorithm(ColonyAlgorithm):
+    """Run a colony of identical :class:`FiniteAntAutomaton` ants.
+
+    Parameters
+    ----------
+    automaton:
+        The per-ant machine (validated against Assumptions 2.2 unless
+        ``check_assumptions=False`` — some deliberately crippled automata
+        in the Theorem 3.3 experiments are not strongly connected).
+    initial_state_for_action:
+        Maps an initial action (``-1`` or task id) to an automaton state,
+        used to adopt arbitrary initial assignments (self-stabilization).
+        Default: the first state whose output equals the action.
+    """
+
+    name = "fsm"
+    phase_length = 1
+
+    def __init__(
+        self,
+        automaton: FiniteAntAutomaton,
+        *,
+        check_assumptions: bool = True,
+        initial_state_for_action: dict[int, int] | None = None,
+    ) -> None:
+        if check_assumptions:
+            automaton.validate_assumption_2_2()
+        self.automaton = automaton
+        if initial_state_for_action is None:
+            initial_state_for_action = {}
+            for action in range(-1, automaton.k):
+                matches = np.nonzero(automaton.outputs == action)[0]
+                if matches.size:
+                    initial_state_for_action[action] = int(matches[0])
+        self.initial_state_for_action = initial_state_for_action
+
+    def create_state(self, n: int, k: int, initial_assignment: AssignmentVector):
+        if k != self.automaton.k:
+            raise ConfigurationError(
+                f"automaton built for k={self.automaton.k}, simulation has k={k}"
+            )
+        states = np.zeros(n, dtype=np.int64)
+        for action, state in self.initial_state_for_action.items():
+            states[initial_assignment == action] = state
+        missing = set(np.unique(initial_assignment)) - set(self.initial_state_for_action)
+        if missing:
+            raise ConfigurationError(
+                f"no automaton state maps to initial actions {sorted(missing)}"
+            )
+        return {"states": states, "assignment": self.automaton.actions(states)}
+
+    def step(self, state, t: int, lack: LackMatrix, rng: np.random.Generator):
+        state["states"] = self.automaton.step_population(state["states"], lack, rng)
+        state["assignment"] = self.automaton.actions(state["states"])
+        return state["assignment"]
+
+    def memory_bits(self, k: int) -> float:
+        return self.automaton.memory_bits

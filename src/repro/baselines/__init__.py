@@ -1,0 +1,5 @@
+"""Baseline algorithms the paper compares against or builds upon."""
+
+from repro.baselines.cornejo import BackoffBinaryAlgorithm
+
+__all__ = ["BackoffBinaryAlgorithm"]

@@ -1,0 +1,37 @@
+"""The paper's algorithms (its primary contribution).
+
+* :class:`~repro.core.ant.AntAlgorithm` — Algorithm Ant (Section 4,
+  Theorem 3.1): constant-memory two-sample rule, phases of 2 rounds.
+* :class:`~repro.core.precise_sigmoid.PreciseSigmoidAlgorithm` —
+  Algorithm Precise Sigmoid (Section 5, Theorem 3.2): median-amplified
+  samples, phases of ``2m`` rounds, step size ``eps*gamma/c_chi``.
+* :class:`~repro.core.precise_adversarial.PreciseAdversarialAlgorithm` —
+  Algorithm Precise Adversarial (Appendix C, Theorem 3.6).
+* :class:`~repro.core.trivial.TrivialAlgorithm` — Appendix D baseline
+  (converges in the sequential model, oscillates forever synchronously).
+"""
+
+from repro.core.base import ColonyAlgorithm, InitialAssignment, initial_assignment_array
+from repro.core.constants import AlgorithmConstants, DEFAULT_CONSTANTS
+from repro.core.ant import AntAlgorithm, OneSampleAntAlgorithm
+from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
+from repro.core.precise_adversarial import PreciseAdversarialAlgorithm
+from repro.core.scout import ScoutAntAlgorithm
+from repro.core.trivial import TrivialAlgorithm
+from repro.core.registry import make_algorithm, available_algorithms
+
+__all__ = [
+    "ColonyAlgorithm",
+    "InitialAssignment",
+    "initial_assignment_array",
+    "AlgorithmConstants",
+    "DEFAULT_CONSTANTS",
+    "AntAlgorithm",
+    "OneSampleAntAlgorithm",
+    "ScoutAntAlgorithm",
+    "PreciseSigmoidAlgorithm",
+    "PreciseAdversarialAlgorithm",
+    "TrivialAlgorithm",
+    "make_algorithm",
+    "available_algorithms",
+]

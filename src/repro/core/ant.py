@@ -1,0 +1,255 @@
+"""Algorithm Ant (Section 4, Theorem 3.1).
+
+The paper's headline constant-memory algorithm.  Time is divided into
+phases of two rounds; within a phase every ant takes two feedback samples
+*spaced apart* in load:
+
+round 1 (``t`` odd)
+    Remember the current task; record sample ``s1``; every working ant
+    *temporarily pauses* with probability ``c_s * gamma``, thinning the
+    load by a ``~c_s*gamma`` fraction so the second sample is taken at a
+    measurably lower load.
+
+round 2 (``t`` even)
+    Record sample ``s2`` (of the thinned load); then decide:
+
+    * a working ant whose **both** samples read OVERLOAD leaves
+      permanently with probability ``gamma / c_d`` (otherwise it resumes
+      its task — pausing is only temporary);
+    * an ant that was idle at the start of the phase joins a task chosen
+      uniformly among those whose **both** samples read LACK (staying
+      idle when there is none).
+
+The two-sample spacing guarantees that w.h.p. at least one sample lies
+outside the grey zone, so the load can only move in the correct
+direction; a *stable zone* ``[d(1+gamma), d(1+(0.9 c_s - 1) gamma)]``
+exists where neither joins nor leaves happen (Claim 4.2), which is what
+makes the allocation 5(gamma/gamma*)-close (Theorem 3.1).
+
+:class:`OneSampleAntAlgorithm` is the E14 ablation: identical decisions
+but from a single un-spaced sample — it lacks the stable zone and churns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import ColonyAlgorithm, uniform_row_choice
+from repro.core.constants import DEFAULT_CONSTANTS, GAMMA_MAX, AlgorithmConstants
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE, AssignmentVector, LackMatrix
+from repro.util.validation import check_in_range
+
+__all__ = ["AntAlgorithm", "AntState", "OneSampleAntAlgorithm"]
+
+
+@dataclass
+class AntState:
+    """Mutable per-run state of Algorithm Ant (struct of arrays).
+
+    Attributes
+    ----------
+    assignment:
+        Action in force during the current round, ``(n,)``.
+    current_task:
+        Task held at the start of the current phase, ``(n,)``.
+    s1_lack:
+        First sample of the current phase, ``(n, k)`` boolean.
+    """
+
+    assignment: AssignmentVector
+    current_task: AssignmentVector
+    s1_lack: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.assignment.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.s1_lack.shape[1])
+
+
+class AntAlgorithm(ColonyAlgorithm):
+    """Algorithm Ant with learning rate ``gamma`` (Theorem 3.1).
+
+    Parameters
+    ----------
+    gamma:
+        Learning rate, required ``gamma* <= gamma <= 1/16``.  The
+        guarantee is a ``5*gamma/gamma*``-close allocation, so the best
+        regret is achieved at ``gamma = gamma*`` and smaller gamma means
+        slower convergence.
+    constants:
+        ``c_s`` / ``c_d`` overrides (validated against the Section 4
+        constraint set).
+    gamma_max:
+        Upper bound enforced on ``gamma``; Theorem 3.1 needs ``1/16``.
+        Exposed for out-of-model stress experiments.
+    """
+
+    name = "ant"
+    phase_length = 2
+
+    def __init__(
+        self,
+        gamma: float,
+        constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+        *,
+        gamma_max: float = GAMMA_MAX,
+    ) -> None:
+        self.gamma = check_in_range(
+            "gamma", gamma, 0.0, gamma_max, inclusive_low=False, inclusive_high=True
+        )
+        if not isinstance(constants, AlgorithmConstants):
+            raise ConfigurationError("constants must be an AlgorithmConstants instance")
+        constants.validate(gamma_max=gamma_max)
+        self.constants = constants
+
+    # -- derived probabilities -------------------------------------------------
+    @property
+    def pause_probability(self) -> float:
+        """Temporary drop-out probability ``c_s * gamma`` (round 1)."""
+        return min(self.constants.c_s * self.gamma, 1.0)
+
+    @property
+    def leave_probability(self) -> float:
+        """Permanent leave probability ``gamma / c_d`` (round 2, both overload)."""
+        return self.gamma / self.constants.c_d
+
+    # -- ColonyAlgorithm interface ---------------------------------------------
+    def create_state(self, n: int, k: int, initial_assignment: AssignmentVector) -> AntState:
+        assignment = np.asarray(initial_assignment, dtype=np.int64).copy()
+        if assignment.shape != (n,):
+            raise ConfigurationError(f"initial assignment must have shape ({n},)")
+        return AntState(
+            assignment=assignment,
+            current_task=assignment.copy(),
+            s1_lack=np.zeros((n, k), dtype=bool),
+        )
+
+    def step(
+        self,
+        state: AntState,
+        t: int,
+        lack: LackMatrix,
+        rng: np.random.Generator,
+    ) -> AssignmentVector:
+        if t % 2 == 1:
+            self._first_round(state, lack, rng)
+        else:
+            self._second_round(state, lack, rng)
+        return state.assignment
+
+    # -- round implementations ---------------------------------------------
+    def _first_round(self, state: AntState, lack: LackMatrix, rng: np.random.Generator) -> None:
+        """Sample 1 + temporary pause (pseudocode lines 3-6)."""
+        np.copyto(state.current_task, state.assignment)
+        np.copyto(state.s1_lack, lack)
+        working = state.current_task != IDLE
+        pause = working & (rng.random(state.n) < self.pause_probability)
+        state.assignment[pause] = IDLE
+        # Non-paused workers keep their task; idle ants remain idle.
+        keep = working & ~pause
+        state.assignment[keep] = state.current_task[keep]
+
+    def _second_round(self, state: AntState, lack: LackMatrix, rng: np.random.Generator) -> None:
+        """Sample 2 + join/leave decisions (pseudocode lines 7-13)."""
+        n = state.n
+        was_idle = state.current_task == IDLE
+        working = ~was_idle
+
+        # Idle ants: join a uniformly random task whose both samples read LACK.
+        if np.any(was_idle):
+            both_lack = state.s1_lack[was_idle] & lack[was_idle]
+            state.assignment[was_idle] = uniform_row_choice(both_lack, rng)
+
+        # Working ants: leave w.p. gamma/c_d iff both samples read OVERLOAD
+        # for their own task; otherwise resume (pauses were temporary).
+        if np.any(working):
+            idx = np.nonzero(working)[0]
+            tasks = state.current_task[idx]
+            s1_own = state.s1_lack[idx, tasks]
+            s2_own = lack[idx, tasks]
+            both_overload = ~s1_own & ~s2_own
+            leave = both_overload & (rng.random(idx.size) < self.leave_probability)
+            new_assign = tasks.copy()
+            new_assign[leave] = IDLE
+            state.assignment[idx] = new_assign
+
+    def memory_bits(self, k: int) -> float:
+        """Action + remembered task + one sample bit per task (constant in n)."""
+        return float(2.0 * np.log2(k + 1) + k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AntAlgorithm(gamma={self.gamma:g}, c_s={self.constants.c_s}, c_d={self.constants.c_d})"
+
+
+class OneSampleAntAlgorithm(ColonyAlgorithm):
+    """Ablation (experiment E14): Algorithm Ant without sample spacing.
+
+    Every round each ant makes the join/leave decision from the *single*
+    current sample: working ants leave w.p. ``gamma / c_d`` on OVERLOAD,
+    idle ants join a uniformly random task reading LACK.  Without the
+    paired, spaced samples there is no stable zone — near the demand the
+    feedback is a coin flip, so joins and leaves never switch off and the
+    allocation keeps churning (quantified by E14).
+    """
+
+    name = "ant_one_sample"
+    phase_length = 1
+
+    def __init__(
+        self,
+        gamma: float,
+        constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+        *,
+        gamma_max: float = GAMMA_MAX,
+    ) -> None:
+        self.gamma = check_in_range(
+            "gamma", gamma, 0.0, gamma_max, inclusive_low=False, inclusive_high=True
+        )
+        constants.validate(gamma_max=gamma_max)
+        self.constants = constants
+
+    @property
+    def leave_probability(self) -> float:
+        """Leave probability per OVERLOAD round, matching Algorithm Ant's."""
+        return self.gamma / self.constants.c_d
+
+    def create_state(self, n: int, k: int, initial_assignment: AssignmentVector) -> AntState:
+        assignment = np.asarray(initial_assignment, dtype=np.int64).copy()
+        if assignment.shape != (n,):
+            raise ConfigurationError(f"initial assignment must have shape ({n},)")
+        return AntState(
+            assignment=assignment,
+            current_task=assignment.copy(),
+            s1_lack=np.zeros((n, k), dtype=bool),
+        )
+
+    def step(
+        self,
+        state: AntState,
+        t: int,
+        lack: LackMatrix,
+        rng: np.random.Generator,
+    ) -> AssignmentVector:
+        idle = state.assignment == IDLE
+        working = ~idle
+        if np.any(idle):
+            state.assignment[idle] = uniform_row_choice(lack[idle], rng)
+        if np.any(working):
+            idx = np.nonzero(working)[0]
+            tasks = state.assignment[idx]
+            overload_own = ~lack[idx, tasks]
+            leave = overload_own & (rng.random(idx.size) < self.leave_probability)
+            state.assignment[idx[leave]] = IDLE
+        return state.assignment
+
+    def memory_bits(self, k: int) -> float:
+        return float(np.log2(k + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OneSampleAntAlgorithm(gamma={self.gamma:g})"

@@ -1,0 +1,168 @@
+"""Colony-level algorithm interface.
+
+Each paper algorithm is specified per-ant, but all ants run the same code
+on i.i.d. feedback, so the library implements algorithms *colony-level*:
+the per-ant state is a struct of numpy arrays and one :meth:`step` call
+advances all ``n`` ants at once with boolean-mask updates (HPC guide:
+vectorize, no per-agent Python loops).
+
+Round structure (Section 2.1): round ``t >= 1`` has two sub-rounds — the
+engine first samples feedback of the *previous* round's loads
+(``Delta_{t-1}``) and then calls :meth:`ColonyAlgorithm.step`, which
+returns the assignment in force *during* round ``t``.  Phases of
+``phase_length`` rounds start at ``t = 1`` for every ant (full
+synchronization, as the paper assumes).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE, AssignmentVector, LackMatrix
+from repro.util.rng import as_generator
+
+__all__ = ["ColonyAlgorithm", "InitialAssignment", "initial_assignment_array", "uniform_row_choice"]
+
+
+class InitialAssignment(enum.StrEnum):
+    """Named initial configurations used by the self-stabilization experiments."""
+
+    ALL_IDLE = "all_idle"
+    RANDOM = "random"
+    ALL_ON_FIRST_TASK = "all_on_first_task"
+    DEMAND_MATCHED = "demand_matched"
+
+
+def initial_assignment_array(
+    spec: InitialAssignment | str | np.ndarray,
+    n: int,
+    k: int,
+    rng: np.random.Generator | int | None = None,
+    demands: np.ndarray | None = None,
+) -> AssignmentVector:
+    """Materialize an initial assignment vector.
+
+    ``spec`` may be an explicit array (validated and copied) or one of the
+    :class:`InitialAssignment` names:
+
+    * ``all_idle`` — every ant idle (the natural cold start);
+    * ``random`` — each ant independently uniform over ``{idle, 0..k-1}``;
+    * ``all_on_first_task`` — the adversarial pile-up start;
+    * ``demand_matched`` — exactly ``d(j)`` ants on task ``j`` (needs
+      ``demands``), the already-converged start.
+    """
+    rng = as_generator(rng)
+    if isinstance(spec, np.ndarray):
+        arr = np.asarray(spec, dtype=np.int64).copy()
+        if arr.shape != (n,):
+            raise ConfigurationError(f"assignment must have shape ({n},), got {arr.shape}")
+        if np.any((arr < IDLE) | (arr >= k)):
+            raise ConfigurationError("assignment entries must be -1 (idle) or in [0, k)")
+        return arr
+    spec = InitialAssignment(spec)
+    if spec is InitialAssignment.ALL_IDLE:
+        return np.full(n, IDLE, dtype=np.int64)
+    if spec is InitialAssignment.RANDOM:
+        return rng.integers(IDLE, k, size=n, dtype=np.int64)
+    if spec is InitialAssignment.ALL_ON_FIRST_TASK:
+        return np.zeros(n, dtype=np.int64)
+    if spec is InitialAssignment.DEMAND_MATCHED:
+        if demands is None:
+            raise ConfigurationError("demand_matched start requires the demand vector")
+        demands = np.asarray(demands, dtype=np.int64)
+        if int(demands.sum()) > n:
+            raise ConfigurationError("demands exceed colony size")
+        arr = np.full(n, IDLE, dtype=np.int64)
+        pos = 0
+        for j, d in enumerate(demands):
+            arr[pos : pos + int(d)] = j
+            pos += int(d)
+        return arr
+    raise ConfigurationError(f"unknown initial assignment {spec!r}")  # pragma: no cover
+
+
+def uniform_row_choice(mask: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Pick one True column uniformly at random per row of a boolean matrix.
+
+    Rows with no True entry yield ``IDLE`` (-1).  Fully vectorized:
+    for each row draw ``r`` uniform in ``[0, count)`` and select the
+    ``r``-th True column via a cumulative-sum argmax — O(rows * cols)
+    with no Python-level loop.
+    """
+    if mask.ndim != 2:
+        raise ConfigurationError("mask must be 2-d")
+    counts = mask.sum(axis=1)
+    out = np.full(mask.shape[0], IDLE, dtype=np.int64)
+    rows = np.nonzero(counts > 0)[0]
+    if rows.size == 0:
+        return out
+    sub = mask[rows]
+    # r-th (0-based) True entry of each row: first column where the
+    # cumulative count exceeds r.
+    r = rng.integers(0, counts[rows])
+    csum = np.cumsum(sub, axis=1)
+    out[rows] = np.argmax(csum > r[:, np.newaxis], axis=1)
+    return out
+
+
+class ColonyAlgorithm(abc.ABC):
+    """Vectorized per-ant algorithm run simultaneously by all ants.
+
+    Subclasses hold only *configuration*; all mutable per-run data lives
+    in the opaque state object created by :meth:`create_state`, so one
+    algorithm instance can drive many concurrent simulations.
+    """
+
+    #: Human-readable identifier (also the registry key).
+    name: str = "abstract"
+
+    #: Number of rounds per synchronized phase (2 for Algorithm Ant,
+    #: ``2m`` for Precise Sigmoid, ``r1+r2`` for Precise Adversarial,
+    #: 1 for the trivial algorithm).
+    phase_length: int = 1
+
+    @abc.abstractmethod
+    def create_state(
+        self,
+        n: int,
+        k: int,
+        initial_assignment: AssignmentVector,
+    ) -> Any:
+        """Allocate the per-run state for ``n`` ants and ``k`` tasks.
+
+        ``initial_assignment`` is adopted (copied) as the assignment at
+        time 0; algorithms must cope with *any* initial configuration
+        (self-stabilization).
+        """
+
+    @abc.abstractmethod
+    def step(
+        self,
+        state: Any,
+        t: int,
+        lack: LackMatrix,
+        rng: np.random.Generator,
+    ) -> AssignmentVector:
+        """Advance all ants through round ``t`` (1-based).
+
+        ``lack[i, j]`` is ant ``i``'s feedback for task ``j`` sampled from
+        the loads at time ``t-1`` (True == LACK).  Returns the assignment
+        vector in force during round ``t`` (a reference into ``state``;
+        callers must not mutate it).
+        """
+
+    def memory_bits(self, k: int) -> float:
+        """Per-ant memory the algorithm needs, in bits (for Theorem 3.3 context).
+
+        Default accounts for storing the current action (``log2(k+1)``);
+        subclasses add their sampling memory.
+        """
+        return float(np.log2(k + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, phase_length={self.phase_length})"

@@ -1,0 +1,105 @@
+"""Algorithm constants (Section 4 / Section 5 pseudocode).
+
+The paper fixes ``c_d = 19`` and ``c_s = 2.5`` for Algorithm Ant and
+``c_chi = 10`` for Algorithm Precise Sigmoid.  (The arXiv rendering of
+the pseudocode shows ``c_s <- 213``, a typesetting artifact: the analysis
+requires ``c_s >= 20/9 + 2/(c_d - 1) ~= 2.33`` for the stable zone to be
+unavoidable (proof of Claim 4.2), ``0.9 c_s >= 2`` (Claim 4.4) and
+``c_s < 1/(2 gamma) = 8`` at ``gamma = 1/16`` (Claim 4.1) — all of which
+``c_s = 2.5`` satisfies and ``213`` violates.)
+
+The constraint set is validated whenever custom constants are supplied,
+so configuration mistakes surface as :class:`ConfigurationError` at
+construction time instead of as silent non-convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AlgorithmConstants", "DEFAULT_CONSTANTS", "GAMMA_MAX"]
+
+#: Largest learning rate Theorem 3.1 permits (``gamma <= 1/16``).
+GAMMA_MAX: float = 1.0 / 16.0
+
+
+@dataclass(frozen=True)
+class AlgorithmConstants:
+    """The three constants parameterizing the paper's algorithms.
+
+    Attributes
+    ----------
+    c_s:
+        Temporary-pause coefficient: working ants pause for the second
+        sample with probability ``c_s * gamma``.  Controls how far apart
+        the two samples are spaced.
+    c_d:
+        Permanent-leave damping: ants seeing overload in both samples
+        leave with probability ``gamma / c_d``.
+    c_chi:
+        Step-size divisor of Algorithm Precise Sigmoid (step
+        ``eps * gamma / c_chi``).
+    """
+
+    c_s: float = 2.5
+    c_d: float = 19.0
+    c_chi: float = 10.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, gamma_max: float = GAMMA_MAX) -> None:
+        """Check the constraint set the Section 4 analysis relies on.
+
+        Raises :class:`ConfigurationError` listing every violated
+        constraint.
+        """
+        problems: list[str] = []
+        if self.c_d <= 1.0:
+            problems.append(f"c_d must be > 1 (got {self.c_d})")
+        else:
+            # Claim 4.2: no jumping over the stable zone.
+            floor = 20.0 / 9.0 + 2.0 / (self.c_d - 1.0)
+            if self.c_s < floor:
+                problems.append(
+                    f"c_s={self.c_s} < 20/9 + 2/(c_d-1) = {floor:.4f} (Claim 4.2)"
+                )
+        # Claim 4.4: second sample must exit the grey zone from above.
+        if 0.9 * self.c_s < 2.0:
+            problems.append(f"0.9*c_s = {0.9 * self.c_s:.3f} < 2 (Claim 4.4)")
+        # Claim 4.1: pause probability stays bounded at the largest gamma.
+        if self.c_s >= 1.0 / (2.0 * gamma_max):
+            problems.append(
+                f"c_s={self.c_s} >= 1/(2*gamma_max) = {1.0 / (2.0 * gamma_max):.3f} (Claim 4.1)"
+            )
+        if self.c_chi <= 1.0:
+            problems.append(f"c_chi must be > 1 (got {self.c_chi})")
+        if problems:
+            raise ConfigurationError(
+                "invalid algorithm constants: " + "; ".join(problems)
+            )
+
+    @property
+    def c_plus(self) -> float:
+        """Overload-region threshold coefficient ``c+ = 1.2 c_s`` (Section 4)."""
+        return 1.2 * self.c_s
+
+    @property
+    def c_minus(self) -> float:
+        """Lack-region threshold coefficient ``c- = 1 + 1.2 c_s`` (Section 4)."""
+        return 1.0 + 1.2 * self.c_s
+
+    def deficit_bound_coefficient(self) -> float:
+        """Coefficient of the steady-state per-task deficit bound.
+
+        Theorem 3.1 bounds the absolute deficit by ``5 gamma d(j) + 3`` in
+        all but ``O(k log n / gamma)`` rounds; the 5 is
+        ``max(c+, c-) + slack``.  Exposed for the analysis layer.
+        """
+        return 5.0
+
+
+#: The paper's constants.
+DEFAULT_CONSTANTS = AlgorithmConstants()

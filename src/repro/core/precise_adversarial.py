@@ -1,0 +1,209 @@
+"""Algorithm Precise Adversarial (Appendix C, Theorem 3.6).
+
+Achieves ``(1+eps)``-closeness under *adversarial* noise (the best
+possible up to ``1+eps``, by the Theorem 3.5 lower bound).  Each phase of
+``r1 + r2`` rounds (``r1 = ceil(32/eps)``, ``r2 = 4 r1``) has two
+sub-phases:
+
+sub-phase 1 (rounds ``1..r1``)
+    Working ants *gradually* drop out: each still-working ant pauses with
+    probability ``eps * gamma / 32`` per round, sweeping the load down in
+    fine steps of ``~eps*gamma/32`` per round.  Each ant remembers
+    ``rmin`` — the first round its own task's feedback flipped to LACK
+    (``r1`` if it never did).  At round ``r1`` the ant reverts to the
+    assignment it held *at round rmin*: idle if it had already paused by
+    then, otherwise its task.
+
+sub-phase 2 (rounds ``r1+1 .. r1+r2``)
+    Hold that reverted assignment for ``r2 = 4 r1`` rounds.  Because the
+    sweep crossed the grey zone slowly, the load at round ``rmin`` is
+    within ``~eps*gamma*d`` of the demand, so holding it makes the long
+    sub-phase nearly regret-free; the 4x length amortizes the sweep's
+    regret down to a ``(1+eps)`` factor.
+
+End of phase (round ``r1+r2``, i.e. ``t mod (r1+r2) == 0``)
+    Exactly as Algorithm Ant: an idle-at-phase-start ant joins a uniform
+    task whose feedback read LACK in **every** round of the phase; a
+    working ant leaves permanently w.p. ``eps*gamma/32`` if its task read
+    OVERLOAD in every round.
+
+The all-rounds join/leave conditions also make ants switch tasks far less
+often than Algorithm Ant (measured in experiment E9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import ColonyAlgorithm, uniform_row_choice
+from repro.core.constants import GAMMA_MAX
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE, AssignmentVector, LackMatrix
+from repro.util.validation import check_in_range
+
+__all__ = ["PreciseAdversarialAlgorithm", "PreciseAdversarialState"]
+
+#: Sentinel "never happened" round marker (larger than any r1).
+_NEVER = np.iinfo(np.int32).max
+
+
+@dataclass
+class PreciseAdversarialState:
+    """Mutable per-run state (struct of arrays)."""
+
+    assignment: AssignmentVector
+    current_task: AssignmentVector
+    all_lack: np.ndarray  # (n, k) bool: task read LACK in every round so far
+    all_overload_own: np.ndarray  # (n,) bool: own task read OVERLOAD every round
+    pause_round: np.ndarray  # (n,) int32: sub-phase-1 round the ant paused (_NEVER)
+    first_lack_round: np.ndarray  # (n,) int32: first round own task read LACK (_NEVER)
+
+    @property
+    def n(self) -> int:
+        return int(self.assignment.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.all_lack.shape[1])
+
+
+class PreciseAdversarialAlgorithm(ColonyAlgorithm):
+    """Algorithm Precise Adversarial with parameters ``gamma`` and ``eps``.
+
+    Parameters
+    ----------
+    gamma:
+        Learning rate, ``gamma* <= gamma <= 1/16`` (pseudocode header).
+    eps:
+        Precision parameter in ``(0, 1)``; closeness is ``(1+eps)`` and
+        phases have ``r1 + r2 = 5 * ceil(32/eps)`` rounds.
+    """
+
+    name = "precise_adversarial"
+
+    def __init__(self, gamma: float, eps: float) -> None:
+        self.gamma = check_in_range(
+            "gamma", gamma, 0.0, GAMMA_MAX, inclusive_low=False, inclusive_high=True
+        )
+        self.eps = check_in_range("eps", eps, 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+        self.r1 = int(math.ceil(32.0 / self.eps))
+        self.r2 = 4 * self.r1
+        self.phase_length = self.r1 + self.r2
+
+    @property
+    def pause_probability(self) -> float:
+        """Per-round gradual drop-out probability ``eps * gamma / 32``."""
+        return self.eps * self.gamma / 32.0
+
+    @property
+    def leave_probability(self) -> float:
+        """End-of-phase permanent leave probability ``eps * gamma / 32``."""
+        return self.eps * self.gamma / 32.0
+
+    # -- ColonyAlgorithm interface --------------------------------------------
+    def create_state(
+        self, n: int, k: int, initial_assignment: AssignmentVector
+    ) -> PreciseAdversarialState:
+        assignment = np.asarray(initial_assignment, dtype=np.int64).copy()
+        if assignment.shape != (n,):
+            raise ConfigurationError(f"initial assignment must have shape ({n},)")
+        return PreciseAdversarialState(
+            assignment=assignment,
+            current_task=assignment.copy(),
+            all_lack=np.ones((n, k), dtype=bool),
+            all_overload_own=np.ones(n, dtype=bool),
+            pause_round=np.full(n, _NEVER, dtype=np.int32),
+            first_lack_round=np.full(n, _NEVER, dtype=np.int32),
+        )
+
+    def step(
+        self,
+        state: PreciseAdversarialState,
+        t: int,
+        lack: LackMatrix,
+        rng: np.random.Generator,
+    ) -> AssignmentVector:
+        r = t % self.phase_length
+        if r == 1:
+            self._start_phase(state)
+        self._accumulate(state, r if r != 0 else self.phase_length, lack)
+        if 2 <= r < self.r1:
+            self._gradual_pause(state, r, rng)
+        elif r == self.r1:
+            self._revert_to_rmin(state)
+        elif r == 0:
+            self._decide(state, rng)
+        # rounds r1+1 .. r1+r2-1 (and r==1): hold current assignment.
+        return state.assignment
+
+    # -- sub-steps ----------------------------------------------------------
+    def _start_phase(self, state: PreciseAdversarialState) -> None:
+        np.copyto(state.current_task, state.assignment)
+        state.all_lack.fill(True)
+        state.all_overload_own.fill(True)
+        state.pause_round.fill(_NEVER)
+        state.first_lack_round.fill(_NEVER)
+
+    def _accumulate(self, state: PreciseAdversarialState, r: int, lack: LackMatrix) -> None:
+        """Fold round ``r``'s feedback into the phase accumulators."""
+        state.all_lack &= lack
+        working = state.current_task != IDLE
+        if np.any(working):
+            idx = np.nonzero(working)[0]
+            own_lack = lack[idx, state.current_task[idx]]
+            state.all_overload_own[idx] &= ~own_lack
+            # Record the first sub-phase-1 round whose own-task feedback
+            # read LACK (only rounds r < r1 count toward rmin).
+            if r < self.r1:
+                fresh = own_lack & (state.first_lack_round[idx] == _NEVER)
+                state.first_lack_round[idx[fresh]] = r
+        # Idle-at-phase-start ants vacuously keep all_overload_own; it is
+        # never consulted for them.
+
+    def _gradual_pause(
+        self, state: PreciseAdversarialState, r: int, rng: np.random.Generator
+    ) -> None:
+        still_working = (state.current_task != IDLE) & (state.assignment != IDLE)
+        pause = still_working & (rng.random(state.n) < self.pause_probability)
+        state.assignment[pause] = IDLE
+        state.pause_round[pause] = r
+
+    def _revert_to_rmin(self, state: PreciseAdversarialState) -> None:
+        """Round r1: adopt the assignment held at round rmin for sub-phase 2."""
+        working = state.current_task != IDLE
+        rmin = np.minimum(state.first_lack_round, self.r1)
+        # The ant was idle at round rmin iff it had paused by then.
+        was_idle_at_rmin = state.pause_round <= rmin
+        hold = np.where(was_idle_at_rmin, IDLE, state.current_task)
+        state.assignment[working] = hold[working]
+
+    def _decide(self, state: PreciseAdversarialState, rng: np.random.Generator) -> None:
+        was_idle = state.current_task == IDLE
+        working = ~was_idle
+        if np.any(was_idle):
+            lacked_all_phase = state.all_lack[was_idle]
+            state.assignment[was_idle] = uniform_row_choice(lacked_all_phase, rng)
+        if np.any(working):
+            idx = np.nonzero(working)[0]
+            tasks = state.current_task[idx]
+            leave = state.all_overload_own[idx] & (
+                rng.random(idx.size) < self.leave_probability
+            )
+            new_assign = tasks.copy()
+            new_assign[leave] = IDLE
+            state.assignment[idx] = new_assign
+
+    def memory_bits(self, k: int) -> float:
+        """O(log(1/eps)) bits: rmin / pause round counters + registers."""
+        return float(
+            2.0 * np.log2(k + 1) + k + 1 + 2.0 * np.log2(self.r1 + 1)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PreciseAdversarialAlgorithm(gamma={self.gamma:g}, eps={self.eps:g}, "
+            f"r1={self.r1}, r2={self.r2})"
+        )

@@ -1,0 +1,62 @@
+"""Algorithm registry: construct any algorithm by name.
+
+Used by the experiment CLI and sweep configs so algorithm choices are
+serializable strings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.ant import AntAlgorithm, OneSampleAntAlgorithm
+from repro.core.base import ColonyAlgorithm
+from repro.core.precise_adversarial import PreciseAdversarialAlgorithm
+from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
+from repro.core.scout import ScoutAntAlgorithm
+from repro.core.trivial import TrivialAlgorithm
+from repro.exceptions import ConfigurationError
+
+__all__ = ["make_algorithm", "available_algorithms", "register_algorithm"]
+
+_FACTORIES: dict[str, Callable[..., ColonyAlgorithm]] = {
+    "ant": AntAlgorithm,
+    "ant_one_sample": OneSampleAntAlgorithm,
+    "ant_scout": ScoutAntAlgorithm,
+    "precise_sigmoid": PreciseSigmoidAlgorithm,
+    "precise_adversarial": PreciseAdversarialAlgorithm,
+    "trivial": TrivialAlgorithm,
+}
+
+
+def register_algorithm(name: str, factory: Callable[..., ColonyAlgorithm]) -> None:
+    """Register a custom algorithm factory under ``name``.
+
+    Raises if the name is already taken (registries must be unambiguous).
+    """
+    if name in _FACTORIES:
+        raise ConfigurationError(f"algorithm {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_algorithms() -> list[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(_FACTORIES)
+
+
+def make_algorithm(name: str, **kwargs) -> ColonyAlgorithm:
+    """Instantiate a registered algorithm with keyword parameters.
+
+    Examples
+    --------
+    >>> make_algorithm("ant", gamma=0.05)           # doctest: +ELLIPSIS
+    AntAlgorithm(...)
+    >>> make_algorithm("precise_sigmoid", gamma=0.05, eps=0.25)  # doctest: +ELLIPSIS
+    PreciseSigmoidAlgorithm(...)
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; known: {available_algorithms()}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,140 @@
+"""Single-scout Algorithm Ant (Remark 3.4 extension).
+
+The paper remarks that collecting feedback from *all* tasks each round
+(as in [11]) is unnecessary: the algorithms work if each ant reads only
+one adaptively chosen task per round, changing only the initial cost.
+This variant implements that regime for Algorithm Ant:
+
+* a **working** ant reads only its own task's feedback (which is all
+  Algorithm Ant ever uses for the leave decision anyway);
+* an **idle** ant picks one *scout target* uniformly at random at the
+  start of each phase, reads only that task in both samples, and joins
+  it iff both reads are LACK.
+
+Per-ant memory shrinks from ``O(k)`` bits (the idle sample register) to
+two task registers and one bit — independent of ``k``.  The cost is a
+``~k``-fold slower recruitment when few tasks lack workers (an idle
+ant's scout hits a lacking task with probability ``~1/k``), i.e. a
+larger one-off/convergence term with the same steady-state closeness —
+exactly the Remark 3.4 tradeoff, measured in
+``tests/core/test_scout.py`` and the E4-style comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import ColonyAlgorithm
+from repro.core.constants import DEFAULT_CONSTANTS, GAMMA_MAX, AlgorithmConstants
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE, AssignmentVector, LackMatrix
+from repro.util.validation import check_in_range
+
+__all__ = ["ScoutAntAlgorithm", "ScoutAntState"]
+
+
+@dataclass
+class ScoutAntState:
+    """Struct-of-arrays state: one watched task and one sample bit per ant."""
+
+    assignment: AssignmentVector
+    current_task: AssignmentVector
+    scout_target: AssignmentVector  # task an idle ant watches this phase
+    s1_own: np.ndarray  # (n,) bool: first sample of the watched/own task
+
+    @property
+    def n(self) -> int:
+        return int(self.assignment.shape[0])
+
+
+class ScoutAntAlgorithm(ColonyAlgorithm):
+    """Algorithm Ant restricted to one feedback read per round (Remark 3.4).
+
+    Parameters match :class:`~repro.core.ant.AntAlgorithm`; the engine
+    still presents the full ``(n, k)`` feedback matrix, but each ant
+    consults exactly one column of its row, faithfully modelling the
+    single-read regime.
+    """
+
+    name = "ant_scout"
+    phase_length = 2
+
+    def __init__(
+        self,
+        gamma: float,
+        constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+    ) -> None:
+        self.gamma = check_in_range(
+            "gamma", gamma, 0.0, GAMMA_MAX, inclusive_low=False, inclusive_high=True
+        )
+        constants.validate(gamma_max=GAMMA_MAX)
+        self.constants = constants
+
+    @property
+    def pause_probability(self) -> float:
+        return min(self.constants.c_s * self.gamma, 1.0)
+
+    @property
+    def leave_probability(self) -> float:
+        return self.gamma / self.constants.c_d
+
+    def create_state(self, n: int, k: int, initial_assignment: AssignmentVector) -> ScoutAntState:
+        assignment = np.asarray(initial_assignment, dtype=np.int64).copy()
+        if assignment.shape != (n,):
+            raise ConfigurationError(f"initial assignment must have shape ({n},)")
+        return ScoutAntState(
+            assignment=assignment,
+            current_task=assignment.copy(),
+            scout_target=np.zeros(n, dtype=np.int64),
+            s1_own=np.zeros(n, dtype=bool),
+        )
+
+    def step(
+        self,
+        state: ScoutAntState,
+        t: int,
+        lack: LackMatrix,
+        rng: np.random.Generator,
+    ) -> AssignmentVector:
+        n = state.n
+        k = lack.shape[1]
+        if t % 2 == 1:
+            np.copyto(state.current_task, state.assignment)
+            idle = state.current_task == IDLE
+            # Idle ants re-target a uniformly random task each phase;
+            # working ants watch their own task.
+            state.scout_target[idle] = rng.integers(0, k, size=int(idle.sum()))
+            state.scout_target[~idle] = state.current_task[~idle]
+            rows = np.arange(n)
+            state.s1_own = lack[rows, state.scout_target].copy()
+            working = ~idle
+            pause = working & (rng.random(n) < self.pause_probability)
+            state.assignment[pause] = IDLE
+            keep = working & ~pause
+            state.assignment[keep] = state.current_task[keep]
+        else:
+            rows = np.arange(n)
+            s2_own = lack[rows, state.scout_target]
+            was_idle = state.current_task == IDLE
+            # Idle ants join their scout target iff both reads were LACK.
+            join = was_idle & state.s1_own & s2_own
+            state.assignment[was_idle] = IDLE
+            state.assignment[join] = state.scout_target[join]
+            # Working ants leave on double OVERLOAD with prob gamma/c_d.
+            working = ~was_idle
+            both_overload = working & ~state.s1_own & ~s2_own
+            leave = both_overload & (rng.random(n) < self.leave_probability)
+            resume = working & ~leave
+            state.assignment[resume] = state.current_task[resume]
+            state.assignment[leave] = IDLE
+        return state.assignment
+
+    def memory_bits(self, k: int) -> float:
+        """Two task registers + one sample bit; independent of k only in
+        the sample register (task ids still need log2(k+1) bits)."""
+        return float(2.0 * np.log2(k + 1) + 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScoutAntAlgorithm(gamma={self.gamma:g})"

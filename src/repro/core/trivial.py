@@ -1,0 +1,142 @@
+"""The trivial algorithm (Appendix D).
+
+Memoryless baseline: an idle ant that sees LACK anywhere joins a
+uniformly random lacking task; a working ant leaves as soon as its task
+reads OVERLOAD.  The paper analyzes it in two schedules:
+
+* **Sequential model** (Appendix D.1): one uniformly random ant acts per
+  round, on feedback of the previous round.  Converges to regret
+  ``Theta(gamma* sum_j d(j))`` — asymptotically matching the optimum —
+  because a slight overload is seen by every *subsequent* ant, which then
+  refrains from joining.
+* **Synchronous model** (Appendix D.2): all ants act simultaneously and
+  herd: from an empty task every idle ant joins at once, overshooting to
+  ``Theta(n)``, then all leave at once, and the colony oscillates between
+  ~0 and ~n workers for ``exp(Omega(n))`` steps.
+
+The class below implements the per-ant rule; the *schedule* is chosen by
+the engine (:class:`repro.sim.engine.Simulator` runs it synchronously,
+:class:`repro.sim.sequential.SequentialSimulator` one ant at a time).
+Experiments E10/E11 reproduce the convergence/divergence dichotomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import ColonyAlgorithm, uniform_row_choice
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE, AssignmentVector, LackMatrix
+
+__all__ = ["TrivialAlgorithm", "TrivialState"]
+
+
+@dataclass
+class TrivialState:
+    """State of the trivial algorithm: just the assignment (memoryless)."""
+
+    assignment: AssignmentVector
+
+    @property
+    def n(self) -> int:
+        return int(self.assignment.shape[0])
+
+
+class TrivialAlgorithm(ColonyAlgorithm):
+    """Appendix D baseline: join on LACK, leave on OVERLOAD, no memory.
+
+    Parameters
+    ----------
+    leave_probability:
+        Probability of leaving on OVERLOAD feedback (the paper's rule is
+        deterministic, i.e. 1.0; fractional values give a damped variant).
+    join_probability:
+        Probability that an idle ant seeing some lacking task attempts to
+        join at all (1.0 = the paper's rule).  Setting both probabilities
+        to a small ``q`` yields the *rate-limited* trivial baseline whose
+        synchronous oscillation amplitude shrinks from ``Theta(n)`` to
+        ``~q * n`` — but note ``q`` must be tuned to ``1/n``-ish scales
+        the ants cannot know, which is the paper's argument for a
+        different mechanism altogether.
+    """
+
+    name = "trivial"
+    phase_length = 1
+
+    def __init__(self, leave_probability: float = 1.0, join_probability: float = 1.0) -> None:
+        if not 0.0 < leave_probability <= 1.0:
+            raise ConfigurationError(
+                f"leave_probability must be in (0, 1], got {leave_probability}"
+            )
+        if not 0.0 < join_probability <= 1.0:
+            raise ConfigurationError(
+                f"join_probability must be in (0, 1], got {join_probability}"
+            )
+        self.leave_probability = float(leave_probability)
+        self.join_probability = float(join_probability)
+
+    def create_state(self, n: int, k: int, initial_assignment: AssignmentVector) -> TrivialState:
+        assignment = np.asarray(initial_assignment, dtype=np.int64).copy()
+        if assignment.shape != (n,):
+            raise ConfigurationError(f"initial assignment must have shape ({n},)")
+        return TrivialState(assignment=assignment)
+
+    def step(
+        self,
+        state: TrivialState,
+        t: int,
+        lack: LackMatrix,
+        rng: np.random.Generator,
+    ) -> AssignmentVector:
+        idle = state.assignment == IDLE
+        working = ~idle
+        if np.any(idle):
+            idx = np.nonzero(idle)[0]
+            if self.join_probability >= 1.0:
+                joiners = idx
+            else:
+                joiners = idx[rng.random(idx.size) < self.join_probability]
+            if joiners.size:
+                state.assignment[joiners] = uniform_row_choice(lack[joiners], rng)
+        if np.any(working):
+            idx = np.nonzero(working)[0]
+            tasks = state.assignment[idx]
+            overload_own = ~lack[idx, tasks]
+            if self.leave_probability >= 1.0:
+                leave = overload_own
+            else:
+                leave = overload_own & (rng.random(idx.size) < self.leave_probability)
+            state.assignment[idx[leave]] = IDLE
+        return state.assignment
+
+    def step_single(
+        self,
+        state: TrivialState,
+        ant: int,
+        lack_row: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Apply the rule to one ant (the Appendix D.1 sequential schedule).
+
+        ``lack_row`` is the ant's feedback vector of shape ``(k,)``.
+        """
+        a = int(state.assignment[ant])
+        if a == IDLE:
+            if self.join_probability < 1.0 and rng.random() >= self.join_probability:
+                return
+            lacking = np.nonzero(lack_row)[0]
+            if lacking.size > 0:
+                state.assignment[ant] = int(lacking[rng.integers(lacking.size)])
+        else:
+            if not lack_row[a] and (
+                self.leave_probability >= 1.0 or rng.random() < self.leave_probability
+            ):
+                state.assignment[ant] = IDLE
+
+    def memory_bits(self, k: int) -> float:
+        return float(np.log2(k + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrivialAlgorithm(leave_probability={self.leave_probability:g})"

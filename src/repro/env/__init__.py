@@ -1,0 +1,82 @@
+"""Environment substrate: demands, noise models, critical value.
+
+This subpackage implements everything the ants' world consists of in the
+paper's model (Section 2): the demand vector with Assumptions 2.1, the two
+noise models (sigmoid, adversarial) plus the noise-free baseline feedback
+of Cornejo et al. [11], the critical value / grey zone machinery, and
+pluggable adversary strategies for the grey zone.
+"""
+
+from repro.env.demands import (
+    DemandVector,
+    DemandSchedule,
+    StaticDemandSchedule,
+    StepDemandSchedule,
+    PeriodicDemandSchedule,
+    uniform_demands,
+    proportional_demands,
+)
+from repro.env.population import (
+    PopulationSchedule,
+    StaticPopulation,
+    StepPopulation,
+    apply_population_change,
+)
+from repro.env.critical import (
+    critical_value_sigmoid,
+    lambda_for_critical_value,
+    grey_zone,
+    GreyZone,
+)
+from repro.env.feedback import (
+    FeedbackModel,
+    SigmoidFeedback,
+    AdversarialFeedback,
+    ExactBinaryFeedback,
+    CorrelatedSigmoidFeedback,
+    ThresholdFeedback,
+)
+from repro.env.adversary import (
+    AdversaryStrategy,
+    CorrectInGreyZone,
+    InvertedInGreyZone,
+    AlwaysLackInGreyZone,
+    AlwaysOverloadInGreyZone,
+    RandomInGreyZone,
+    PushAwayFromDemand,
+    IndistinguishableDemandAdversary,
+    make_adversary,
+)
+
+__all__ = [
+    "DemandVector",
+    "DemandSchedule",
+    "StaticDemandSchedule",
+    "StepDemandSchedule",
+    "PeriodicDemandSchedule",
+    "uniform_demands",
+    "proportional_demands",
+    "PopulationSchedule",
+    "StaticPopulation",
+    "StepPopulation",
+    "apply_population_change",
+    "critical_value_sigmoid",
+    "lambda_for_critical_value",
+    "grey_zone",
+    "GreyZone",
+    "FeedbackModel",
+    "SigmoidFeedback",
+    "AdversarialFeedback",
+    "ExactBinaryFeedback",
+    "CorrelatedSigmoidFeedback",
+    "ThresholdFeedback",
+    "AdversaryStrategy",
+    "CorrectInGreyZone",
+    "InvertedInGreyZone",
+    "AlwaysLackInGreyZone",
+    "AlwaysOverloadInGreyZone",
+    "RandomInGreyZone",
+    "PushAwayFromDemand",
+    "IndistinguishableDemandAdversary",
+    "make_adversary",
+]

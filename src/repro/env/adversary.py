@@ -1,0 +1,213 @@
+"""Grey-zone adversary strategies for the adversarial noise model.
+
+Inside the grey zone the adversarial model allows *arbitrary* feedback
+(Section 2.2).  A strategy receives the grey-zone tasks of the current
+round and returns their signals, either shared by all ants (shape
+``(g,)``) or per-ant (shape ``(n_ants, g)``), where ``g`` is the number of
+grey tasks.  Strategies may keep state across rounds (``reset()`` clears
+it), which the Theorem 3.5 lower-bound adversary uses.
+
+Implemented strategies
+----------------------
+* :class:`CorrectInGreyZone` — benign: sign of the true deficit.
+* :class:`InvertedInGreyZone` — malicious: always the wrong sign.
+* :class:`AlwaysLackInGreyZone`, :class:`AlwaysOverloadInGreyZone` —
+  constant pressure in one direction.
+* :class:`RandomInGreyZone` — fair-coin feedback per ant.
+* :class:`PushAwayFromDemand` — drives the load away from the demand:
+  reports LACK when overloaded and OVERLOAD when lacking (the natural
+  "worst case" for gradient-like algorithms).
+* :class:`IndistinguishableDemandAdversary` — the Theorem 3.5
+  construction: answers as if the grey-zone boundary were shifted so the
+  transcript is identical for two demand vectors ``d`` and ``d - 2 tau``,
+  forcing regret ``>= (1-o(1)) t gamma* sum d`` on any algorithm.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "AdversaryStrategy",
+    "CorrectInGreyZone",
+    "InvertedInGreyZone",
+    "AlwaysLackInGreyZone",
+    "AlwaysOverloadInGreyZone",
+    "RandomInGreyZone",
+    "PushAwayFromDemand",
+    "IndistinguishableDemandAdversary",
+    "make_adversary",
+]
+
+
+class AdversaryStrategy(abc.ABC):
+    """Chooses feedback for tasks whose deficit lies inside the grey zone."""
+
+    @abc.abstractmethod
+    def grey_feedback(
+        self,
+        *,
+        t: int,
+        deficits: np.ndarray,
+        demands: np.ndarray,
+        grey_mask: np.ndarray,
+        n_ants: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Signals for grey tasks; True == LACK.
+
+        Parameters
+        ----------
+        t:
+            Current round number (1-based).
+        deficits, demands:
+            Full per-task vectors (shape ``(k,)``).
+        grey_mask:
+            Boolean mask (shape ``(k,)``) of tasks in the grey zone.
+        n_ants:
+            Number of ants receiving feedback this round.
+        rng:
+            Random generator (strategies may be randomized).
+
+        Returns
+        -------
+        Array of shape ``(g,)`` (shared across ants) or ``(n_ants, g)``
+        where ``g = grey_mask.sum()``.
+        """
+
+    def reset(self) -> None:
+        """Forget all cross-round state.  Default: stateless no-op."""
+
+
+class CorrectInGreyZone(AdversaryStrategy):
+    """Benign adversary: reports the true sign of the deficit.
+
+    Ties (deficit exactly 0) read LACK, matching the noise-free model of
+    [11] where load equal to demand still reads lack.
+    """
+
+    def grey_feedback(self, *, t, deficits, demands, grey_mask, n_ants, rng):
+        return deficits[grey_mask] >= 0.0
+
+
+class InvertedInGreyZone(AdversaryStrategy):
+    """Malicious adversary: always reports the wrong sign."""
+
+    def grey_feedback(self, *, t, deficits, demands, grey_mask, n_ants, rng):
+        return deficits[grey_mask] < 0.0
+
+
+class AlwaysLackInGreyZone(AdversaryStrategy):
+    """Reports LACK for every grey task, luring idle ants to pile on."""
+
+    def grey_feedback(self, *, t, deficits, demands, grey_mask, n_ants, rng):
+        return np.ones(int(grey_mask.sum()), dtype=bool)
+
+
+class AlwaysOverloadInGreyZone(AdversaryStrategy):
+    """Reports OVERLOAD for every grey task, bleeding workers away."""
+
+    def grey_feedback(self, *, t, deficits, demands, grey_mask, n_ants, rng):
+        return np.zeros(int(grey_mask.sum()), dtype=bool)
+
+
+class RandomInGreyZone(AdversaryStrategy):
+    """Fair-coin feedback, independently per ant and task.
+
+    This makes the adversarial model look locally like the sigmoid model
+    at deficit 0 (where ``s(0) = 1/2``).
+    """
+
+    def grey_feedback(self, *, t, deficits, demands, grey_mask, n_ants, rng):
+        g = int(grey_mask.sum())
+        return rng.random((n_ants, g)) < 0.5
+
+
+class PushAwayFromDemand(AdversaryStrategy):
+    """Destabilizing adversary: amplifies whatever imbalance exists.
+
+    Overloaded task (deficit < 0) -> LACK (recruit even more ants);
+    lacking task (deficit >= 0) -> OVERLOAD (drive workers away).
+    This is the pointwise-worst feedback for gradient-descent-like
+    algorithms and is used in robustness tests of Algorithm Ant.
+    """
+
+    def grey_feedback(self, *, t, deficits, demands, grey_mask, n_ants, rng):
+        return deficits[grey_mask] < 0.0
+
+
+class IndistinguishableDemandAdversary(AdversaryStrategy):
+    """The Theorem 3.5 lower-bound construction.
+
+    Consider demands ``d`` and ``d' = d - 2 tau`` with
+    ``tau = (1-o(1)) gamma_ad d``.  The adversary answers
+
+    * under ``d`` : LACK iff ``Delta >= -gamma_ad d``   (lower boundary),
+    * under ``d'``: LACK iff ``Delta' >= +gamma_ad d'`` (upper boundary),
+
+    which produce *identical transcripts* for every load history, so no
+    algorithm can tell the two worlds apart; whatever load it settles on
+    is ``>= tau`` away from the demand in at least one world.  In the
+    simulator we pick one world (``which``) and emit its boundary rule;
+    the harness runs both worlds with the same algorithm seed and adds the
+    regrets (experiment E8).
+
+    Parameters
+    ----------
+    gamma_ad:
+        Grey-zone parameter; must match the enclosing
+        :class:`~repro.env.feedback.AdversarialFeedback`.
+    which:
+        ``"low"`` for world ``d`` (boundary at ``-gamma_ad d``) or
+        ``"high"`` for world ``d'`` (boundary at ``+gamma_ad d'``).
+    """
+
+    def __init__(self, gamma_ad: float, which: str = "low") -> None:
+        if which not in ("low", "high"):
+            raise ConfigurationError(f"which must be 'low' or 'high', got {which!r}")
+        if not 0.0 < gamma_ad < 1.0:
+            raise ConfigurationError(f"gamma_ad must be in (0,1), got {gamma_ad}")
+        self.gamma_ad = float(gamma_ad)
+        self.which = which
+
+    def grey_feedback(self, *, t, deficits, demands, grey_mask, n_ants, rng):
+        half = self.gamma_ad * demands[grey_mask]
+        delta = deficits[grey_mask]
+        if self.which == "low":
+            return delta >= -half
+        return delta >= half
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndistinguishableDemandAdversary(gamma_ad={self.gamma_ad:g}, which={self.which!r})"
+
+
+_REGISTRY: dict[str, type[AdversaryStrategy]] = {
+    "correct": CorrectInGreyZone,
+    "inverted": InvertedInGreyZone,
+    "always_lack": AlwaysLackInGreyZone,
+    "always_overload": AlwaysOverloadInGreyZone,
+    "random": RandomInGreyZone,
+    "push_away": PushAwayFromDemand,
+}
+
+
+def make_adversary(name: str, **kwargs) -> AdversaryStrategy:
+    """Instantiate a registered adversary strategy by name.
+
+    ``indistinguishable`` requires ``gamma_ad`` (and optional ``which``);
+    all other registered strategies take no arguments.
+    """
+    if name == "indistinguishable":
+        return IndistinguishableDemandAdversary(**kwargs)
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = sorted(_REGISTRY) + ["indistinguishable"]
+        raise ConfigurationError(f"unknown adversary {name!r}; known: {known}") from None
+    if kwargs:
+        raise ConfigurationError(f"adversary {name!r} takes no arguments, got {kwargs}")
+    return cls()

@@ -1,0 +1,167 @@
+"""Critical value and grey zone (Definition 2.3).
+
+The *critical value* ``gamma*`` is the relative deficit at which feedback
+becomes reliable: for the sigmoid model it is the smallest ``c`` such that
+``s(-c * d(j)) <= p_fail`` for **all** tasks ``j`` (the paper uses
+``p_fail = 1/n^8``); for the adversarial model it is the model parameter
+``gamma_ad`` itself.
+
+Solving ``1/(1+exp(lambda c d)) = p_fail`` gives
+
+    ``gamma* = logit(1 - p_fail) / (lambda * min_j d(j))``
+             ``= ln((1-p_fail)/p_fail) / (lambda * d_min)``.
+
+For laptop-scale ``n`` the literal ``1/n^8`` would force either a huge
+``lambda`` or a ``gamma*`` near ``1/2``; the failure probability is
+therefore a parameter (default the paper's ``n**-8``), and
+:func:`lambda_for_critical_value` inverts the relation so experiments can
+*choose* ``gamma*`` and derive the sigmoid steepness — the calibration
+"substitution" documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.demands import DemandVector
+from repro.exceptions import ConfigurationError
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "critical_value_sigmoid",
+    "lambda_for_critical_value",
+    "grey_zone",
+    "GreyZone",
+]
+
+
+def _logit_reliability(p_fail: float) -> float:
+    """``ln((1-p)/p)``, the sigmoid argument at which failure prob is ``p``."""
+    check_in_range("p_fail", p_fail, 0.0, 0.5, inclusive_low=False, inclusive_high=False)
+    return math.log((1.0 - p_fail) / p_fail)
+
+
+def critical_value_sigmoid(
+    demands: DemandVector | np.ndarray,
+    lam: float,
+    *,
+    n: int | None = None,
+    p_fail: float | None = None,
+) -> float:
+    """Critical value ``gamma*`` for the sigmoid noise model.
+
+    Parameters
+    ----------
+    demands:
+        Demand vector (or raw array of demands).
+    lam:
+        Sigmoid steepness ``lambda``.
+    n:
+        Colony size; required when ``p_fail`` is None (to form ``n**-8``)
+        and ``demands`` is a raw array.
+    p_fail:
+        Per-(ant, task, round) feedback failure probability outside the
+        grey zone.  Defaults to the paper's ``n**-8``.
+
+    Returns
+    -------
+    ``gamma* = ln((1-p_fail)/p_fail) / (lambda * d_min)``.  Note the paper
+    assumes ``gamma* < 1/2``; a warning-level check raises if the computed
+    value is >= 1 (feedback would never be reliable at any sub-demand
+    deficit), since no theorem applies there.
+    """
+    check_positive("lam", lam)
+    if isinstance(demands, DemandVector):
+        d_min = demands.min_demand
+        if n is None:
+            n = demands.n
+    else:
+        arr = np.asarray(demands, dtype=np.int64)
+        if arr.size == 0 or np.any(arr <= 0):
+            raise ConfigurationError("demands must be positive")
+        d_min = int(arr.min())
+    if p_fail is None:
+        if n is None:
+            raise ConfigurationError("n is required when p_fail is not given")
+        p_fail = float(n) ** -8
+        # Guard against underflow to 0 for large n.
+        p_fail = max(p_fail, 1e-300)
+    gamma_star = _logit_reliability(p_fail) / (lam * d_min)
+    if gamma_star >= 1.0:
+        raise ConfigurationError(
+            f"computed gamma*={gamma_star:.3f} >= 1: the sigmoid (lambda={lam}) is too "
+            f"flat for these demands; increase lambda or p_fail"
+        )
+    return gamma_star
+
+
+def lambda_for_critical_value(
+    demands: DemandVector | np.ndarray,
+    gamma_star: float,
+    *,
+    n: int | None = None,
+    p_fail: float | None = None,
+) -> float:
+    """Sigmoid steepness ``lambda`` that realizes a desired ``gamma*``.
+
+    Inverse of :func:`critical_value_sigmoid`; used by experiments that
+    sweep ``gamma*`` directly ("calibrated sigmoid").
+    """
+    check_in_range("gamma_star", gamma_star, 0.0, 1.0, inclusive_low=False, inclusive_high=False)
+    if isinstance(demands, DemandVector):
+        d_min = demands.min_demand
+        if n is None:
+            n = demands.n
+    else:
+        arr = np.asarray(demands, dtype=np.int64)
+        if arr.size == 0 or np.any(arr <= 0):
+            raise ConfigurationError("demands must be positive")
+        d_min = int(arr.min())
+    if p_fail is None:
+        if n is None:
+            raise ConfigurationError("n is required when p_fail is not given")
+        p_fail = max(float(n) ** -8, 1e-300)
+    return _logit_reliability(p_fail) / (gamma_star * d_min)
+
+
+@dataclass(frozen=True)
+class GreyZone:
+    """The per-task deficit band where feedback is unreliable.
+
+    ``g_j = [-gamma* d(j), +gamma* d(j)]`` (Definition 2.3).
+    """
+
+    gamma_star: float
+    demands: np.ndarray
+
+    @property
+    def half_widths(self) -> np.ndarray:
+        """``gamma* * d(j)`` per task."""
+        return self.gamma_star * self.demands.astype(np.float64)
+
+    def contains(self, deficits: np.ndarray) -> np.ndarray:
+        """Boolean mask of tasks whose deficit lies inside the grey zone."""
+        deficits = np.asarray(deficits, dtype=np.float64)
+        return np.abs(deficits) <= self.half_widths
+
+    def signed_excess(self, deficits: np.ndarray) -> np.ndarray:
+        """How far (signed) each deficit sits outside its grey zone (0 inside)."""
+        deficits = np.asarray(deficits, dtype=np.float64)
+        hw = self.half_widths
+        return np.sign(deficits) * np.maximum(np.abs(deficits) - hw, 0.0)
+
+
+def grey_zone(demands: DemandVector | np.ndarray, gamma_star: float) -> GreyZone:
+    """Construct the :class:`GreyZone` for a demand vector."""
+    check_in_range("gamma_star", gamma_star, 0.0, 1.0, inclusive_low=False)
+    arr = (
+        demands.as_array()
+        if isinstance(demands, DemandVector)
+        else np.asarray(demands, dtype=np.int64)
+    )
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ConfigurationError("demands must be positive")
+    return GreyZone(gamma_star=float(gamma_star), demands=arr)

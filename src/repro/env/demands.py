@@ -1,0 +1,324 @@
+"""Demand vectors and demand schedules.
+
+The paper fixes a demand vector ``d`` with two structural assumptions
+(Assumptions 2.1):
+
+* every demand is at least logarithmic in the colony size,
+  ``d(j) = Omega(log n)``, and
+* there is slack: ``sum_j d(j) <= n/2`` (relaxable to
+  ``sum_j (1 + 5 gamma*) d(j) <= c* n`` for a constant ``c* < 1``,
+  Remark at end of Section 3.3).
+
+Remark 3.4 notes the algorithms are self-stabilizing and therefore handle
+*changing* demands for free; we model that with :class:`DemandSchedule`
+objects that map a round number to a demand vector, which the experiment
+harness uses for the dynamic-demand reproduction (E13).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AssumptionViolation, ConfigurationError
+from repro.types import IntTaskVector
+from repro.util.validation import check_integer, check_positive
+
+__all__ = [
+    "DemandVector",
+    "DemandSchedule",
+    "StaticDemandSchedule",
+    "StepDemandSchedule",
+    "PeriodicDemandSchedule",
+    "uniform_demands",
+    "proportional_demands",
+]
+
+
+@dataclass(frozen=True)
+class DemandVector:
+    """Validated demand vector ``d`` for a colony of ``n`` ants.
+
+    Parameters
+    ----------
+    demands:
+        Per-task demands, positive integers, shape ``(k,)``.
+    n:
+        Colony size.
+    strict:
+        When True (default) enforce Assumptions 2.1; when False only basic
+        sanity (positivity, ``sum <= n``) is checked, which out-of-model
+        experiments (e.g. the trivial-algorithm divergence demo with
+        ``d = n/4``) rely on.
+    log_floor_factor:
+        The constant in ``d(j) >= log_floor_factor * ln(n)`` used by the
+        strict check.  The paper only requires Omega(log n); a factor of 1
+        is the pragmatic default.
+    """
+
+    demands: IntTaskVector
+    n: int
+    strict: bool = True
+    log_floor_factor: float = 1.0
+    slack_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.demands, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigurationError("demands must be a non-empty 1-d vector")
+        if np.any(arr <= 0):
+            raise ConfigurationError("every demand must be a positive integer")
+        object.__setattr__(self, "demands", arr)
+        object.__setattr__(self, "n", check_integer("n", self.n, minimum=1))
+        check_positive("log_floor_factor", self.log_floor_factor)
+        check_positive("slack_fraction", self.slack_fraction)
+        total = int(arr.sum())
+        if total > self.n:
+            raise ConfigurationError(
+                f"total demand {total} exceeds the number of ants n={self.n}"
+            )
+        if self.strict:
+            floor = self.log_floor_factor * math.log(max(self.n, 2))
+            if np.any(arr < floor):
+                raise AssumptionViolation(
+                    f"Assumptions 2.1 require d(j) = Omega(log n); "
+                    f"minimum demand {int(arr.min())} < {floor:.2f} "
+                    f"(pass strict=False for out-of-model experiments)"
+                )
+            if total > self.slack_fraction * self.n:
+                raise AssumptionViolation(
+                    f"Assumptions 2.1 require sum of demands <= {self.slack_fraction}*n; "
+                    f"got {total} > {self.slack_fraction * self.n:.1f}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of tasks."""
+        return int(self.demands.size)
+
+    @property
+    def total(self) -> int:
+        """Sum of demands ``sum_j d(j)``."""
+        return int(self.demands.sum())
+
+    @property
+    def min_demand(self) -> int:
+        """Smallest demand, which controls the critical value."""
+        return int(self.demands.min())
+
+    def as_array(self) -> IntTaskVector:
+        """Return the underlying (copied) integer demand array."""
+        return self.demands.copy()
+
+    def deficits(self, loads: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Per-task deficits ``Delta(j) = d(j) - W(j)`` for given loads."""
+        loads = np.asarray(loads, dtype=np.int64)
+        if loads.shape != self.demands.shape:
+            raise ConfigurationError(
+                f"loads shape {loads.shape} does not match demands {self.demands.shape}"
+            )
+        return self.demands - loads
+
+    def slack_ok_for_gamma(self, gamma_star: float, c_star: float = 0.95) -> bool:
+        """Check the relaxed slack condition ``sum (1+5 gamma*) d <= c* n``.
+
+        This is the weakest form of Assumptions 2.1 the proofs need
+        (Section 3.3, final remark).
+        """
+        return (1.0 + 5.0 * gamma_star) * self.total <= c_star * self.n
+
+    def with_demands(self, new_demands: Iterable[int]) -> "DemandVector":
+        """Return a copy with a different demand array (same n / flags)."""
+        return DemandVector(
+            demands=np.asarray(list(new_demands), dtype=np.int64),
+            n=self.n,
+            strict=self.strict,
+            log_floor_factor=self.log_floor_factor,
+            slack_fraction=self.slack_fraction,
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+
+
+def uniform_demands(n: int, k: int, *, load_fraction: float = 0.5, strict: bool = True) -> DemandVector:
+    """Build ``k`` equal demands consuming ``load_fraction`` of ``n`` ants.
+
+    ``load_fraction=0.5`` saturates the Assumptions 2.1 slack exactly.
+    """
+    n = check_integer("n", n, minimum=1)
+    k = check_integer("k", k, minimum=1)
+    check_positive("load_fraction", load_fraction)
+    per_task = int(load_fraction * n / k)
+    if per_task < 1:
+        raise ConfigurationError(
+            f"n={n}, k={k}, load_fraction={load_fraction} leaves no ants per task"
+        )
+    return DemandVector(np.full(k, per_task, dtype=np.int64), n=n, strict=strict)
+
+
+def proportional_demands(
+    n: int,
+    weights: Sequence[float],
+    *,
+    load_fraction: float = 0.5,
+    strict: bool = True,
+) -> DemandVector:
+    """Split ``load_fraction * n`` ants across tasks proportionally to ``weights``.
+
+    Weights need not be normalized.  Rounding is largest-remainder so the
+    total is exactly ``floor(load_fraction * n)`` (then clipped to >= 1 per
+    task, shaving the excess off the largest task).
+    """
+    n = check_integer("n", n, minimum=1)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0 or np.any(w <= 0):
+        raise ConfigurationError("weights must be a non-empty vector of positive numbers")
+    budget = int(load_fraction * n)
+    if budget < w.size:
+        raise ConfigurationError("not enough ants to give every task demand >= 1")
+    shares = w / w.sum() * budget
+    base = np.floor(shares).astype(np.int64)
+    remainder = budget - int(base.sum())
+    # Largest fractional remainders get the leftover ants.
+    order = np.argsort(-(shares - base))
+    base[order[:remainder]] += 1
+    base = np.maximum(base, 1)
+    excess = int(base.sum()) - budget
+    if excess > 0:
+        base[np.argmax(base)] -= excess
+    return DemandVector(base, n=n, strict=strict)
+
+
+# ----------------------------------------------------------------------
+# Schedules (dynamic demands, Remark 3.4 / experiment E13)
+
+
+class DemandSchedule:
+    """Maps a round number ``t >= 0`` to the demand vector in force.
+
+    Subclasses implement :meth:`demands_at`.  The simulator queries the
+    schedule once per round; schedules must be pure functions of ``t``.
+    """
+
+    def demands_at(self, t: int) -> DemandVector:
+        """Demand vector in force during round ``t``."""
+        raise NotImplementedError
+
+    @property
+    def k(self) -> int:
+        """Number of tasks (constant across the schedule)."""
+        return self.demands_at(0).k
+
+    @property
+    def n(self) -> int:
+        """Colony size (constant across the schedule)."""
+        return self.demands_at(0).n
+
+    def change_points(self, horizon: int) -> list[int]:
+        """Rounds ``t`` in ``[1, horizon]`` where the demands differ from ``t-1``.
+
+        The default implementation scans; subclasses with analytic change
+        points may override.
+        """
+        points: list[int] = []
+        prev = self.demands_at(0).demands
+        for t in range(1, horizon + 1):
+            cur = self.demands_at(t).demands
+            if not np.array_equal(cur, prev):
+                points.append(t)
+                prev = cur
+        return points
+
+
+@dataclass(frozen=True)
+class StaticDemandSchedule(DemandSchedule):
+    """Constant demands for all time (the paper's base model)."""
+
+    demand: DemandVector
+
+    def demands_at(self, t: int) -> DemandVector:
+        return self.demand
+
+    def change_points(self, horizon: int) -> list[int]:
+        return []
+
+
+@dataclass(frozen=True)
+class StepDemandSchedule(DemandSchedule):
+    """Piecewise-constant demands: ``steps[i] = (start_round, demand)``.
+
+    ``steps`` must be sorted by ``start_round`` with ``steps[0][0] == 0``;
+    all demand vectors must share ``n`` and ``k``.
+    """
+
+    steps: tuple[tuple[int, DemandVector], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ConfigurationError("StepDemandSchedule needs at least one step")
+        starts = [s for s, _ in self.steps]
+        if starts[0] != 0:
+            raise ConfigurationError("first step must start at round 0")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ConfigurationError("step start rounds must be strictly increasing")
+        ks = {d.k for _, d in self.steps}
+        ns = {d.n for _, d in self.steps}
+        if len(ks) != 1 or len(ns) != 1:
+            raise ConfigurationError("all steps must share the same k and n")
+
+    def demands_at(self, t: int) -> DemandVector:
+        current = self.steps[0][1]
+        for start, demand in self.steps:
+            if t >= start:
+                current = demand
+            else:
+                break
+        return current
+
+    def change_points(self, horizon: int) -> list[int]:
+        return [s for s, _ in self.steps[1:] if 1 <= s <= horizon]
+
+
+@dataclass(frozen=True)
+class PeriodicDemandSchedule(DemandSchedule):
+    """Cycles through ``phases`` demand vectors, each held ``period`` rounds.
+
+    Models diurnal demand patterns (e.g. foraging demand high by day,
+    brood care high by night) — the motivating scenario for the paper's
+    self-stabilization claims.
+    """
+
+    phases: tuple[DemandVector, ...]
+    period: int = field(default=1000)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("PeriodicDemandSchedule needs at least one phase")
+        check_integer("period", self.period, minimum=1)
+        ks = {d.k for d in self.phases}
+        ns = {d.n for d in self.phases}
+        if len(ks) != 1 or len(ns) != 1:
+            raise ConfigurationError("all phases must share the same k and n")
+
+    def demands_at(self, t: int) -> DemandVector:
+        idx = (t // self.period) % len(self.phases)
+        return self.phases[idx]
+
+    def change_points(self, horizon: int) -> list[int]:
+        if len(self.phases) == 1:
+            return []
+        pts = []
+        t = self.period
+        while t <= horizon:
+            prev = self.demands_at(t - 1).demands
+            cur = self.demands_at(t).demands
+            if not np.array_equal(prev, cur):
+                pts.append(t)
+            t += self.period
+        return pts

@@ -1,0 +1,121 @@
+"""Colony-size schedules: ants dying and eclosing (emerging) mid-run.
+
+The paper's conclusion highlights that Algorithm Ant is resilient to
+"changes of the number of ants".  A :class:`PopulationSchedule` maps a
+round number to the colony size ``n(t)``; the counting engine applies
+the difference each round — deaths strike uniformly at random across
+the colony (so tasks lose workers in proportion to their loads, drawn
+multivariate-hypergeometrically), and new ants start idle, exactly as a
+newly eclosed worker would.
+
+Only the counting engine supports dynamic populations (the agent
+engine's per-ant arrays are fixed-size); experiment E4-style shocks can
+also be modelled there by restarting from a thinned load vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.util.validation import check_integer
+
+__all__ = [
+    "PopulationSchedule",
+    "StaticPopulation",
+    "StepPopulation",
+    "apply_population_change",
+]
+
+
+class PopulationSchedule:
+    """Maps a round ``t >= 0`` to the number of living ants."""
+
+    def population_at(self, t: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def max_population(self) -> int:
+        """Upper bound on ``n(t)`` (used for capacity checks)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StaticPopulation(PopulationSchedule):
+    """Constant colony size (the paper's base model)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        check_integer("n", self.n, minimum=1)
+
+    def population_at(self, t: int) -> int:
+        return self.n
+
+    @property
+    def max_population(self) -> int:
+        return self.n
+
+
+@dataclass(frozen=True)
+class StepPopulation(PopulationSchedule):
+    """Piecewise-constant colony size: ``steps[i] = (start_round, n)``.
+
+    Models die-offs (predation, winter) and brood eclosion waves.
+    """
+
+    steps: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ConfigurationError("StepPopulation needs at least one step")
+        starts = [s for s, _ in self.steps]
+        if starts[0] != 0:
+            raise ConfigurationError("first step must start at round 0")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ConfigurationError("step start rounds must be strictly increasing")
+        for _, n in self.steps:
+            check_integer("n", n, minimum=1)
+
+    def population_at(self, t: int) -> int:
+        current = self.steps[0][1]
+        for start, n in self.steps:
+            if t >= start:
+                current = n
+            else:
+                break
+        return current
+
+    @property
+    def max_population(self) -> int:
+        return max(n for _, n in self.steps)
+
+
+def apply_population_change(
+    loads: np.ndarray,
+    idle: int,
+    new_n: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, int]:
+    """Resize a colony described by ``(loads, idle)`` to ``new_n`` ants.
+
+    Deaths remove ants uniformly at random from the whole colony
+    (multivariate hypergeometric across tasks and the idle pool);
+    arrivals join the idle pool.  Returns the new ``(loads, idle)``.
+    """
+    loads = np.asarray(loads, dtype=np.int64)
+    current = int(loads.sum()) + idle
+    if new_n == current:
+        return loads, idle
+    if new_n > current:
+        return loads, idle + (new_n - current)
+    deaths = current - new_n
+    pools = np.concatenate([loads, [idle]])
+    if deaths > current:
+        raise ConfigurationError(f"cannot remove {deaths} ants from a colony of {current}")
+    removed = rng.multivariate_hypergeometric(pools, deaths)
+    new_loads = loads - removed[:-1]
+    new_idle = idle - int(removed[-1])
+    return new_loads.astype(np.int64), new_idle

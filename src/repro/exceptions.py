@@ -1,0 +1,44 @@
+"""Typed exceptions raised by the library.
+
+Every invalid-configuration path raises a subclass of :class:`ReproError`
+so callers can catch library errors without masking programming bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An algorithm / environment / experiment was configured inconsistently.
+
+    Examples: negative demand, ``gamma`` outside the range required by
+    Theorem 3.1, phase length that is not an even number of rounds.
+    """
+
+
+class AssumptionViolation(ConfigurationError):
+    """A paper assumption (Assumptions 2.1 / 2.2) does not hold.
+
+    Raised by the strict validators; most constructors accept
+    ``strict=False`` to allow deliberately out-of-model experiments
+    (e.g. the trivial-algorithm divergence demo uses ``d = n/4``).
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation reached an internally inconsistent state.
+
+    This always indicates a bug (e.g. loads not summing to at most ``n``),
+    never a user error; it is raised by internal invariant checks.
+    """
+
+
+class AnalysisError(ReproError, ValueError):
+    """An analysis routine received data it cannot interpret.
+
+    Example: asking for steady-state closeness of a trace shorter than the
+    requested burn-in.
+    """

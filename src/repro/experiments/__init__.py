@@ -1,0 +1,14 @@
+"""Experiment harness: regenerates every figure / theorem claim.
+
+One function per experiment (E1-E15, see DESIGN.md for the index); each
+returns an :class:`~repro.experiments.base.ExperimentResult` whose
+``report()`` prints the regenerated series/tables and the
+measured-vs-theory verdicts.  ``python -m repro.experiments run E3``
+runs one from the command line; the ``benchmarks/`` suite runs quick
+scales of all of them under pytest-benchmark.
+"""
+
+from repro.experiments.base import Claim, ExperimentResult, get_experiment, list_experiments
+from repro.experiments import figures, closeness, bounds, adversarial, trivial, extensions  # noqa: F401 (registration side effects)
+
+__all__ = ["Claim", "ExperimentResult", "get_experiment", "list_experiments"]

@@ -1,0 +1,58 @@
+"""Command-line entry point: ``python -m repro.experiments`` / ``repro-experiments``.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run E3 [--scale quick|full] [--seed N]
+    repro-experiments run all [--scale quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import get_experiment, list_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and theorem-level claims.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
+    runp.add_argument("--scale", choices=("quick", "full"), default="full")
+    runp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for eid, title in list_experiments():
+            print(f"{eid:>4}  {title}")
+        return 0
+
+    ids = (
+        [eid for eid, _ in list_experiments()]
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
+    overall_ok = True
+    for eid in ids:
+        fn = get_experiment(eid)
+        t0 = time.perf_counter()
+        result = fn(scale=args.scale, seed=args.seed)
+        dt = time.perf_counter() - t0
+        print(result.report())
+        print(f"({eid} took {dt:.1f}s)\n")
+        overall_ok &= result.all_ok
+    return 0 if overall_ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

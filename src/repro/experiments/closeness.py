@@ -1,0 +1,206 @@
+"""E3 / E4 / E5: the closeness theorems (3.1 and 3.2).
+
+E3 sweeps Algorithm Ant's learning rate under both noise models and
+compares the measured closeness with the ``5 gamma / gamma*`` bound.
+E4 verifies self-stabilization: the same steady state is reached from
+adversarial initial configurations.  E5 sweeps Algorithm Precise
+Sigmoid's precision ``eps`` and verifies the ``eps * gamma * sum_d``
+regret rate (linear in eps) — the separation from Algorithm Ant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.theory import ant_closeness_bound, precise_sigmoid_rate
+from repro.core.ant import AntAlgorithm
+from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
+from repro.env.adversary import RandomInGreyZone
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import AdversarialFeedback, SigmoidFeedback
+from repro.experiments.base import Claim, ExperimentResult, experiment
+from repro.sim.counting import CountingSimulator
+from repro.sim.engine import Simulator
+
+__all__ = ["run_e3_ant_closeness", "run_e4_self_stabilization", "run_e5_precise_sigmoid"]
+
+_E3_GAMMA_STAR = 0.01
+
+
+def _e3_colony(scale: str):
+    n = 8000 if scale != "quick" else 4000
+    demand = uniform_demands(n=n, k=4)
+    lam = lambda_for_critical_value(demand, gamma_star=_E3_GAMMA_STAR)
+    return demand, lam
+
+
+@experiment("E3", "Theorem 3.1: Algorithm Ant closeness <= 5*gamma/gamma*, both noise models")
+def run_e3_ant_closeness(scale: str = "full", seed: int = 0) -> ExperimentResult:
+    demand, lam = _e3_colony(scale)
+    gs = _E3_GAMMA_STAR
+    rounds = 40000 if scale != "quick" else 8000
+    burn = rounds // 2
+    trials = 3 if scale != "quick" else 2
+    gammas = [2 * gs, 2.5 * gs, 4 * gs, 6 * gs]
+
+    rows = []
+    sig_closeness, adv_closeness, bounds = [], [], []
+    for i, gamma in enumerate(gammas):
+        bound = ant_closeness_bound(gamma, gs)
+        # Sigmoid noise: counting engine (exact in distribution, O(k)/round).
+        c_sig = []
+        for trial in range(trials):
+            sim = CountingSimulator(
+                AntAlgorithm(gamma=gamma), demand, SigmoidFeedback(lam),
+                seed=seed + 1000 * i + trial,
+            )
+            out = sim.run(rounds, burn_in=burn)
+            c_sig.append(out.metrics.closeness(gs, demand.total))
+        # Adversarial noise (random-in-grey): agent engine, fewer rounds.
+        adv_rounds = rounds // 2
+        c_adv = []
+        for trial in range(trials):
+            fb = AdversarialFeedback(gamma_ad=gs, strategy=RandomInGreyZone())
+            sim = Simulator(
+                AntAlgorithm(gamma=gamma), demand, fb, seed=seed + 5000 + 1000 * i + trial
+            )
+            out = sim.run(adv_rounds, burn_in=adv_rounds // 2)
+            c_adv.append(out.metrics.closeness(gs, demand.total))
+        ms, ma = float(np.mean(c_sig)), float(np.mean(c_adv))
+        sig_closeness.append(ms)
+        adv_closeness.append(ma)
+        bounds.append(bound)
+        rows.append([f"{gamma / gs:.1f}", ms, ma, bound])
+
+    res = ExperimentResult("E3", run_e3_ant_closeness.title, scale)
+    res.series["gamma_over_gamma_star"] = np.array([g / gs for g in gammas])
+    res.series["closeness_sigmoid"] = np.array(sig_closeness)
+    res.series["closeness_adversarial"] = np.array(adv_closeness)
+    res.series["bound"] = np.array(bounds)
+    res.tables.append(
+        format_table(
+            ["gamma/gamma*", "closeness (sigmoid)", "closeness (adversarial)", "bound 5g/g*"],
+            rows,
+            title=f"Algorithm Ant closeness, n={demand.n}, k={demand.k}, d={demand.min_demand}",
+        )
+    )
+    for g, ms, ma, b in zip(gammas, sig_closeness, adv_closeness, bounds):
+        res.claims.append(Claim.upper(f"sigmoid closeness at gamma={g:g}", ms, b))
+        res.claims.append(Claim.upper(f"adversarial closeness at gamma={g:g}", ma, b))
+    # Shape: closeness grows with gamma (the bound is linear in gamma).
+    res.claims.append(
+        Claim.shape(
+            "closeness increases with gamma (sigmoid)",
+            bool(np.all(np.diff(sig_closeness) > 0)),
+        )
+    )
+    return res
+
+
+@experiment("E4", "Theorem 3.1: self-stabilization from adversarial initial configurations")
+def run_e4_self_stabilization(scale: str = "full", seed: int = 0) -> ExperimentResult:
+    demand, lam = _e3_colony(scale)
+    gs = _E3_GAMMA_STAR
+    gamma = 0.025
+    rounds = 30000 if scale != "quick" else 8000
+    burn = rounds // 2
+    n, k = demand.n, demand.k
+
+    starts = {
+        "all_idle": np.zeros(k, dtype=np.int64),
+        "all_on_first_task": np.array([n] + [0] * (k - 1), dtype=np.int64),
+        "demand_matched": demand.as_array(),
+        "half_demand": demand.as_array() // 2,
+    }
+    rows, finals = [], {}
+    for i, (name, loads0) in enumerate(starts.items()):
+        sim = CountingSimulator(
+            AntAlgorithm(gamma=gamma), demand, SigmoidFeedback(lam),
+            seed=seed + i, initial_loads=loads0,
+        )
+        out = sim.run(rounds, burn_in=burn)
+        c = out.metrics.closeness(gs, demand.total)
+        finals[name] = c
+        rows.append([name, c, float(np.abs(out.metrics.final_deficits).max())])
+
+    res = ExperimentResult("E4", run_e4_self_stabilization.title, scale)
+    res.tables.append(
+        format_table(
+            ["initial configuration", "steady closeness", "final max|deficit|"],
+            rows,
+            title=f"Algorithm Ant, gamma={gamma}, n={n}",
+        )
+    )
+    bound = ant_closeness_bound(gamma, gs)
+    for name, c in finals.items():
+        res.claims.append(Claim.upper(f"closeness from {name}", c, bound))
+    spread = max(finals.values()) - min(finals.values())
+    res.claims.append(
+        Claim.upper("steady closeness independent of start (spread)", spread, 0.5 * bound)
+    )
+    return res
+
+
+@experiment("E5", "Theorem 3.2: Precise Sigmoid regret rate = eps*gamma*sum_d (linear in eps)")
+def run_e5_precise_sigmoid(scale: str = "full", seed: int = 0) -> ExperimentResult:
+    n = 80000 if scale != "quick" else 40000
+    demand = uniform_demands(n=n, k=4)
+    gs = 0.01
+    lam = lambda_for_critical_value(demand, gamma_star=gs)
+    gamma = 0.04
+    rounds = 200000 if scale != "quick" else 40000
+    burn = rounds // 10
+    eps_values = [0.999, 0.5, 0.25]
+
+    rows, rates, theory = [], [], []
+    ant_c = None
+    for i, eps in enumerate(eps_values):
+        alg = PreciseSigmoidAlgorithm(gamma=gamma, eps=eps)
+        start = np.round(demand.as_array() * (1.0 + 2.0 * alg.step_size)).astype(np.int64)
+        sim = CountingSimulator(
+            alg, demand, SigmoidFeedback(lam), seed=seed + i, initial_loads=start
+        )
+        out = sim.run(rounds, burn_in=burn)
+        rate = out.metrics.average_regret
+        bound = precise_sigmoid_rate(eps, gamma, demand.total)
+        rows.append([eps, rate, bound, out.metrics.closeness(gs, demand.total)])
+        rates.append(rate)
+        theory.append(bound)
+    # Algorithm Ant on the same colony, for the separation claim.
+    sim = CountingSimulator(AntAlgorithm(gamma=gamma), demand, SigmoidFeedback(lam), seed=seed)
+    ant_out = sim.run(rounds // 4, burn_in=rounds // 8)
+    ant_c = ant_out.metrics.average_regret
+
+    res = ExperimentResult("E5", run_e5_precise_sigmoid.title, scale)
+    res.series["eps"] = np.array(eps_values)
+    res.series["measured_rate"] = np.array(rates)
+    res.series["theory_rate"] = np.array(theory)
+    rows.append(["(Algorithm Ant)", ant_c, float("nan"), ant_out.metrics.closeness(gs, demand.total)])
+    res.tables.append(
+        format_table(
+            ["eps", "measured R(t)/t", "theory eps*g*sum_d", "closeness"],
+            rows,
+            title=f"Precise Sigmoid, gamma={gamma}, gamma*={gs}, n={n}",
+        )
+    )
+    for eps, rate, bound in zip(eps_values, rates, theory):
+        res.claims.append(Claim.upper(f"rate at eps={eps}", rate, bound))
+    # Linearity in eps: rate(eps)/eps roughly constant (within 2x).
+    per_eps = np.array(rates) / np.array(eps_values)
+    res.claims.append(
+        Claim.shape(
+            "rate scales linearly with eps (max/min of rate/eps <= 2)",
+            float(per_eps.max() / per_eps.min()) <= 2.0,
+            measured=float(per_eps.max() / per_eps.min()),
+            bound=2.0,
+        )
+    )
+    res.claims.append(
+        Claim.shape(
+            "Precise Sigmoid beats Algorithm Ant at every eps",
+            bool(np.all(np.array(rates) < ant_c)),
+        )
+    )
+    return res

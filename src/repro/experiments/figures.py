@@ -1,0 +1,170 @@
+"""E1 / E2: regenerate the paper's two figures.
+
+Figure 1 is the feedback-probability diagram (sigmoid of the overload
+with the grey zone marked); Figure 2 is the anatomy of one Algorithm-Ant
+phase (two samples spaced by the temporary pause, and the stable zone).
+Without matplotlib the *data series* of each figure is regenerated and
+rendered as an ASCII plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.theory import stable_zone
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import critical_value_sigmoid, lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import SigmoidFeedback
+from repro.experiments.base import Claim, ExperimentResult, experiment
+from repro.sim.engine import Simulator
+from repro.types import assignment_from_loads
+from repro.util.ascii_plot import line_plot
+
+__all__ = ["run_e1_feedback_curve", "run_e2_phase_anatomy"]
+
+
+@experiment("E1", "Figure 1: probability of OVERLOAD feedback vs overload, grey zone")
+def run_e1_feedback_curve(scale: str = "full", seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 1's curve and check its three defining properties.
+
+    1. ``P[feedback=OVERLOAD] = 1/2`` at deficit 0;
+    2. outside the grey zone the wrong feedback has probability <= p_fail;
+    3. the curve is monotone in the overload.
+    """
+    n = 2000 if scale == "quick" else 10000
+    demand = uniform_demands(n=n, k=1)
+    d = demand.min_demand
+    p_fail = 1e-6
+    gamma_star = 0.05
+    lam = lambda_for_critical_value(demand, gamma_star=gamma_star, p_fail=p_fail)
+    model = SigmoidFeedback(lam)
+
+    overloads = np.linspace(-2.0 * gamma_star * d, 2.0 * gamma_star * d, 81)
+    deficits = -overloads
+    p_overload = 1.0 - model.lack_probabilities(deficits)
+
+    gs_check = critical_value_sigmoid(demand, lam, p_fail=p_fail)
+    at_zero = float(1.0 - model.lack_probabilities(np.array([0.0]))[0])
+    wrong_right_of_grey = float(model.lack_probabilities(np.array([-gamma_star * d]))[0])
+    wrong_left_of_grey = float(1.0 - model.lack_probabilities(np.array([gamma_star * d]))[0])
+    monotone = bool(np.all(np.diff(p_overload) >= -1e-12))
+
+    res = ExperimentResult("E1", run_e1_feedback_curve.title, scale)
+    res.series["overload"] = overloads
+    res.series["p_overload_feedback"] = p_overload
+    res.tables.append(
+        line_plot(
+            overloads,
+            p_overload,
+            title=f"Figure 1: P[OVERLOAD feedback] vs overload (grey zone +/- {gamma_star * d:.0f})",
+            xlabel="overload (-Delta)",
+            ylabel="P[overload]",
+        )
+    )
+    res.tables.append(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["lambda", lam],
+                ["gamma* (recomputed)", gs_check],
+                ["grey zone half-width", gamma_star * d],
+                ["P[overload] at Delta=0", at_zero],
+                ["P[wrong] at +grey boundary", wrong_left_of_grey],
+                ["P[wrong] at -grey boundary", wrong_right_of_grey],
+            ],
+        )
+    )
+    res.claims += [
+        Claim.upper("P[overload]=1/2 at deficit 0 (|p-1/2|)", abs(at_zero - 0.5), 1e-9),
+        Claim.upper("wrong-feedback prob at +boundary <= p_fail", wrong_left_of_grey, p_fail * 1.001),
+        Claim.upper("wrong-feedback prob at -boundary <= p_fail", wrong_right_of_grey, p_fail * 1.001),
+        Claim.shape("curve monotone in overload", monotone),
+        Claim.upper("gamma* inversion consistent", abs(gs_check - gamma_star), 1e-9),
+    ]
+    return res
+
+
+@experiment("E2", "Figure 2: two-sample phase anatomy and the stable zone")
+def run_e2_phase_anatomy(scale: str = "full", seed: int = 0) -> ExperimentResult:
+    """Trace Algorithm-Ant phases around the stable zone.
+
+    Checks the mechanics Figure 2 illustrates: the second sample sits a
+    ``~c_s gamma`` fraction below the first, and once the phase-start
+    load enters the stable zone ``[d(1+gamma), d(1+(0.9 c_s - 1) gamma)]``
+    it stays there (no joins / no permanent leaves) for the rest of the
+    run.
+    """
+    n = 8000 if scale != "quick" else 4000
+    k = 1
+    demand = uniform_demands(n=n, k=k)
+    d = demand.min_demand
+    gamma_star = 0.01
+    gamma = 0.025
+    lam = lambda_for_critical_value(demand, gamma_star=gamma_star)
+    alg = AntAlgorithm(gamma=gamma)
+    rounds = 3000 if scale != "quick" else 1200
+
+    # Start above the stable zone so the trace shows the decay into it.
+    start_loads = np.array([int(d * (1 + 12 * gamma))])
+    sim = Simulator(
+        alg,
+        demand,
+        SigmoidFeedback(lam),
+        seed=seed,
+        initial_assignment=assignment_from_loads(start_loads, n),
+    )
+    out = sim.run(rounds, trace_stride=1)
+    loads = out.trace.loads[:, 0].astype(float)
+
+    # Ratio of mid-phase (paused) load to phase-start load: odd rounds
+    # (indices 0, 2, ...) carry the paused load; the phase-start load is
+    # the preceding even round's post-decision load.
+    phase_loads = loads[1::2]  # loads after decisions (even rounds)
+    mid_loads = loads[2::2]  # paused loads of the *next* phase (odd rounds >= 3)
+    m = min(phase_loads.size - 1, mid_loads.size)
+    ratios = mid_loads[:m] / phase_loads[:m]
+    expected_ratio = 1.0 - alg.pause_probability
+
+    lo, hi = stable_zone(d, gamma)
+    # The no-join / no-leave *resting band* implied by Claim 4.2's proof:
+    # joins stop once the first sample reliably reads OVERLOAD
+    # (W >= d(1+gamma*)) and leaves stop once the thinned second sample
+    # reliably reads LACK (W(1-1.1 c_s gamma) <= d(1-gamma*)).  The
+    # paper's stable zone [d(1+g), d(1+(0.9c_s-1)g)] sits inside it.
+    rest_lo = d * (1.0 + gamma_star)
+    rest_hi = d * (1.0 - gamma_star) / (1.0 - 1.1 * alg.constants.c_s * gamma)
+    phase_start_loads = loads[1::2]
+    inside = (phase_start_loads >= rest_lo - 0.5) & (phase_start_loads <= rest_hi + 0.5)
+    entered = int(np.argmax(inside)) if inside.any() else -1
+    residence = float(inside[entered:].mean()) if entered >= 0 else 0.0
+
+    res = ExperimentResult("E2", run_e2_phase_anatomy.title, scale)
+    res.series["phase_start_loads"] = phase_start_loads[: min(400, phase_start_loads.size)]
+    res.series["sample_spacing_ratio"] = ratios[: min(400, ratios.size)]
+    res.tables.append(
+        line_plot(
+            np.arange(min(300, phase_start_loads.size)),
+            phase_start_loads[: min(300, phase_start_loads.size)],
+            title=f"Figure 2: phase-start load decaying into stable zone [{lo:.0f}, {hi:.0f}] (d={d})",
+            xlabel="phase",
+            ylabel="load",
+        )
+    )
+    res.notes.append(
+        f"paper stable zone [{lo:.0f}, {hi:.0f}]; resting band [{rest_lo:.0f}, {rest_hi:.0f}]; "
+        f"entered at phase {entered}; residence fraction afterwards {residence:.3f}"
+    )
+    res.claims += [
+        Claim.upper(
+            "second sample thinned by ~c_s*gamma (|mean ratio - (1-c_s g)|)",
+            abs(float(ratios.mean()) - expected_ratio),
+            0.01,
+        ),
+        Claim.shape("phase-start load enters the resting band", entered >= 0),
+        Claim.lower("residence fraction in resting band after entry", residence, 0.95),
+    ]
+    res.data["stable_zone"] = (lo, hi)
+    res.data["resting_band"] = (rest_lo, rest_hi)
+    return res

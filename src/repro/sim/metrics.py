@@ -1,0 +1,214 @@
+"""Regret metric and allocation-quality measures (Section 2.3).
+
+The paper's single quality measure is the **regret**
+
+    ``r(t) = sum_j |d(j) - W_t(j)| = sum_j |Delta_t(j)|``,
+
+its cumulative version ``R(t) = sum_{tau <= t} r(tau)``, and the derived
+*closeness*: an allocation is ``c``-close when
+``lim R(t)/t <= c * gamma* * sum_j d(j) + O(1)``.
+
+:class:`RegretTracker` accumulates these online in O(k) per round; the
+split into overload / near / lack components mirrors the proof's
+``R+ / R~ / R-`` decomposition (Section 4) and is what the E3 benchmark
+prints.  Switch counting supports the Theorem 3.6 switch-cost comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.types import AssignmentVector
+
+__all__ = [
+    "regret_from_loads",
+    "split_regret",
+    "average_regret",
+    "closeness",
+    "RegretTracker",
+    "RunMetrics",
+]
+
+
+def regret_from_loads(demands: np.ndarray, loads: np.ndarray) -> float:
+    """Instantaneous regret ``r = sum_j |d(j) - W(j)|``.
+
+    Accepts matching 1-d arrays; also works on 2-d ``(T, k)`` load
+    histories against a single demand vector, returning shape ``(T,)``.
+    """
+    demands = np.asarray(demands, dtype=np.float64)
+    loads = np.asarray(loads, dtype=np.float64)
+    diff = np.abs(demands - loads)
+    return float(diff.sum()) if diff.ndim == 1 else diff.sum(axis=-1)
+
+
+def split_regret(
+    demands: np.ndarray,
+    loads: np.ndarray,
+    gamma: float,
+    c_plus: float,
+    c_minus: float,
+) -> tuple[float, float, float]:
+    """Decompose one round's regret into ``(r+, r~, r-)`` (Section 4).
+
+    * ``r+`` counts load beyond ``(1 + c+ gamma) d`` (significant overload),
+    * ``r-`` counts load short of ``(1 - c- gamma) d`` (significant lack),
+    * ``r~ = r - r+ - r-`` is the near-demand remainder the algorithm pays
+      for its controlled oscillations.
+    """
+    demands = np.asarray(demands, dtype=np.float64)
+    loads = np.asarray(loads, dtype=np.float64)
+    r = np.abs(demands - loads).sum()
+    over = np.maximum(loads - (1.0 + c_plus * gamma) * demands, 0.0).sum()
+    lackv = np.maximum((1.0 - c_minus * gamma) * demands - loads, 0.0).sum()
+    return float(over), float(r - over - lackv), float(lackv)
+
+
+def average_regret(cumulative_regret: float, t: int) -> float:
+    """``R(t) / t`` — the steady-state regret rate estimator."""
+    if t <= 0:
+        raise AnalysisError(f"t must be positive, got {t}")
+    return cumulative_regret / t
+
+
+def closeness(avg_regret: float, gamma_star: float, total_demand: float) -> float:
+    """Closeness ``c`` such that the allocation is c-close.
+
+    ``c = (R(t)/t) / (gamma* * sum_j d(j))`` — Section 2.3.  Lower is
+    better; Algorithm Ant guarantees ``5 gamma/gamma*``, the adversarial
+    lower bound is 1.
+    """
+    denom = gamma_star * total_demand
+    if denom <= 0:
+        raise AnalysisError("gamma_star and total demand must be positive")
+    return avg_regret / denom
+
+
+@dataclass
+class RunMetrics:
+    """Immutable summary emitted by :class:`RegretTracker.finalize`."""
+
+    rounds: int
+    cumulative_regret: float
+    regret_plus: float
+    regret_near: float
+    regret_minus: float
+    total_switches: int
+    max_abs_deficit: float
+    final_loads: np.ndarray
+    final_deficits: np.ndarray
+    rounds_outside_band: int
+    band_coefficient: float
+
+    @property
+    def average_regret(self) -> float:
+        """``R(t)/t``."""
+        return average_regret(self.cumulative_regret, self.rounds)
+
+    def closeness(self, gamma_star: float, total_demand: float) -> float:
+        """Closeness of this run given the environment's critical value."""
+        return closeness(self.average_regret, gamma_star, total_demand)
+
+    @property
+    def switches_per_round(self) -> float:
+        """Average number of ants changing action per round."""
+        return self.total_switches / max(self.rounds, 1)
+
+
+@dataclass
+class RegretTracker:
+    """Online accumulator of regret and allocation statistics.
+
+    Parameters
+    ----------
+    gamma, c_plus, c_minus:
+        Thresholds of the ``R+ / R~ / R-`` split (pass the algorithm's
+        values; defaults match Algorithm Ant with the paper constants).
+    band_coefficient:
+        Per-task deficit band for Theorem 3.1's "all but O(k log n /
+        gamma) rounds" claim: a round is *outside the band* when some
+        task has ``|Delta(j)| > band_coefficient * gamma * d(j) + 3``.
+    burn_in:
+        Rounds excluded from the cumulative totals (but still counted for
+        ``rounds``-keeping); used to estimate steady-state rates without
+        the initial-convergence cost.
+    """
+
+    gamma: float = 0.0625
+    c_plus: float = 3.0
+    c_minus: float = 4.0
+    band_coefficient: float = 5.0
+    burn_in: int = 0
+
+    _rounds: int = field(default=0, init=False)
+    _cum: float = field(default=0.0, init=False)
+    _cum_plus: float = field(default=0.0, init=False)
+    _cum_near: float = field(default=0.0, init=False)
+    _cum_minus: float = field(default=0.0, init=False)
+    _switches: int = field(default=0, init=False)
+    _max_abs_deficit: float = field(default=0.0, init=False)
+    _outside_band: int = field(default=0, init=False)
+    _last_loads: np.ndarray | None = field(default=None, init=False)
+    _last_deficits: np.ndarray | None = field(default=None, init=False)
+
+    def observe(
+        self,
+        t: int,
+        demands: np.ndarray,
+        loads: np.ndarray,
+        switches: int = 0,
+    ) -> float:
+        """Record round ``t``; returns the instantaneous regret ``r(t)``."""
+        demands = np.asarray(demands, dtype=np.float64)
+        loads = np.asarray(loads, dtype=np.float64)
+        deficits = demands - loads
+        r = float(np.abs(deficits).sum())
+        self._rounds = t
+        self._last_loads = loads.copy()
+        self._last_deficits = deficits.copy()
+        if t > self.burn_in:
+            self._cum += r
+            p, near, m = split_regret(demands, loads, self.gamma, self.c_plus, self.c_minus)
+            self._cum_plus += p
+            self._cum_near += near
+            self._cum_minus += m
+            self._switches += int(switches)
+            self._max_abs_deficit = max(self._max_abs_deficit, float(np.abs(deficits).max()))
+            band = self.band_coefficient * self.gamma * demands + 3.0
+            if np.any(np.abs(deficits) > band):
+                self._outside_band += 1
+        return r
+
+    def finalize(self) -> RunMetrics:
+        """Summarize everything observed so far."""
+        if self._rounds == 0 or self._last_loads is None:
+            raise AnalysisError("no rounds observed")
+        effective = max(self._rounds - self.burn_in, 1)
+        return RunMetrics(
+            rounds=effective,
+            cumulative_regret=self._cum,
+            regret_plus=self._cum_plus,
+            regret_near=self._cum_near,
+            regret_minus=self._cum_minus,
+            total_switches=self._switches,
+            max_abs_deficit=self._max_abs_deficit,
+            final_loads=self._last_loads,
+            final_deficits=self._last_deficits,
+            rounds_outside_band=self._outside_band,
+            band_coefficient=self.band_coefficient,
+        )
+
+
+def count_switches(previous: AssignmentVector, current: AssignmentVector) -> int:
+    """Number of ants whose action changed between two rounds.
+
+    Includes moves to/from ``IDLE`` — the paper's switch cost counts any
+    change of activity.
+    """
+    return int(np.count_nonzero(previous != current))
+
+
+__all__.append("count_switches")

@@ -1,0 +1,256 @@
+"""Multi-trial orchestration: repeated runs, parameter sweeps, summaries.
+
+The theorems hold "w.h.p." / in expectation, so every experiment runs
+multiple independent trials and reports mean +/- spread.  Trials get
+independent child seeds from one root ``SeedSequence`` (reproducible and
+order-independent), and can optionally be farmed out to worker processes
+(factories must then be picklable — module-level functions or partials).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import SimulationResult
+from repro.util.validation import check_integer
+
+__all__ = ["TrialRunner", "TrialSummary", "SweepResult", "run_trials", "sweep"]
+
+#: A factory mapping a trial seed to an object with ``.run(rounds, **kw)``.
+SimulatorFactory = Callable[[int], Any]
+
+
+@dataclass
+class TrialSummary:
+    """Aggregate statistics over independent trials of one configuration."""
+
+    label: str
+    trials: int
+    rounds: int
+    average_regrets: np.ndarray
+    closenesses: np.ndarray | None
+    max_abs_deficits: np.ndarray
+    switches_per_round: np.ndarray
+    results: list[SimulationResult] = field(repr=False, default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def mean_average_regret(self) -> float:
+        return float(self.average_regrets.mean())
+
+    @property
+    def std_average_regret(self) -> float:
+        return float(self.average_regrets.std(ddof=1)) if self.trials > 1 else 0.0
+
+    @property
+    def mean_closeness(self) -> float:
+        if self.closenesses is None:
+            raise ConfigurationError("closeness unavailable (no gamma_star provided)")
+        return float(self.closenesses.mean())
+
+    @property
+    def mean_max_abs_deficit(self) -> float:
+        return float(self.max_abs_deficits.mean())
+
+    @property
+    def mean_switches_per_round(self) -> float:
+        return float(self.switches_per_round.mean())
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the experiment CLI)."""
+        parts = [
+            f"{self.label}: R(t)/t = {self.mean_average_regret:.2f}"
+            f" +/- {self.std_average_regret:.2f}"
+        ]
+        if self.closenesses is not None:
+            parts.append(f"closeness = {self.mean_closeness:.3f}")
+        parts.append(f"max|deficit| = {self.mean_max_abs_deficit:.1f}")
+        parts.append(f"switches/round = {self.mean_switches_per_round:.2f}")
+        return "  ".join(parts)
+
+
+def _run_one(factory: SimulatorFactory, seed: int, rounds: int, run_kwargs: dict) -> SimulationResult:
+    sim = factory(seed)
+    return sim.run(rounds, **run_kwargs)
+
+
+def run_trials(
+    factory: SimulatorFactory,
+    rounds: int,
+    trials: int,
+    *,
+    seed: int | None = 0,
+    label: str = "run",
+    gamma_star: float | None = None,
+    total_demand: float | None = None,
+    processes: int = 0,
+    keep_results: bool = True,
+    params: Mapping[str, Any] | None = None,
+    **run_kwargs: Any,
+) -> TrialSummary:
+    """Run ``trials`` independent simulations and summarize.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(trial_seed)`` builds a fresh simulator; must be
+        picklable when ``processes > 0``.
+    rounds, trials:
+        Horizon per trial and number of trials.
+    seed:
+        Root seed; trial seeds are derived with ``SeedSequence.spawn``.
+    gamma_star, total_demand:
+        When both given, per-trial closeness is computed.
+    processes:
+        Worker processes (0 = run in-process, sequentially).
+    keep_results:
+        Keep every :class:`SimulationResult` (set False for big sweeps).
+    run_kwargs:
+        Forwarded to each simulator's ``.run`` (e.g. ``burn_in``,
+        ``trace_stride``).
+    """
+    trials = check_integer("trials", trials, minimum=1)
+    rounds = check_integer("rounds", rounds, minimum=1)
+    root = np.random.SeedSequence(seed)
+    trial_seeds = [int(s.generate_state(1)[0]) for s in root.spawn(trials)]
+
+    if processes > 0:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            results = list(
+                pool.map(
+                    _run_one,
+                    [factory] * trials,
+                    trial_seeds,
+                    [rounds] * trials,
+                    [dict(run_kwargs)] * trials,
+                )
+            )
+    else:
+        results = [_run_one(factory, s, rounds, dict(run_kwargs)) for s in trial_seeds]
+
+    avg = np.array([r.metrics.average_regret for r in results])
+    close = None
+    if gamma_star is not None and total_demand is not None:
+        close = np.array([r.metrics.closeness(gamma_star, total_demand) for r in results])
+    return TrialSummary(
+        label=label,
+        trials=trials,
+        rounds=rounds,
+        average_regrets=avg,
+        closenesses=close,
+        max_abs_deficits=np.array([r.metrics.max_abs_deficit for r in results]),
+        switches_per_round=np.array([r.metrics.switches_per_round for r in results]),
+        results=results if keep_results else [],
+        params=dict(params or {}),
+    )
+
+
+@dataclass
+class SweepResult:
+    """Summaries of a one-dimensional parameter sweep."""
+
+    parameter: str
+    values: list[Any]
+    summaries: list[TrialSummary]
+
+    def series(self, attribute: str = "mean_average_regret") -> np.ndarray:
+        """Extract one summary attribute per sweep point as an array."""
+        return np.array([getattr(s, attribute) for s in self.summaries], dtype=np.float64)
+
+    def table(self) -> str:
+        """Plain-text table of the sweep (one row per value)."""
+        lines = [f"{self.parameter:>16}  {'R(t)/t':>12}  {'closeness':>10}  {'max|D|':>8}"]
+        for v, s in zip(self.values, self.summaries):
+            c = f"{s.mean_closeness:10.3f}" if s.closenesses is not None else " " * 10
+            lines.append(
+                f"{v!s:>16}  {s.mean_average_regret:12.2f}  {c}  {s.mean_max_abs_deficit:8.1f}"
+            )
+        return "\n".join(lines)
+
+
+def sweep(
+    parameter: str,
+    values: Iterable[Any],
+    factory_for: Callable[[Any], SimulatorFactory],
+    rounds: int,
+    trials: int,
+    *,
+    seed: int | None = 0,
+    gamma_star_for: Callable[[Any], float] | None = None,
+    total_demand: float | None = None,
+    processes: int = 0,
+    keep_results: bool = False,
+    **run_kwargs: Any,
+) -> SweepResult:
+    """Sweep one parameter: for each value, build a factory and run trials.
+
+    ``gamma_star_for(value)`` lets the critical value depend on the swept
+    parameter (e.g. when sweeping the sigmoid steepness).
+    """
+    values = list(values)
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    summaries = []
+    for i, v in enumerate(values):
+        gs = gamma_star_for(v) if gamma_star_for is not None else None
+        summaries.append(
+            run_trials(
+                factory_for(v),
+                rounds,
+                trials,
+                seed=None if seed is None else seed + i,
+                label=f"{parameter}={v}",
+                gamma_star=gs,
+                total_demand=total_demand,
+                processes=processes,
+                keep_results=keep_results,
+                params={parameter: v},
+                **run_kwargs,
+            )
+        )
+    return SweepResult(parameter=parameter, values=values, summaries=summaries)
+
+
+class TrialRunner:
+    """Object-style wrapper around :func:`run_trials` for repeated use.
+
+    Stores the factory and default options once; each :meth:`run` call
+    may override the horizon / trial count.
+    """
+
+    def __init__(
+        self,
+        factory: SimulatorFactory,
+        *,
+        rounds: int,
+        trials: int = 5,
+        seed: int | None = 0,
+        gamma_star: float | None = None,
+        total_demand: float | None = None,
+        **run_kwargs: Any,
+    ) -> None:
+        self.factory = factory
+        self.rounds = check_integer("rounds", rounds, minimum=1)
+        self.trials = check_integer("trials", trials, minimum=1)
+        self.seed = seed
+        self.gamma_star = gamma_star
+        self.total_demand = total_demand
+        self.run_kwargs = run_kwargs
+
+    def run(self, *, rounds: int | None = None, trials: int | None = None, label: str = "run") -> TrialSummary:
+        return run_trials(
+            self.factory,
+            rounds if rounds is not None else self.rounds,
+            trials if trials is not None else self.trials,
+            seed=self.seed,
+            label=label,
+            gamma_star=self.gamma_star,
+            total_demand=self.total_demand,
+            **self.run_kwargs,
+        )

@@ -1,0 +1,98 @@
+"""Load / regret trace recording with optional downsampling.
+
+Long runs (the theorems quantify behaviour over ``t`` up to ``n^4``)
+cannot afford to store per-round ``(k,)`` load vectors densely, so
+:class:`Trace` records every ``stride``-th round plus an optional sliding
+window of the most recent rounds at full resolution (for oscillation
+analysis, which needs consecutive samples).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.util.validation import check_integer
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """Records (round, loads, regret) triples.
+
+    Parameters
+    ----------
+    stride:
+        Record every ``stride``-th round (1 = dense).
+    tail_window:
+        Always keep the last ``tail_window`` rounds densely, regardless of
+        stride (0 disables).
+    """
+
+    stride: int = 1
+    tail_window: int = 0
+
+    _rounds: list[int] = field(default_factory=list, init=False)
+    _loads: list[np.ndarray] = field(default_factory=list, init=False)
+    _regrets: list[float] = field(default_factory=list, init=False)
+    _tail: deque = field(default_factory=deque, init=False)
+
+    def __post_init__(self) -> None:
+        check_integer("stride", self.stride, minimum=1)
+        check_integer("tail_window", self.tail_window, minimum=0)
+        self._tail = deque(maxlen=self.tail_window or None) if self.tail_window else deque(maxlen=1)
+
+    def record(self, t: int, loads: np.ndarray, regret: float) -> None:
+        """Record round ``t`` if it falls on the stride (tail always kept)."""
+        if t % self.stride == 0:
+            self._rounds.append(t)
+            self._loads.append(np.asarray(loads, dtype=np.int64).copy())
+            self._regrets.append(float(regret))
+        if self.tail_window:
+            self._tail.append((t, np.asarray(loads, dtype=np.int64).copy(), float(regret)))
+
+    # -- accessors ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    @property
+    def rounds(self) -> np.ndarray:
+        """Recorded round numbers, shape ``(m,)``."""
+        return np.asarray(self._rounds, dtype=np.int64)
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Recorded load vectors, shape ``(m, k)``."""
+        if not self._loads:
+            return np.zeros((0, 0), dtype=np.int64)
+        return np.stack(self._loads)
+
+    @property
+    def regrets(self) -> np.ndarray:
+        """Recorded instantaneous regrets, shape ``(m,)``."""
+        return np.asarray(self._regrets, dtype=np.float64)
+
+    def deficits(self, demands: np.ndarray) -> np.ndarray:
+        """Per-round deficits ``d - W`` for the recorded rounds, ``(m, k)``."""
+        demands = np.asarray(demands, dtype=np.int64)
+        loads = self.loads
+        if loads.size and loads.shape[1] != demands.shape[0]:
+            raise AnalysisError(
+                f"trace has k={loads.shape[1]} tasks, demands have {demands.shape[0]}"
+            )
+        return demands[np.newaxis, :] - loads
+
+    def tail(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense tail window as ``(rounds, loads, regrets)`` arrays."""
+        if not self.tail_window or not self._tail:
+            raise AnalysisError("no tail window recorded (tail_window=0 or empty trace)")
+        ts, loads, rs = zip(*self._tail)
+        return (
+            np.asarray(ts, dtype=np.int64),
+            np.stack(loads),
+            np.asarray(rs, dtype=np.float64),
+        )

@@ -1,0 +1,102 @@
+"""Shared types for the task-allocation reproduction.
+
+The paper models a colony of ``n`` ants and ``k`` tasks.  An ant's *action*
+in a round is either ``IDLE`` or a task index in ``0..k-1``; feedback is a
+binary signal per (ant, task).  These encodings are shared by every engine
+and algorithm in the library, so they live in one tiny module with no
+internal dependencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TypeAlias
+
+import numpy as np
+import numpy.typing as npt
+
+#: Sentinel action value meaning "the ant is idle" in assignment arrays.
+#: Task indices are ``0..k-1``; idle is encoded as ``-1`` so that the whole
+#: assignment vector fits in one signed integer array (HPC guide: struct of
+#: arrays, no per-ant Python objects).
+IDLE: int = -1
+
+
+class Feedback(enum.IntEnum):
+    """Binary environment feedback for a single (ant, task) pair.
+
+    The paper's signals are ``lack`` (too few workers) and ``overload``
+    (too many).  We encode ``LACK = 1`` so that a boolean "lack matrix"
+    can be used interchangeably with arrays of :class:`Feedback`.
+    """
+
+    OVERLOAD = 0
+    LACK = 1
+
+
+class NoiseKind(enum.StrEnum):
+    """Which of the paper's two noise models a feedback model implements."""
+
+    SIGMOID = "sigmoid"
+    ADVERSARIAL = "adversarial"
+    EXACT = "exact"
+
+
+#: A vector of per-task values indexed by task id (float64, shape ``(k,)``).
+TaskVector: TypeAlias = npt.NDArray[np.float64]
+
+#: Integer per-task vector, e.g. loads or demands (shape ``(k,)``).
+IntTaskVector: TypeAlias = npt.NDArray[np.int64]
+
+#: Assignment of every ant: ``-1`` (IDLE) or a task index (shape ``(n,)``).
+AssignmentVector: TypeAlias = npt.NDArray[np.int64]
+
+#: Boolean matrix of per-(ant, task) feedback, True == LACK (shape ``(n, k)``).
+LackMatrix: TypeAlias = npt.NDArray[np.bool_]
+
+
+def loads_from_assignment(assignment: AssignmentVector, k: int) -> IntTaskVector:
+    """Compute per-task loads ``W(j)`` from an assignment vector.
+
+    Parameters
+    ----------
+    assignment:
+        Array of shape ``(n,)`` with values in ``{-1, 0, .., k-1}``.
+    k:
+        Number of tasks.
+
+    Returns
+    -------
+    Array of shape ``(k,)`` where entry ``j`` counts ants assigned to task
+    ``j``.  Idle ants are not counted.
+    """
+    working = assignment[assignment >= 0]
+    return np.bincount(working, minlength=k).astype(np.int64)
+
+
+def idle_count(assignment: AssignmentVector) -> int:
+    """Number of idle ants in an assignment vector."""
+    return int(np.count_nonzero(assignment == IDLE))
+
+
+def assignment_from_loads(loads: npt.ArrayLike, n: int) -> AssignmentVector:
+    """Materialize an assignment vector realizing the given per-task loads.
+
+    The first ``W(0)`` ants go to task 0, the next ``W(1)`` to task 1, and
+    so on; the remainder are idle.  (Ants are exchangeable, so any
+    assignment with these loads induces the same process law.)  Used to
+    start simulations from a prescribed load vector, e.g. inside
+    Algorithm Ant's stable zone.
+    """
+    loads = np.asarray(loads, dtype=np.int64)
+    if loads.ndim != 1 or np.any(loads < 0):
+        raise ValueError("loads must be a 1-d vector of non-negative counts")
+    total = int(loads.sum())
+    if total > n:
+        raise ValueError(f"loads sum to {total} > n={n}")
+    out = np.full(n, IDLE, dtype=np.int64)
+    pos = 0
+    for j, w in enumerate(loads):
+        out[pos : pos + int(w)] = j
+        pos += int(w)
+    return out

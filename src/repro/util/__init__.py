@@ -1,0 +1,31 @@
+"""Utility layer: math helpers, RNG streams, validation, ASCII plotting."""
+
+from repro.util.mathx import (
+    log1pexp,
+    logistic,
+    inverse_logistic,
+    sigmoid_lack_probability,
+    enumerate_subset_join_probabilities,
+)
+from repro.util.rng import RngFactory, as_generator, spawn_generators
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_in_range,
+    check_integer,
+)
+
+__all__ = [
+    "log1pexp",
+    "logistic",
+    "inverse_logistic",
+    "sigmoid_lack_probability",
+    "enumerate_subset_join_probabilities",
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_integer",
+]

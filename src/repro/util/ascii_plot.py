@@ -1,0 +1,125 @@
+"""Terminal plotting for examples and experiment reports.
+
+matplotlib is not available in the offline environment, so figures are
+regenerated as *data series* plus these lightweight ASCII renderings.
+The renderer is intentionally dependency-free and good enough to show the
+qualitative shapes the paper's figures convey (sigmoid curve, grey zone,
+oscillating load traces).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "multi_line_plot", "histogram"]
+
+
+def _scale(values: np.ndarray, size: int, lo: float, hi: float) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.full(values.shape, size // 2, dtype=int)
+    idx = np.round((values - lo) / span * (size - 1)).astype(int)
+    return np.clip(idx, 0, size - 1)
+
+
+def line_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    marker: str = "*",
+) -> str:
+    """Render a single series as an ASCII scatter/line plot string."""
+    return multi_line_plot(
+        x,
+        {ylabel or "y": np.asarray(y, dtype=float)},
+        width=width,
+        height=height,
+        title=title,
+        xlabel=xlabel,
+        markers=[marker],
+    )
+
+
+def multi_line_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    markers: Sequence[str] = "*+ox#@",
+) -> str:
+    """Render multiple series over a shared x axis.
+
+    Each series gets the next marker character; a legend line maps markers
+    to series names.  Returns the rendered plot as a single string.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.size == 0 or not series:
+        return "(empty plot)\n"
+    ys = {name: np.asarray(v, dtype=float) for name, v in series.items()}
+    for name, v in ys.items():
+        if v.shape != x.shape:
+            raise ValueError(f"series {name!r} has shape {v.shape}, x has {x.shape}")
+    all_y = np.concatenate([v[np.isfinite(v)] for v in ys.values()])
+    if all_y.size == 0:
+        return "(no finite data)\n"
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_lo == y_hi:
+        y_lo -= 0.5
+        y_hi += 0.5
+    x_lo, x_hi = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(x, width, x_lo, x_hi)
+    for (name, v), marker in zip(ys.items(), markers):
+        finite = np.isfinite(v)
+        rows = _scale(v[finite], height, y_lo, y_hi)
+        for c, r in zip(cols[finite], rows):
+            grid[height - 1 - r][c] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    fmt = f"%{10}.4g"
+    for i, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * i / (height - 1)
+        label = fmt % y_val if i in (0, height // 2, height - 1) else " " * 10
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_axis = f"{x_lo:<12.4g}{' ' * max(0, width - 24)}{x_hi:>12.4g}"
+    lines.append(" " * 11 + x_axis)
+    if xlabel:
+        lines.append(" " * 11 + xlabel.center(width))
+    legend = "   ".join(f"{m}={name}" for (name, _), m in zip(ys.items(), markers))
+    lines.append("  legend: " + legend)
+    return "\n".join(lines) + "\n"
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a horizontal ASCII histogram of ``values``."""
+    v = np.asarray(values, dtype=float)
+    v = v[np.isfinite(v)]
+    if v.size == 0:
+        return "(no data)\n"
+    counts, edges = np.histogram(v, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"[{lo:>10.4g}, {hi:>10.4g}) {bar} {c}")
+    return "\n".join(lines) + "\n"

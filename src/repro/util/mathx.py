@@ -1,0 +1,141 @@
+"""Numerically careful math helpers used throughout the library.
+
+The sigmoid noise model of the paper evaluates ``s(x) = 1/(1+exp(-lambda x))``
+at arguments that can be as large as ``lambda * n`` in magnitude, so naive
+``exp`` overflows.  Everything here is branch-free, vectorized, and stable
+in both tails (HPC guide: vectorize and avoid per-element Python loops).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "log1pexp",
+    "logistic",
+    "inverse_logistic",
+    "sigmoid_lack_probability",
+    "enumerate_subset_join_probabilities",
+]
+
+
+def log1pexp(x: npt.ArrayLike) -> np.ndarray:
+    """Stable ``log(1 + exp(x))`` for any real ``x`` (a.k.a. softplus).
+
+    Uses the standard two-branch identity: for ``x <= 0`` compute
+    ``log1p(exp(x))`` directly; for ``x > 0`` use ``x + log1p(exp(-x))``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    neg = x <= 0.0
+    out[neg] = np.log1p(np.exp(x[neg]))
+    pos = ~neg
+    out[pos] = x[pos] + np.log1p(np.exp(-x[pos]))
+    return out
+
+
+def logistic(x: npt.ArrayLike) -> np.ndarray:
+    """Stable logistic sigmoid ``1 / (1 + exp(-x))``, elementwise.
+
+    Never overflows: the positive branch computes ``1/(1+exp(-x))`` and the
+    negative branch ``exp(x)/(1+exp(x))``, each evaluated only where its
+    exponent is non-positive.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0.0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def inverse_logistic(p: npt.ArrayLike) -> np.ndarray:
+    """Inverse of :func:`logistic` (the logit), elementwise.
+
+    Raises
+    ------
+    ConfigurationError
+        If any probability lies outside the open interval ``(0, 1)``.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if np.any(p <= 0.0) or np.any(p >= 1.0):
+        raise ConfigurationError("inverse_logistic requires probabilities strictly in (0, 1)")
+    return np.log(p) - np.log1p(-p)
+
+
+def sigmoid_lack_probability(
+    deficit: npt.ArrayLike, lam: float
+) -> np.ndarray:
+    """Per-task probability that an ant's feedback reads LACK.
+
+    This is the paper's noise kernel ``s(Delta) = 1/(1+exp(-lambda*Delta))``
+    (Section 2.2).  ``deficit`` may be any shape; the result matches it.
+
+    Parameters
+    ----------
+    deficit:
+        ``Delta(j) = d(j) - W(j)``; positive values mean too few workers.
+    lam:
+        Sigmoid steepness ``lambda > 0``.
+    """
+    if lam <= 0.0:
+        raise ConfigurationError(f"sigmoid steepness lambda must be > 0, got {lam}")
+    return logistic(lam * np.asarray(deficit, dtype=np.float64))
+
+
+def enumerate_subset_join_probabilities(u: npt.ArrayLike) -> np.ndarray:
+    """Exact per-task join probabilities for an idle ant.
+
+    In Algorithm Ant an idle ant marks each task ``j`` "underloaded"
+    independently with probability ``u[j]`` (both of its samples read LACK)
+    and then joins one *uniformly at random* among its underloaded tasks,
+    staying idle if there are none.  This returns the exact marginal
+    distribution over actions, computed by enumerating all ``2^k`` subsets:
+
+    ``pi[j] = sum over subsets S containing j of P[S] / |S|`` for ``j < k``,
+    and ``pi[k] = P[empty set]`` is the probability of staying idle.
+
+    Used by the O(k)-per-round counting engine; complexity ``O(2^k * k)``,
+    intended for ``k <= ~14``.
+
+    Returns
+    -------
+    Array of shape ``(k + 1,)``: entries ``0..k-1`` are join probabilities,
+    entry ``k`` is the stay-idle probability.  Sums to 1.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    if u.ndim != 1:
+        raise ConfigurationError("u must be a 1-d vector of per-task probabilities")
+    if np.any(u < 0.0) or np.any(u > 1.0):
+        raise ConfigurationError("per-task underload probabilities must lie in [0, 1]")
+    k = u.shape[0]
+    if k > 20:
+        raise ConfigurationError(
+            f"subset enumeration is exponential in k; k={k} is too large (use agent sampling)"
+        )
+    pi = np.zeros(k + 1, dtype=np.float64)
+    one_minus = 1.0 - u
+    tasks = range(k)
+    # P[empty set]: ant saw no underloaded task, stays idle.
+    pi[k] = float(np.prod(one_minus))
+    for size in range(1, k + 1):
+        share = 1.0 / size
+        for subset in combinations(tasks, size):
+            mask = np.zeros(k, dtype=bool)
+            mask[list(subset)] = True
+            p_subset = float(np.prod(np.where(mask, u, one_minus)))
+            if p_subset == 0.0:
+                continue
+            for j in subset:
+                pi[j] += p_subset * share
+    # Guard against tiny negative drift / renormalize to machine precision.
+    total = pi.sum()
+    if not np.isclose(total, 1.0, atol=1e-9):
+        raise ConfigurationError(f"join probabilities do not sum to 1 (got {total})")
+    return pi / total

@@ -1,0 +1,72 @@
+"""Small parameter-validation helpers.
+
+Used by every constructor so error messages are uniform and raised as
+:class:`~repro.exceptions.ConfigurationError` (a ``ValueError`` subclass).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["check_positive", "check_probability", "check_in_range", "check_integer"]
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Validate ``value > 0`` (or ``>= 0`` with ``allow_zero``) and return it."""
+    value = float(value)
+    if math.isnan(value):
+        raise ConfigurationError(f"{name} must not be NaN")
+    if allow_zero:
+        if value < 0.0:
+            raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    elif value <= 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate ``0 <= value <= 1`` and return it as a float."""
+    value = float(value)
+    if math.isnan(value) or not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive_low: bool = True,
+    inclusive_high: bool = True,
+) -> float:
+    """Validate ``value`` lies in the given interval and return it."""
+    value = float(value)
+    lo_ok = value >= low if inclusive_low else value > low
+    hi_ok = value <= high if inclusive_high else value < high
+    if math.isnan(value) or not (lo_ok and hi_ok):
+        lb = "[" if inclusive_low else "("
+        rb = "]" if inclusive_high else ")"
+        raise ConfigurationError(f"{name} must lie in {lb}{low}, {high}{rb}, got {value}")
+    return value
+
+
+def check_integer(name: str, value: Any, *, minimum: int | None = None) -> int:
+    """Validate that ``value`` is an integer (or integral float) and return it."""
+    if isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got bool")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ConfigurationError(f"{name} must be an integer, got {value}")
+        value = int(value)
+    try:
+        value = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}") from exc
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    return value

@@ -1,0 +1,119 @@
+"""Tests for convergence detection utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceSummary,
+    band_residence,
+    deficit_band,
+    rounds_to_band,
+    summarize_convergence,
+)
+from repro.exceptions import AnalysisError
+
+
+def traj(*rows):
+    return np.asarray(rows, dtype=float)
+
+
+class TestDeficitBand:
+    def test_formula(self):
+        np.testing.assert_allclose(
+            deficit_band(np.array([100.0, 200.0]), 0.02), [13.0, 23.0]
+        )
+
+    def test_custom_coefficients(self):
+        np.testing.assert_allclose(
+            deficit_band(np.array([100.0]), 0.02, coefficient=1.0, slack=0.0), [2.0]
+        )
+
+    def test_rejects_bad(self):
+        with pytest.raises(AnalysisError):
+            deficit_band(np.array([0.0]), 0.02)
+        with pytest.raises(AnalysisError):
+            deficit_band(np.array([10.0]), 0.0)
+
+
+class TestRoundsToBand:
+    def test_entry_found(self):
+        d = np.array([100.0])
+        loads = traj([0.0], [50.0], [95.0], [80.0])
+        # Band half-width = 5*0.02*100+3 = 13 -> first inside at 95.
+        assert rounds_to_band(loads, d, 0.02) == 2
+
+    def test_never(self):
+        d = np.array([100.0])
+        assert rounds_to_band(traj([0.0], [10.0]), d, 0.02) is None
+
+    def test_all_tasks_required(self):
+        d = np.array([100.0, 100.0])
+        loads = traj([100.0, 0.0], [100.0, 100.0])
+        assert rounds_to_band(loads, d, 0.02) == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            rounds_to_band(traj([1.0]), np.array([1.0, 2.0]), 0.02)
+
+
+class TestBandResidence:
+    def test_full_residence(self):
+        d = np.array([100.0])
+        assert band_residence(traj([100.0], [105.0]), d, 0.02) == 1.0
+
+    def test_partial(self):
+        d = np.array([100.0])
+        loads = traj([100.0], [0.0], [100.0], [100.0])
+        assert band_residence(loads, d, 0.02) == pytest.approx(0.75)
+
+    def test_after_window(self):
+        d = np.array([100.0])
+        loads = traj([0.0], [100.0])
+        assert band_residence(loads, d, 0.02, after=1) == 1.0
+
+    def test_after_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            band_residence(traj([1.0]), np.array([100.0]), 0.02, after=5)
+
+
+class TestSummarize:
+    def test_all_converged(self):
+        d = np.array([100.0])
+        trials = [traj([0.0], [100.0], [100.0]), traj([100.0], [100.0])]
+        s = summarize_convergence(trials, d, 0.02)
+        assert s.all_converged
+        assert s.converged_trials == 2
+        assert s.mean_rounds == pytest.approx(0.5)
+        assert s.mean_residence == 1.0
+
+    def test_none_converged(self):
+        d = np.array([100.0])
+        s = summarize_convergence([traj([0.0])], d, 0.02)
+        assert not s.all_converged
+        assert s.mean_rounds == float("inf")
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            summarize_convergence([], np.array([100.0]), 0.02)
+
+    def test_on_real_run(self):
+        from repro.core.ant import AntAlgorithm
+        from repro.env.critical import lambda_for_critical_value
+        from repro.env.demands import uniform_demands
+        from repro.env.feedback import SigmoidFeedback
+        from repro.sim.counting import CountingSimulator
+
+        demand = uniform_demands(n=8000, k=4)
+        lam = lambda_for_critical_value(demand, gamma_star=0.01)
+        trajectories = []
+        for seed in range(3):
+            out = CountingSimulator(
+                AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=seed
+            ).run(6000, trace_stride=1)
+            trajectories.append(out.trace.loads.astype(float))
+        s = summarize_convergence(trajectories, demand.as_array(), 0.025)
+        assert s.all_converged
+        assert s.mean_rounds < 3000
+        assert s.mean_residence > 0.95

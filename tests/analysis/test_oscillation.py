@@ -1,0 +1,75 @@
+"""Tests for oscillation detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.oscillation import (
+    detect_blowups,
+    oscillation_stats,
+    zero_crossings,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestZeroCrossings:
+    def test_simple_sine(self):
+        # Phase-shifted so the series does not start or end exactly at 0.
+        x = np.sin(np.linspace(0.1, 0.1 + 4 * np.pi, 400))
+        # Two full periods -> crossings at pi, 2pi, 3pi, 4pi.
+        assert len(zero_crossings(x)) == 4
+
+    def test_no_crossing(self):
+        assert len(zero_crossings(np.array([1.0, 2.0, 3.0]))) == 0
+
+    def test_touch_zero_not_double_counted(self):
+        # +1, 0, +1 touches zero but never changes sign.
+        assert len(zero_crossings(np.array([1.0, 0.0, 1.0]))) == 0
+
+    def test_zero_then_flip_counts_once(self):
+        assert len(zero_crossings(np.array([1.0, 0.0, -1.0]))) == 1
+
+    def test_short_series(self):
+        assert len(zero_crossings(np.array([1.0]))) == 0
+
+
+class TestOscillationStats:
+    def test_alternating_series(self):
+        x = np.tile([5.0, -5.0], 50)
+        s = oscillation_stats(x, threshold=10.0)
+        assert s.oscillates
+        assert s.crossings == 99
+        assert s.amplitude_max == 5.0
+        assert s.fraction_inside == 1.0
+        assert s.mean_period == pytest.approx(2.0)
+
+    def test_flat_series(self):
+        s = oscillation_stats(np.full(10, 3.0), threshold=1.0)
+        assert not s.oscillates
+        assert s.mean_period == float("inf")
+        assert s.fraction_inside == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            oscillation_stats(np.array([]), threshold=1.0)
+
+
+class TestDetectBlowups:
+    def test_single_excursion(self):
+        x = np.array([0.0, 1.0, 9.0, 12.0, 4.0, 0.0])
+        blowups = detect_blowups(x, threshold=5.0)
+        assert blowups == [(2, 4, 12.0)]
+
+    def test_negative_excursions_counted(self):
+        x = np.array([0.0, -20.0, 0.0])
+        assert detect_blowups(x, threshold=5.0) == [(1, 2, 20.0)]
+
+    def test_none(self):
+        assert detect_blowups(np.zeros(5), threshold=1.0) == []
+
+    def test_excursion_at_edges(self):
+        x = np.array([10.0, 0.0, 10.0])
+        b = detect_blowups(x, threshold=5.0)
+        assert len(b) == 2
+        assert b[0][0] == 0 and b[1][1] == 3

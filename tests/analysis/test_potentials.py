@@ -1,0 +1,128 @@
+"""Tests for the Section 4 potential functions — unit and on real runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.potentials import (
+    count_upcrossings,
+    phi_potential,
+    potential_trace,
+    psi_potential,
+    saturation_round,
+)
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import SigmoidFeedback
+from repro.exceptions import AnalysisError
+from repro.sim.counting import CountingSimulator
+
+
+class TestPhiPsi:
+    def test_phi_zero_when_saturated(self):
+        d = np.array([100.0, 100.0])
+        assert phi_potential(np.array([120.0, 110.0]), d, 0.05) == 0.0
+
+    def test_phi_counts_shortfall(self):
+        d = np.array([100.0])
+        # Level = 105; load 95 -> shortfall 10.
+        assert phi_potential(np.array([95.0]), d, 0.05) == pytest.approx(10.0)
+
+    def test_psi_counts_unsaturated_tasks(self):
+        d = np.array([100.0, 100.0, 100.0])
+        loads = np.array([120.0, 104.0, 90.0])
+        assert psi_potential(loads, d, 0.05) == 2
+
+    def test_matrix_input(self):
+        d = np.array([100.0])
+        loads = np.array([[95.0], [120.0]])
+        np.testing.assert_allclose(phi_potential(loads, d, 0.05), [10.0, 0.0])
+        np.testing.assert_allclose(psi_potential(loads, d, 0.05), [1, 0])
+
+
+class TestSaturationRound:
+    def test_found(self):
+        d = np.array([100.0])
+        loads = np.array([[50.0], [94.0], [96.0], [80.0]])
+        # Saturated means >= (1-gamma)d = 95.
+        assert saturation_round(loads, d, 0.05) == 2
+
+    def test_never(self):
+        d = np.array([100.0])
+        assert saturation_round(np.array([[10.0]]), d, 0.05) is None
+
+
+class TestUpcrossings:
+    def test_single_crossing(self):
+        assert count_upcrossings(np.array([0.0, 5.0, 12.0, 15.0]), 10.0) == 1
+
+    def test_oscillating(self):
+        assert count_upcrossings(np.array([0.0, 12.0, 0.0, 12.0]), 10.0) == 2
+
+    def test_never_crosses(self):
+        assert count_upcrossings(np.array([0.0, 1.0]), 10.0) == 0
+
+    def test_short(self):
+        assert count_upcrossings(np.array([20.0]), 10.0) == 0
+
+
+class TestOnRealRuns:
+    @pytest.fixture(scope="class")
+    def run(self):
+        demand = uniform_demands(n=8000, k=4)
+        gs = 0.01
+        lam = lambda_for_critical_value(demand, gamma_star=gs)
+        gamma = 0.025
+        sim = CountingSimulator(AntAlgorithm(gamma=gamma), demand, SigmoidFeedback(lam), seed=0)
+        out = sim.run(6000, trace_stride=1)
+        return demand, gamma, out
+
+    def test_claim_4_5_phi_psi_monotone(self, run):
+        """Claim 4.5: Phi and Psi are (w.h.p.) non-increasing at phase starts."""
+        demand, gamma, out = run
+        pt = potential_trace(
+            out.trace.rounds, out.trace.loads, demand.as_array(), gamma
+        )
+        assert pt.phi_monotone_fraction >= 0.99
+        assert pt.psi_monotone_fraction >= 0.99
+
+    def test_claim_4_5_phi_reaches_zero(self, run):
+        """All tasks get saturated and stay: Phi hits 0 and R- stops."""
+        demand, gamma, out = run
+        pt = potential_trace(
+            out.trace.rounds, out.trace.loads, demand.as_array(), gamma
+        )
+        assert pt.phi[-1] == 0.0
+        assert pt.psi[-1] == 0.0
+
+    def test_claim_4_4_saturation_permanent(self, run):
+        """Once all tasks are saturated (>= (1-gamma)d) at a phase start,
+        they stay saturated at later phase starts."""
+        demand, gamma, out = run
+        rounds, loads = out.trace.rounds, out.trace.loads
+        mask = rounds % 2 == 0
+        phase_loads = loads[mask].astype(float)
+        t_sat = saturation_round(phase_loads, demand.as_array(), gamma)
+        assert t_sat is not None
+        after = phase_loads[t_sat:]
+        level = (1.0 - gamma) * demand.as_array()
+        assert np.all(after >= level[np.newaxis, :])
+
+    def test_claim_4_2_single_upcrossing(self, run):
+        """Each task's phase-start load crosses d(1+gamma) upward at most
+        once in the interval (the one-time join wave)."""
+        demand, gamma, out = run
+        rounds, loads = out.trace.rounds, out.trace.loads
+        mask = rounds % 2 == 0
+        phase_loads = loads[mask].astype(float)
+        for j in range(demand.k):
+            level = (1.0 + gamma) * demand.as_array()[j]
+            assert count_upcrossings(phase_loads[:, j], level) <= 1
+
+    def test_potential_trace_validation(self):
+        with pytest.raises(AnalysisError):
+            potential_trace(np.array([1, 2]), np.zeros((3, 1)), np.array([1]), 0.05)
+        with pytest.raises(AnalysisError):
+            potential_trace(np.array([1]), np.zeros((1, 1)), np.array([1]), 0.05)

@@ -1,0 +1,45 @@
+"""Tests for report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+    def test_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T")
+
+    def test_float_format(self):
+        out = format_table(["x"], [[0.123456]], float_fmt="{:.2f}")
+        assert "0.12" in out
+
+    def test_mixed_types(self):
+        out = format_table(["name", "v"], [["abc", 1.5]])
+        assert "abc" in out and "1.5" in out
+
+
+class TestFormatComparison:
+    def test_upper_pass(self):
+        s = format_comparison("x", 1.0, 2.0, kind="upper")
+        assert "OK" in s
+
+    def test_upper_fail(self):
+        s = format_comparison("x", 3.0, 2.0, kind="upper")
+        assert "VIOLATION" in s
+
+    def test_lower_pass(self):
+        assert "OK" in format_comparison("x", 3.0, 2.0, kind="lower")
+
+    def test_lower_fail(self):
+        assert "BELOW" in format_comparison("x", 1.0, 2.0, kind="lower")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            format_comparison("x", 1.0, 2.0, kind="sideways")

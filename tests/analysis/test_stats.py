@@ -1,0 +1,74 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, geometric_decay_fit, mean_confidence_interval
+from repro.exceptions import AnalysisError
+
+
+class TestMeanCI:
+    def test_contains_mean(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        mean, lo, hi = mean_confidence_interval(x)
+        assert lo <= mean <= hi
+        assert mean == pytest.approx(2.5)
+
+    def test_single_sample_degenerate(self):
+        mean, lo, hi = mean_confidence_interval(np.array([5.0]))
+        assert mean == lo == hi == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            mean_confidence_interval(np.array([]))
+
+    def test_coverage_simulation(self):
+        gen = np.random.default_rng(0)
+        hits = 0
+        for _ in range(300):
+            x = gen.normal(0.0, 1.0, size=20)
+            _, lo, hi = mean_confidence_interval(x, confidence=0.9)
+            hits += lo <= 0.0 <= hi
+        assert hits / 300 == pytest.approx(0.9, abs=0.06)
+
+
+class TestBootstrap:
+    def test_contains_point(self):
+        x = np.arange(30, dtype=float)
+        point, lo, hi = bootstrap_ci(x, rng=0)
+        assert lo <= point <= hi
+
+    def test_deterministic_with_seed(self):
+        x = np.arange(10, dtype=float)
+        a = bootstrap_ci(x, rng=1)
+        b = bootstrap_ci(x, rng=1)
+        assert a == b
+
+    def test_custom_statistic(self):
+        x = np.array([1.0, 2.0, 100.0])
+        point, lo, hi = bootstrap_ci(x, statistic=np.median, rng=0)
+        assert point == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_ci(np.array([]))
+
+
+class TestGeometricDecayFit:
+    def test_exact_decay_recovered(self):
+        t = np.arange(50)
+        v = 100.0 * 0.95**t
+        rho, amp = geometric_decay_fit(v)
+        assert rho == pytest.approx(0.95, rel=1e-6)
+        assert amp == pytest.approx(100.0, rel=1e-6)
+
+    def test_ignores_nonpositive_tail(self):
+        v = np.concatenate([100.0 * 0.5 ** np.arange(10), np.zeros(5)])
+        rho, _ = geometric_decay_fit(v)
+        assert rho == pytest.approx(0.5, rel=1e-6)
+
+    def test_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            geometric_decay_fit(np.array([1.0, 0.0, 0.0]))

@@ -1,0 +1,69 @@
+"""Tests for the closed-form theorem bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.theory import (
+    adversarial_lower_bound_rate,
+    ant_closeness_bound,
+    ant_regret_bound,
+    memory_lower_bound_far,
+    precise_adversarial_rate,
+    precise_sigmoid_rate,
+    stable_zone,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestBoundFormulas:
+    def test_ant_regret_bound_structure(self):
+        # One-off term + linear term.
+        short = ant_regret_bound(1, 1000, 4, 0.05, 500.0)
+        long = ant_regret_bound(1001, 1000, 4, 0.05, 500.0)
+        assert long - short == pytest.approx(1000 * (5 * 0.05 * 500 + 3))
+
+    def test_ant_regret_rejects_bad(self):
+        with pytest.raises(ConfigurationError):
+            ant_regret_bound(0, 10, 1, 0.1, 5.0)
+
+    def test_ant_closeness(self):
+        assert ant_closeness_bound(0.05, 0.01) == pytest.approx(25.0)
+
+    def test_ant_closeness_requires_gamma_ge_star(self):
+        with pytest.raises(ConfigurationError):
+            ant_closeness_bound(0.005, 0.01)
+
+    def test_precise_sigmoid_rate(self):
+        assert precise_sigmoid_rate(0.5, 0.04, 1000.0) == pytest.approx(20.0)
+
+    def test_precise_adversarial_rate(self):
+        assert precise_adversarial_rate(0.5, 0.04, 1000.0) == pytest.approx(60.0)
+
+    def test_adversarial_lb(self):
+        assert adversarial_lower_bound_rate(0.01, 1000.0) == pytest.approx(10.0)
+
+    def test_memory_lb(self):
+        assert memory_lower_bound_far(0.25, 0.01, 1000.0) == pytest.approx(2.5)
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            precise_sigmoid_rate(1.5, 0.04, 100.0)
+        with pytest.raises(ConfigurationError):
+            precise_adversarial_rate(0.0, 0.04, 100.0)
+        with pytest.raises(ConfigurationError):
+            adversarial_lower_bound_rate(0.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            memory_lower_bound_far(2.0, 0.01, 100.0)
+
+
+class TestStableZone:
+    def test_paper_formula(self):
+        lo, hi = stable_zone(1000.0, 0.02)
+        assert lo == pytest.approx(1020.0)
+        assert hi == pytest.approx(1000 * (1 + (0.9 * 2.5 - 1) * 0.02))
+        assert hi > lo
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            stable_zone(0.0, 0.02)

@@ -1,0 +1,39 @@
+"""Tests for the Theorem 3.3 memory-bounded algorithm family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automaton.bounded import BoundedMemorySpec, bounded_memory_family
+from repro.core.ant import AntAlgorithm
+from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
+
+
+class TestBoundedMemoryFamily:
+    def test_small_budget_falls_back_to_ant(self):
+        specs = bounded_memory_family(0.04, counter_bits=(1, 2, 4))
+        assert all(isinstance(s.algorithm, AntAlgorithm) for s in specs)
+        assert all(s.window == 1 for s in specs)
+
+    def test_large_budget_uses_precise_sigmoid(self):
+        specs = bounded_memory_family(0.04, counter_bits=(5, 6, 7))
+        assert all(isinstance(s.algorithm, PreciseSigmoidAlgorithm) for s in specs)
+        assert [s.window for s in specs] == [31, 63, 127]
+
+    def test_window_matches_bits(self):
+        (spec,) = bounded_memory_family(0.04, counter_bits=(6,))
+        assert spec.window == 2**6 - 1
+        assert spec.algorithm.m == spec.window
+
+    def test_eps_halves_per_bit(self):
+        specs = bounded_memory_family(0.04, counter_bits=(6, 7))
+        ratio = specs[0].eps_effective / specs[1].eps_effective
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_predicted_scale_clipped(self):
+        (ant_spec,) = bounded_memory_family(0.04, counter_bits=(1,))
+        assert ant_spec.predicted_closeness_scale == 1.0
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(Exception):
+            bounded_memory_family(0.04, counter_bits=(0,))

@@ -1,0 +1,79 @@
+"""Tests for Algorithm Ant compiled to an explicit automaton."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.automaton.compile_ant import compile_ant_automaton
+from repro.automaton.fsm import FSMColonyAlgorithm
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import DemandVector, uniform_demands
+from repro.env.feedback import SigmoidFeedback
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.types import IDLE
+
+
+class TestCompilation:
+    def test_state_count(self):
+        a, _ = compile_ant_automaton(k=2, gamma=0.02)
+        # (k+1) A-states + 2^k B_idle + 4k B_work = 3 + 4 + 8 = 15.
+        assert a.num_states == 15
+
+    def test_satisfies_assumption_2_2(self):
+        for k in (1, 2, 3):
+            a, _ = compile_ant_automaton(k=k, gamma=0.02)
+            assert a.check_reachability(), f"Ant automaton (k={k}) not strongly connected"
+
+    def test_initial_mapping_complete(self):
+        _, init = compile_ant_automaton(k=3, gamma=0.02)
+        assert set(init) == {-1, 0, 1, 2}
+
+    def test_rejects_large_k(self):
+        with pytest.raises(ConfigurationError):
+            compile_ant_automaton(k=7, gamma=0.02)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ConfigurationError):
+            compile_ant_automaton(k=2, gamma=0.2)
+
+    def test_memory_constant(self):
+        a, _ = compile_ant_automaton(k=2, gamma=0.02)
+        assert a.memory_bits < 5  # 15 states ~ 3.9 bits, independent of n
+
+
+@pytest.mark.slow
+class TestEquivalenceWithVectorized:
+    def test_trajectory_moments_match(self):
+        """The compiled automaton and the hand-vectorized AntAlgorithm
+        must induce the same load-trajectory distribution."""
+        demand = DemandVector(np.array([300, 300]), n=1200, strict=False)
+        lam = lambda_for_critical_value(demand, gamma_star=0.05)
+        gamma = 0.0625
+        rounds, trials = 30, 50
+        probes = [2, 6, 14, 30]
+
+        automaton, init = compile_ant_automaton(k=2, gamma=gamma)
+        fsm_alg = FSMColonyAlgorithm(automaton, initial_state_for_action=init)
+
+        def collect(factory):
+            vals = []
+            for trial in range(trials):
+                out = factory(trial).run(rounds, trace_stride=1)
+                vals.append([out.trace.loads[t - 1] for t in probes])
+            return np.asarray(vals, dtype=float)
+
+        fsm = collect(
+            lambda s: Simulator(
+                fsm_alg, demand, SigmoidFeedback(lam), seed=5000 + s
+            )
+        )
+        vec = collect(
+            lambda s: Simulator(
+                AntAlgorithm(gamma=gamma), demand, SigmoidFeedback(lam), seed=6000 + s
+            )
+        )
+        sem = (fsm.std(axis=0) + vec.std(axis=0)) / np.sqrt(trials) + 1e-9
+        assert np.all(np.abs(fsm.mean(axis=0) - vec.mean(axis=0)) <= 4 * sem + 2.0)

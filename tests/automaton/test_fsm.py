@@ -1,0 +1,150 @@
+"""Tests for the finite-automaton substrate (Assumptions 2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.automaton.fsm import FiniteAntAutomaton, FSMColonyAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE
+
+
+def two_state_automaton(p_flip: float = 0.5) -> FiniteAntAutomaton:
+    """Idle <-> working-on-task-0 with flip probability on any symbol."""
+    k = 1
+    T = np.zeros((2, 2, 2))
+    for f in range(2):
+        T[0, f] = [1 - p_flip, p_flip]
+        T[1, f] = [p_flip, 1 - p_flip]
+    outputs = np.array([IDLE, 0])
+    return FiniteAntAutomaton(T, outputs, k)
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        two_state_automaton()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            FiniteAntAutomaton(np.ones((2, 2, 3)) / 3, np.array([IDLE, 0]), 1)
+
+    def test_rejects_wrong_alphabet(self):
+        with pytest.raises(ConfigurationError, match="alphabet"):
+            FiniteAntAutomaton(np.ones((2, 3, 2)) / 2, np.array([IDLE, 0]), 1)
+
+    def test_rejects_unnormalized_rows(self):
+        T = np.zeros((2, 2, 2))
+        T[:, :, 0] = 0.7
+        T[:, :, 1] = 0.7
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            FiniteAntAutomaton(T, np.array([IDLE, 0]), 1)
+
+    def test_rejects_negative_probs(self):
+        T = np.zeros((2, 2, 2))
+        T[:, :, 0] = 1.5
+        T[:, :, 1] = -0.5
+        with pytest.raises(ConfigurationError):
+            FiniteAntAutomaton(T, np.array([IDLE, 0]), 1)
+
+    def test_rejects_bad_outputs(self):
+        T = np.zeros((2, 2, 2))
+        T[:, :, 0] = 1.0
+        with pytest.raises(ConfigurationError):
+            FiniteAntAutomaton(T, np.array([IDLE, 5]), 1)
+
+    def test_memory_bits(self):
+        assert two_state_automaton().memory_bits == pytest.approx(1.0)
+
+
+class TestReachability:
+    def test_strongly_connected_passes(self):
+        a = two_state_automaton()
+        assert a.check_reachability()
+        a.validate_assumption_2_2()
+
+    def test_sink_state_fails(self):
+        # State 1 never leaves: Assumption 2.2 violated.
+        T = np.zeros((2, 2, 2))
+        T[0, :, 1] = 1.0  # 0 -> 1 always
+        T[1, :, 1] = 1.0  # 1 -> 1 always (sink)
+        a = FiniteAntAutomaton(T, np.array([IDLE, 0]), 1)
+        assert not a.check_reachability()
+        with pytest.raises(ConfigurationError, match="Assumptions 2.2"):
+            a.validate_assumption_2_2()
+
+    def test_support_digraph_edges(self):
+        g = two_state_automaton().support_digraph()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+
+class TestPopulationStep:
+    def test_deterministic_transition(self, rng):
+        T = np.zeros((2, 2, 2))
+        # On symbol 0 go to state 0; on symbol 1 go to state 1.
+        T[:, 0, 0] = 1.0
+        T[:, 1, 1] = 1.0
+        a = FiniteAntAutomaton(T, np.array([IDLE, 0]), 1)
+        states = np.array([0, 1, 0])
+        lack = np.array([[True], [False], [False]])
+        out = a.step_population(states, lack, rng)
+        np.testing.assert_array_equal(out, [1, 0, 0])
+
+    def test_stochastic_rates(self):
+        a = two_state_automaton(p_flip=0.3)
+        gen = np.random.default_rng(0)
+        states = np.zeros(100_000, dtype=np.int64)
+        lack = np.zeros((100_000, 1), dtype=bool)
+        out = a.step_population(states, lack, gen)
+        assert (out == 1).mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_symbol_packing_multi_task(self, rng):
+        k = 2
+        S = 4
+        T = np.zeros((S, 4, S))
+        # Next state = symbol index (deterministic).
+        for f in range(4):
+            T[:, f, f] = 1.0
+        outputs = np.array([IDLE, 0, 1, IDLE])
+        a = FiniteAntAutomaton(T, outputs, k)
+        lack = np.array([[False, False], [True, False], [False, True], [True, True]])
+        out = a.step_population(np.zeros(4, dtype=np.int64), lack, rng)
+        np.testing.assert_array_equal(out, [0, 1, 2, 3])
+
+    def test_actions_map(self):
+        a = two_state_automaton()
+        np.testing.assert_array_equal(a.actions(np.array([0, 1, 0])), [IDLE, 0, IDLE])
+
+
+class TestFSMColonyAlgorithm:
+    def test_runs_under_engine(self):
+        from repro.env.demands import DemandVector
+        from repro.env.feedback import SigmoidFeedback
+        from repro.sim.engine import Simulator
+
+        a = two_state_automaton()
+        alg = FSMColonyAlgorithm(a)
+        demand = DemandVector(np.array([100]), n=400, strict=False)
+        sim = Simulator(alg, demand, SigmoidFeedback(0.5), seed=0)
+        out = sim.run(50)
+        assert out.final_loads.sum() <= 400
+
+    def test_check_assumptions_rejected_for_sink(self):
+        T = np.zeros((2, 2, 2))
+        T[:, :, 1] = 1.0
+        a = FiniteAntAutomaton(T, np.array([IDLE, 0]), 1)
+        with pytest.raises(ConfigurationError):
+            FSMColonyAlgorithm(a)
+        FSMColonyAlgorithm(a, check_assumptions=False)  # explicit override OK
+
+    def test_initial_state_mapping(self, rng):
+        a = two_state_automaton()
+        alg = FSMColonyAlgorithm(a)
+        state = alg.create_state(4, 1, np.array([IDLE, 0, IDLE, 0]))
+        np.testing.assert_array_equal(state["states"], [0, 1, 0, 1])
+
+    def test_k_mismatch(self):
+        a = two_state_automaton()
+        alg = FSMColonyAlgorithm(a)
+        with pytest.raises(ConfigurationError, match="k="):
+            alg.create_state(4, 3, np.full(4, IDLE, dtype=np.int64))

@@ -1,0 +1,80 @@
+"""Tests for the backoff binary-feedback baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cornejo import BackoffBinaryAlgorithm
+from repro.env.demands import uniform_demands
+from repro.env.feedback import ExactBinaryFeedback
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.types import IDLE
+
+
+def make_state(alg, assignment, k=2):
+    assignment = np.asarray(assignment, dtype=np.int64)
+    return alg.create_state(assignment.shape[0], k, assignment)
+
+
+class TestBackoffMechanics:
+    def test_leaver_backs_off(self):
+        alg = BackoffBinaryAlgorithm()
+        n = 50_000
+        gen = np.random.default_rng(0)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        alg.step(st, 1, np.zeros((n, 2), dtype=bool), gen)
+        left = st.assignment == IDLE
+        assert left.mean() == pytest.approx(0.5, abs=0.01)
+        assert (st.backoff[left] == 1).all()
+        assert (st.backoff[~left] == 0).all()
+
+    def test_join_gated_by_backoff(self):
+        alg = BackoffBinaryAlgorithm()
+        n = 50_000
+        gen = np.random.default_rng(1)
+        st = make_state(alg, np.full(n, IDLE, dtype=np.int64))
+        st.backoff[:] = 2  # join probability 1/4
+        alg.step(st, 1, np.ones((n, 2), dtype=bool), gen)
+        assert (st.assignment != IDLE).mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_backoff_capped(self, rng):
+        alg = BackoffBinaryAlgorithm(max_backoff=3)
+        st = make_state(alg, [0] * 100)
+        st.backoff[:] = 3
+        for t in range(5):
+            st.assignment[:] = 0  # force back to work
+            alg.step(st, t + 1, np.zeros((100, 2), dtype=bool), rng)
+        assert st.backoff.max() <= 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(Exception):
+            BackoffBinaryAlgorithm(max_backoff=0)
+        with pytest.raises(ConfigurationError):
+            BackoffBinaryAlgorithm(recovery_rate=2.0)
+
+
+class TestBackoffBehaviour:
+    def test_damps_herding_vs_trivial(self):
+        """Backoff must beat the plain trivial algorithm's Theta(n)
+        oscillation under exact feedback."""
+        from repro.core.trivial import TrivialAlgorithm
+
+        demand = uniform_demands(n=4000, k=2)
+        fb = ExactBinaryFeedback()
+        rounds = 3000
+        out_b = Simulator(BackoffBinaryAlgorithm(), demand, fb, seed=0).run(
+            rounds, burn_in=rounds // 2
+        )
+        out_t = Simulator(TrivialAlgorithm(), demand, fb, seed=0).run(
+            rounds, burn_in=rounds // 2
+        )
+        assert out_b.metrics.average_regret < 0.4 * out_t.metrics.average_regret
+
+    def test_eventually_occupies_tasks(self):
+        demand = uniform_demands(n=2000, k=2)
+        out = Simulator(
+            BackoffBinaryAlgorithm(), demand, ExactBinaryFeedback(), seed=0
+        ).run(2000)
+        assert np.all(out.final_loads > 0.3 * demand.as_array())

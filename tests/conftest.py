@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import DemandVector, uniform_demands
+from repro.env.feedback import SigmoidFeedback
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_demand() -> DemandVector:
+    """2000 ants, 4 tasks of demand 250 — the standard small test colony."""
+    return uniform_demands(n=2000, k=4)
+
+
+@pytest.fixture
+def stable_demand() -> DemandVector:
+    """8000 ants, 4 tasks of demand 1000 — large enough that Algorithm
+    Ant's resting band is non-empty at gamma = 2.5 * gamma* = 0.025."""
+    return uniform_demands(n=8000, k=4)
+
+
+@pytest.fixture
+def gamma_star() -> float:
+    return 0.01
+
+
+@pytest.fixture
+def sigmoid(stable_demand, gamma_star) -> SigmoidFeedback:
+    lam = lambda_for_critical_value(stable_demand, gamma_star=gamma_star)
+    return SigmoidFeedback(lam)
+
+
+@pytest.fixture
+def ant() -> AntAlgorithm:
+    return AntAlgorithm(gamma=0.025)

@@ -1,0 +1,175 @@
+"""Unit tests for Algorithm Ant's round mechanics.
+
+These drive :class:`AntAlgorithm.step` directly with hand-crafted
+feedback matrices, pinning down every branch of the pseudocode:
+pause, resume, permanent leave, join, and the phase bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm, OneSampleAntAlgorithm
+from repro.core.constants import AlgorithmConstants
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE
+
+
+def make_state(alg, assignment, k=2):
+    assignment = np.asarray(assignment, dtype=np.int64)
+    return alg.create_state(assignment.shape[0], k, assignment)
+
+
+class TestConstruction:
+    def test_gamma_range(self):
+        AntAlgorithm(gamma=1.0 / 16.0)
+        with pytest.raises(ConfigurationError):
+            AntAlgorithm(gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            AntAlgorithm(gamma=0.07)
+
+    def test_gamma_max_override(self):
+        alg = AntAlgorithm(gamma=0.1, gamma_max=0.125, constants=AlgorithmConstants(c_s=2.5, c_d=19.0))
+        assert alg.gamma == 0.1
+
+    def test_probabilities(self):
+        alg = AntAlgorithm(gamma=0.04)
+        assert alg.pause_probability == pytest.approx(0.1)
+        assert alg.leave_probability == pytest.approx(0.04 / 19.0)
+
+    def test_phase_length(self):
+        assert AntAlgorithm(gamma=0.01).phase_length == 2
+
+    def test_rejects_non_constants(self):
+        with pytest.raises(ConfigurationError):
+            AntAlgorithm(gamma=0.01, constants="nope")
+
+    def test_memory_constant_in_n(self):
+        alg = AntAlgorithm(gamma=0.01)
+        assert alg.memory_bits(4) == alg.memory_bits(4)
+        assert alg.memory_bits(4) < 32  # constant, tiny
+
+
+class TestFirstRound:
+    def test_records_current_task_and_sample(self, rng):
+        alg = AntAlgorithm(gamma=0.01)
+        st = make_state(alg, [0, 1, IDLE])
+        lack = np.array([[True, False]] * 3)
+        alg.step(st, 1, lack, rng)
+        np.testing.assert_array_equal(st.current_task, [0, 1, IDLE])
+        np.testing.assert_array_equal(st.s1_lack, lack)
+
+    def test_idle_ants_stay_idle(self, rng):
+        alg = AntAlgorithm(gamma=0.01)
+        st = make_state(alg, [IDLE, IDLE])
+        alg.step(st, 1, np.ones((2, 2), dtype=bool), rng)
+        assert (st.assignment == IDLE).all()
+
+    def test_pause_rate(self):
+        alg = AntAlgorithm(gamma=0.0625)  # pause prob = 0.15625
+        n = 40_000
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        gen = np.random.default_rng(0)
+        alg.step(st, 1, np.zeros((n, 2), dtype=bool), gen)
+        paused = (st.assignment == IDLE).mean()
+        assert paused == pytest.approx(alg.pause_probability, abs=0.01)
+
+    def test_pause_is_independent_of_feedback(self):
+        # Pausing happens regardless of the sample's value.
+        alg = AntAlgorithm(gamma=0.0625)
+        n = 40_000
+        gen = np.random.default_rng(1)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        alg.step(st, 1, np.ones((n, 2), dtype=bool), gen)  # LACK everywhere
+        assert (st.assignment == IDLE).mean() == pytest.approx(
+            alg.pause_probability, abs=0.01
+        )
+
+
+class TestSecondRound:
+    def test_both_overload_leaves_at_rate(self):
+        alg = AntAlgorithm(gamma=0.0625)
+        n = 200_000
+        gen = np.random.default_rng(2)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        overload = np.zeros((n, 2), dtype=bool)
+        alg.step(st, 1, overload, gen)
+        alg.step(st, 2, overload, gen)
+        left = (st.assignment == IDLE).mean()
+        assert left == pytest.approx(alg.leave_probability, rel=0.15)
+
+    def test_mixed_samples_resume(self, rng):
+        alg = AntAlgorithm(gamma=0.0625)
+        st = make_state(alg, [0] * 10)
+        alg.step(st, 1, np.zeros((10, 2), dtype=bool), rng)  # s1 = overload
+        alg.step(st, 2, np.ones((10, 2), dtype=bool), rng)  # s2 = lack
+        # overload+lack -> everyone resumes, including paused ants.
+        assert (st.assignment == 0).all()
+
+    def test_lack_then_overload_resume(self, rng):
+        alg = AntAlgorithm(gamma=0.0625)
+        st = make_state(alg, [0] * 10)
+        alg.step(st, 1, np.ones((10, 2), dtype=bool), rng)
+        alg.step(st, 2, np.zeros((10, 2), dtype=bool), rng)
+        assert (st.assignment == 0).all()
+
+    def test_idle_joins_double_lack_task(self, rng):
+        alg = AntAlgorithm(gamma=0.01)
+        st = make_state(alg, [IDLE] * 10)
+        lack = np.zeros((10, 2), dtype=bool)
+        lack[:, 1] = True  # only task 1 lacks, twice
+        alg.step(st, 1, lack, rng)
+        alg.step(st, 2, lack, rng)
+        assert (st.assignment == 1).all()
+
+    def test_idle_requires_both_samples_lack(self, rng):
+        alg = AntAlgorithm(gamma=0.01)
+        st = make_state(alg, [IDLE] * 10)
+        lack1 = np.ones((10, 2), dtype=bool)
+        lack2 = np.zeros((10, 2), dtype=bool)
+        alg.step(st, 1, lack1, rng)
+        alg.step(st, 2, lack2, rng)
+        assert (st.assignment == IDLE).all()
+
+    def test_idle_join_uniform_among_lacking(self, rng):
+        alg = AntAlgorithm(gamma=0.01)
+        n = 30_000
+        st = make_state(alg, np.full(n, IDLE, dtype=np.int64))
+        lack = np.ones((n, 2), dtype=bool)
+        alg.step(st, 1, lack, rng)
+        alg.step(st, 2, lack, rng)
+        frac0 = (st.assignment == 0).mean()
+        assert frac0 == pytest.approx(0.5, abs=0.02)
+
+    def test_worker_ignores_other_tasks_feedback(self, rng):
+        alg = AntAlgorithm(gamma=0.0625)
+        st = make_state(alg, [0] * 10)
+        # Task 1 shows double-overload, task 0 (their own) shows lack.
+        lack = np.zeros((10, 2), dtype=bool)
+        lack[:, 0] = True
+        alg.step(st, 1, lack, rng)
+        alg.step(st, 2, lack, rng)
+        assert (st.assignment == 0).all()
+
+
+class TestOneSampleVariant:
+    def test_join_every_round(self, rng):
+        alg = OneSampleAntAlgorithm(gamma=0.01)
+        st = make_state(alg, [IDLE] * 10)
+        lack = np.ones((10, 2), dtype=bool)
+        alg.step(st, 1, lack, rng)
+        assert (st.assignment != IDLE).all()
+
+    def test_leave_rate(self):
+        alg = OneSampleAntAlgorithm(gamma=0.0625)
+        n = 200_000
+        gen = np.random.default_rng(3)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        alg.step(st, 1, np.zeros((n, 2), dtype=bool), gen)
+        assert (st.assignment == IDLE).mean() == pytest.approx(
+            alg.leave_probability, rel=0.15
+        )
+
+    def test_phase_length_one(self):
+        assert OneSampleAntAlgorithm(gamma=0.01).phase_length == 1

@@ -1,0 +1,101 @@
+"""Tests for the colony-algorithm base utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import InitialAssignment, initial_assignment_array, uniform_row_choice
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE
+
+
+class TestInitialAssignment:
+    def test_all_idle(self, rng):
+        a = initial_assignment_array(InitialAssignment.ALL_IDLE, 10, 3, rng)
+        assert (a == IDLE).all()
+
+    def test_all_on_first_task(self, rng):
+        a = initial_assignment_array("all_on_first_task", 10, 3, rng)
+        assert (a == 0).all()
+
+    def test_random_range(self, rng):
+        a = initial_assignment_array("random", 1000, 3, rng)
+        assert a.min() >= IDLE and a.max() < 3
+        # With n=1000 every action should appear.
+        assert set(np.unique(a)) == {-1, 0, 1, 2}
+
+    def test_demand_matched(self, rng):
+        a = initial_assignment_array(
+            "demand_matched", 10, 2, rng, demands=np.array([3, 4])
+        )
+        assert (a == 0).sum() == 3 and (a == 1).sum() == 4 and (a == IDLE).sum() == 3
+
+    def test_demand_matched_requires_demands(self, rng):
+        with pytest.raises(ConfigurationError):
+            initial_assignment_array("demand_matched", 10, 2, rng)
+
+    def test_demand_matched_rejects_overfull(self, rng):
+        with pytest.raises(ConfigurationError):
+            initial_assignment_array("demand_matched", 5, 2, rng, demands=np.array([3, 4]))
+
+    def test_explicit_array_copied(self, rng):
+        src = np.array([0, 1, IDLE], dtype=np.int64)
+        a = initial_assignment_array(src, 3, 2, rng)
+        a[0] = 1
+        assert src[0] == 0
+
+    def test_explicit_array_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            initial_assignment_array(np.array([5, 0, 0]), 3, 2, rng)
+        with pytest.raises(ConfigurationError):
+            initial_assignment_array(np.array([0, 0]), 3, 2, rng)
+
+    def test_unknown_name(self, rng):
+        with pytest.raises(ValueError):
+            initial_assignment_array("warp_drive", 3, 2, rng)
+
+    def test_string_seed_reproducible(self):
+        a = initial_assignment_array("random", 100, 4, 7)
+        b = initial_assignment_array("random", 100, 4, 7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestUniformRowChoice:
+    def test_empty_rows_give_idle(self, rng):
+        mask = np.zeros((5, 3), dtype=bool)
+        np.testing.assert_array_equal(uniform_row_choice(mask, rng), [IDLE] * 5)
+
+    def test_single_true_selected(self, rng):
+        mask = np.zeros((4, 3), dtype=bool)
+        mask[:, 1] = True
+        np.testing.assert_array_equal(uniform_row_choice(mask, rng), [1] * 4)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_row_choice(np.array([True, False]), rng)
+
+    def test_choice_within_true_set(self, rng):
+        mask = np.array([[True, False, True]] * 100)
+        out = uniform_row_choice(mask, rng)
+        assert set(np.unique(out)) <= {0, 2}
+
+    def test_uniformity(self, rng):
+        mask = np.ones((60_000, 3), dtype=bool)
+        out = uniform_row_choice(mask, rng)
+        counts = np.bincount(out, minlength=3)
+        np.testing.assert_allclose(counts / 60_000, 1 / 3, atol=0.01)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=6), st.integers(0, 2**32 - 1))
+    def test_property_valid_choice(self, rows, cols, seed):
+        gen = np.random.default_rng(seed)
+        mask = gen.random((rows, cols)) < 0.5
+        out = uniform_row_choice(mask, gen)
+        for i in range(rows):
+            if mask[i].any():
+                assert mask[i, out[i]]
+            else:
+                assert out[i] == IDLE

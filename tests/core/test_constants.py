@@ -1,0 +1,63 @@
+"""Tests for the algorithm constants and their constraint set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constants import DEFAULT_CONSTANTS, GAMMA_MAX, AlgorithmConstants
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        assert DEFAULT_CONSTANTS.c_s == 2.5
+        assert DEFAULT_CONSTANTS.c_d == 19.0
+        assert DEFAULT_CONSTANTS.c_chi == 10.0
+
+    def test_defaults_valid(self):
+        DEFAULT_CONSTANTS.validate()  # must not raise
+
+    def test_region_thresholds(self):
+        assert DEFAULT_CONSTANTS.c_plus == pytest.approx(3.0)
+        assert DEFAULT_CONSTANTS.c_minus == pytest.approx(4.0)
+
+    def test_gamma_max(self):
+        assert GAMMA_MAX == pytest.approx(1.0 / 16.0)
+
+
+class TestConstraintSet:
+    def test_claim_4_2_floor(self):
+        # c_s below 20/9 + 2/(c_d - 1) must be rejected.
+        with pytest.raises(ConfigurationError, match="Claim 4.2"):
+            AlgorithmConstants(c_s=2.3, c_d=19.0)
+
+    def test_claim_4_4(self):
+        with pytest.raises(ConfigurationError, match="Claim 4.4"):
+            AlgorithmConstants(c_s=2.0, c_d=1000.0)
+
+    def test_claim_4_1_pause_bound(self):
+        # c_s = 213 (the arXiv typesetting artifact) violates c_s < 1/(2 gamma).
+        with pytest.raises(ConfigurationError, match="Claim 4.1"):
+            AlgorithmConstants(c_s=213.0, c_d=19.0)
+
+    def test_c_d_must_exceed_one(self):
+        with pytest.raises(ConfigurationError, match="c_d"):
+            AlgorithmConstants(c_d=0.5)
+
+    def test_c_chi_must_exceed_one(self):
+        with pytest.raises(ConfigurationError, match="c_chi"):
+            AlgorithmConstants(c_chi=1.0)
+
+    def test_custom_valid_combo(self):
+        c = AlgorithmConstants(c_s=3.0, c_d=10.0)
+        assert c.c_plus == pytest.approx(3.6)
+
+    def test_relaxed_gamma_max(self):
+        # A larger c_s is fine when gamma is capped lower.
+        c = AlgorithmConstants.__new__(AlgorithmConstants)
+        object.__setattr__(c, "c_s", 6.0)
+        object.__setattr__(c, "c_d", 19.0)
+        object.__setattr__(c, "c_chi", 10.0)
+        c.validate(gamma_max=1.0 / 16.0)  # 6 < 8 OK
+        with pytest.raises(ConfigurationError):
+            c.validate(gamma_max=0.1)  # 6 >= 5 violates

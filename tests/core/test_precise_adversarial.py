@@ -1,0 +1,132 @@
+"""Unit tests for Algorithm Precise Adversarial's phase machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.precise_adversarial import PreciseAdversarialAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE
+
+
+def make_state(alg, assignment, k=2):
+    assignment = np.asarray(assignment, dtype=np.int64)
+    return alg.create_state(assignment.shape[0], k, assignment)
+
+
+class TestConstruction:
+    def test_subphase_lengths(self):
+        alg = PreciseAdversarialAlgorithm(gamma=0.025, eps=0.5)
+        assert alg.r1 == 64
+        assert alg.r2 == 256
+        assert alg.phase_length == 320
+
+    def test_probabilities(self):
+        alg = PreciseAdversarialAlgorithm(gamma=0.032, eps=0.5)
+        assert alg.pause_probability == pytest.approx(0.032 * 0.5 / 32.0)
+        assert alg.leave_probability == alg.pause_probability
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            PreciseAdversarialAlgorithm(gamma=0.1, eps=0.5)
+        with pytest.raises(ConfigurationError):
+            PreciseAdversarialAlgorithm(gamma=0.025, eps=1.5)
+
+
+class TestPhaseMechanics:
+    def test_gradual_pause_monotone(self):
+        alg = PreciseAdversarialAlgorithm(gamma=0.0625, eps=0.9)
+        n = 50_000
+        gen = np.random.default_rng(0)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        overload = np.zeros((n, 2), dtype=bool)
+        working_counts = []
+        for t in range(1, alg.r1):
+            alg.step(st, t, overload, gen)
+            working_counts.append(int((st.assignment == 0).sum()))
+        # Workers only drop during sub-phase 1.
+        assert all(a >= b for a, b in zip(working_counts, working_counts[1:]))
+        # Total expected drop: (r1-2) rounds at pause_probability each.
+        expected = n * (1.0 - alg.pause_probability) ** (alg.r1 - 2)
+        assert working_counts[-1] == pytest.approx(expected, rel=0.05)
+
+    def test_all_overload_reverts_to_pause_state(self):
+        """Ants that never saw LACK hold their paused/working status at r1."""
+        alg = PreciseAdversarialAlgorithm(gamma=0.0625, eps=0.9)
+        n = 20_000
+        gen = np.random.default_rng(1)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        overload = np.zeros((n, 2), dtype=bool)
+        for t in range(1, alg.r1 + 1):
+            alg.step(st, t, overload, gen)
+        # rmin = r1 for everyone; paused ants stay idle, others work.
+        paused = st.pause_round < np.iinfo(np.int32).max
+        np.testing.assert_array_equal(st.assignment[paused], IDLE)
+        np.testing.assert_array_equal(st.assignment[~paused], 0)
+
+    def test_lack_at_round_one_works_through_subphase2(self, rng):
+        """An ant whose own task lacked at round 1 holds its task at r1
+        (it cannot have paused before round 2)."""
+        alg = PreciseAdversarialAlgorithm(gamma=0.025, eps=0.5)
+        st = make_state(alg, [0] * 10)
+        lack = np.ones((10, 2), dtype=bool)
+        alg.step(st, 1, lack, rng)
+        overload = np.zeros((10, 2), dtype=bool)
+        for t in range(2, alg.r1 + 1):
+            alg.step(st, t, overload, rng)
+        assert (st.assignment == 0).all()
+
+    def test_hold_through_subphase2(self, rng):
+        alg = PreciseAdversarialAlgorithm(gamma=0.025, eps=0.5)
+        st = make_state(alg, [0] * 5)
+        lack = np.ones((5, 2), dtype=bool)
+        for t in range(1, alg.r1 + 1):
+            alg.step(st, t, lack, rng)
+        held = st.assignment.copy()
+        for t in range(alg.r1 + 1, alg.phase_length):
+            alg.step(st, t, lack, rng)
+            np.testing.assert_array_equal(st.assignment, held)
+
+    def test_join_requires_all_rounds_lack(self, rng):
+        alg = PreciseAdversarialAlgorithm(gamma=0.025, eps=0.5)
+        st = make_state(alg, [IDLE] * 10)
+        lack = np.ones((10, 2), dtype=bool)
+        # All rounds LACK except one in the middle of sub-phase 2.
+        for t in range(1, alg.phase_length + 1):
+            f = lack.copy()
+            if t == alg.r1 + 5:
+                f[:, 0] = False
+            alg.step(st, t, f, rng)
+        # Task 0 had one OVERLOAD reading -> not joinable; all join task 1.
+        assert (st.assignment == 1).all()
+
+    def test_join_all_lack(self, rng):
+        alg = PreciseAdversarialAlgorithm(gamma=0.025, eps=0.5)
+        st = make_state(alg, [IDLE] * 40)
+        lack = np.ones((40, 2), dtype=bool)
+        for t in range(1, alg.phase_length + 1):
+            alg.step(st, t, lack, rng)
+        assert (st.assignment != IDLE).all()
+
+    def test_leave_requires_all_rounds_overload(self):
+        alg = PreciseAdversarialAlgorithm(gamma=0.0625, eps=0.9)
+        n = 100_000
+        gen = np.random.default_rng(2)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        overload = np.zeros((n, 2), dtype=bool)
+        for t in range(1, alg.phase_length + 1):
+            alg.step(st, t, overload, gen)
+        left = (st.assignment == IDLE).mean()
+        assert left == pytest.approx(alg.leave_probability, rel=0.2)
+
+    def test_one_lack_prevents_leave(self, rng):
+        alg = PreciseAdversarialAlgorithm(gamma=0.025, eps=0.5)
+        st = make_state(alg, [0] * 50)
+        for t in range(1, alg.phase_length + 1):
+            f = np.zeros((50, 2), dtype=bool)
+            if t == 3:
+                f[:, 0] = True  # one LACK reading on their own task
+            alg.step(st, t, f, rng)
+        # No ant may leave permanently; all end the phase back on task 0.
+        assert (st.assignment == 0).all()

@@ -1,0 +1,121 @@
+"""Unit tests for Algorithm Precise Sigmoid's phase machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE
+
+
+def make_state(alg, assignment, k=2):
+    assignment = np.asarray(assignment, dtype=np.int64)
+    return alg.create_state(assignment.shape[0], k, assignment)
+
+
+class TestConstruction:
+    def test_window_formula(self):
+        alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        assert alg.m == 41  # ceil(2*10/0.5 + 1)
+        assert alg.phase_length == 82
+
+    def test_step_size(self):
+        alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        assert alg.step_size == pytest.approx(0.002)
+
+    def test_window_inversion_roundtrip(self):
+        # eps derived from integer m must invert to exactly m.
+        for m in (31, 63, 127):
+            eps = 2.0 * 10.0 / (m - 1)
+            if eps >= 1.0:
+                continue
+            alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=eps)
+            assert alg.m == m
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ConfigurationError):
+            PreciseSigmoidAlgorithm(gamma=0.04, eps=0.0)
+        with pytest.raises(ConfigurationError):
+            PreciseSigmoidAlgorithm(gamma=0.04, eps=1.0)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ConfigurationError):
+            PreciseSigmoidAlgorithm(gamma=0.5, eps=0.5)
+
+    def test_leave_probability_scaling(self):
+        scaled = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        literal = PreciseSigmoidAlgorithm(
+            gamma=0.04, eps=0.5, scale_leave_with_epsilon=False
+        )
+        assert scaled.leave_probability == pytest.approx(scaled.step_size / 19.0)
+        assert literal.leave_probability == pytest.approx(0.04 / (10.0 * 19.0))
+        assert scaled.leave_probability < literal.leave_probability
+
+    def test_memory_grows_with_log_window(self):
+        small = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.9)
+        big = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.1)
+        assert big.memory_bits(2) > small.memory_bits(2)
+
+
+class TestPhaseMechanics:
+    def test_holds_assignment_during_window(self, rng):
+        alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        st = make_state(alg, [0, 1, IDLE])
+        lack = np.ones((3, 2), dtype=bool)
+        for t in range(1, alg.m):  # rounds before the window-1 close
+            alg.step(st, t, lack, rng)
+            np.testing.assert_array_equal(st.assignment, [0, 1, IDLE])
+
+    def test_median_majority_rule(self, rng):
+        alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        st = make_state(alg, [0])
+        m = alg.m
+        # Feed LACK in a strict majority of window-1 rounds.
+        for t in range(1, m + 1):
+            lack = np.array([[t <= m // 2 + 1, False]])
+            alg.step(st, t, lack, rng)
+        assert st.median_1[0, 0]
+        assert not st.median_1[0, 1]
+
+    def test_pause_at_window_boundary(self):
+        alg = PreciseSigmoidAlgorithm(gamma=0.4, eps=0.9)
+        # Large gamma/eps to get a visible pause probability.
+        n = 50_000
+        gen = np.random.default_rng(0)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        lack = np.zeros((n, 2), dtype=bool)
+        for t in range(1, alg.m + 1):
+            alg.step(st, t, lack, gen)
+        paused = (st.assignment == IDLE).mean()
+        assert paused == pytest.approx(alg.pause_probability, rel=0.2)
+
+    def test_full_phase_double_overload_leave(self):
+        alg = PreciseSigmoidAlgorithm(gamma=0.4, eps=0.9)
+        n = 100_000
+        gen = np.random.default_rng(1)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        overload = np.zeros((n, 2), dtype=bool)
+        for t in range(1, alg.phase_length + 1):
+            alg.step(st, t, overload, gen)
+        left = (st.assignment == IDLE).mean()
+        assert left == pytest.approx(alg.leave_probability, rel=0.25)
+
+    def test_full_phase_double_lack_join(self, rng):
+        alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        st = make_state(alg, [IDLE] * 20)
+        lack = np.ones((20, 2), dtype=bool)
+        for t in range(1, alg.phase_length + 1):
+            alg.step(st, t, lack, rng)
+        assert (st.assignment != IDLE).all()
+
+    def test_counters_reset_each_phase(self, rng):
+        alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        st = make_state(alg, [0])
+        lack = np.ones((1, 2), dtype=bool)
+        for t in range(1, alg.phase_length + 1):
+            alg.step(st, t, lack, rng)
+        # New phase begins: counters must restart from this round's sample.
+        alg.step(st, alg.phase_length + 1, lack, rng)
+        assert st.lack_count_1.max() == 1

@@ -1,0 +1,51 @@
+"""Tests for the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.core.registry import available_algorithms, make_algorithm, register_algorithm
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_available_contains_paper_algorithms(self):
+        names = available_algorithms()
+        for expected in ("ant", "precise_sigmoid", "precise_adversarial", "trivial"):
+            assert expected in names
+
+    def test_make_ant(self):
+        alg = make_algorithm("ant", gamma=0.02)
+        assert isinstance(alg, AntAlgorithm)
+        assert alg.gamma == 0.02
+
+    def test_make_precise_sigmoid(self):
+        alg = make_algorithm("precise_sigmoid", gamma=0.02, eps=0.5)
+        assert alg.m == 41
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            make_algorithm("quantum_ant")
+
+    def test_bad_kwargs_propagate(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("ant", gamma=5.0)
+
+    def test_register_custom(self):
+        class Custom(AntAlgorithm):
+            name = "custom_test_alg"
+
+        register_algorithm("custom_test_alg", Custom)
+        try:
+            assert "custom_test_alg" in available_algorithms()
+            alg = make_algorithm("custom_test_alg", gamma=0.01)
+            assert isinstance(alg, Custom)
+        finally:
+            from repro.core import registry
+
+            registry._FACTORIES.pop("custom_test_alg", None)
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_algorithm("ant", AntAlgorithm)

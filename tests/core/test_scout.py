@@ -1,0 +1,96 @@
+"""Tests for the single-scout Algorithm Ant variant (Remark 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.core.scout import ScoutAntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import SigmoidFeedback
+from repro.sim.engine import Simulator
+from repro.types import IDLE
+
+
+def make_state(alg, assignment, k=3):
+    assignment = np.asarray(assignment, dtype=np.int64)
+    return alg.create_state(assignment.shape[0], k, assignment)
+
+
+class TestScoutMechanics:
+    def test_memory_is_k_light(self):
+        alg = ScoutAntAlgorithm(gamma=0.025)
+        full = AntAlgorithm(gamma=0.025)
+        assert alg.memory_bits(8) < full.memory_bits(8)
+
+    def test_idle_join_only_scout_target(self, rng):
+        alg = ScoutAntAlgorithm(gamma=0.025)
+        st = make_state(alg, [IDLE] * 2000)
+        lack = np.ones((2000, 3), dtype=bool)
+        alg.step(st, 1, lack, rng)
+        targets = st.scout_target.copy()
+        alg.step(st, 2, lack, rng)
+        # Every joiner joined exactly the task it scouted.
+        joined = st.assignment != IDLE
+        assert joined.all()
+        np.testing.assert_array_equal(st.assignment, targets)
+        # Targets are roughly uniform over tasks.
+        counts = np.bincount(targets, minlength=3)
+        np.testing.assert_allclose(counts / 2000, 1 / 3, atol=0.05)
+
+    def test_join_needs_both_reads_lack(self, rng):
+        alg = ScoutAntAlgorithm(gamma=0.025)
+        st = make_state(alg, [IDLE] * 100)
+        alg.step(st, 1, np.ones((100, 3), dtype=bool), rng)
+        alg.step(st, 2, np.zeros((100, 3), dtype=bool), rng)
+        assert (st.assignment == IDLE).all()
+
+    def test_worker_leave_on_double_overload(self):
+        alg = ScoutAntAlgorithm(gamma=0.0625)
+        n = 200_000
+        gen = np.random.default_rng(0)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        overload = np.zeros((n, 3), dtype=bool)
+        alg.step(st, 1, overload, gen)
+        alg.step(st, 2, overload, gen)
+        assert (st.assignment == IDLE).mean() == pytest.approx(
+            alg.leave_probability, rel=0.15
+        )
+
+    def test_worker_watches_own_task(self, rng):
+        alg = ScoutAntAlgorithm(gamma=0.025)
+        st = make_state(alg, [1] * 50)
+        # Own task (1) lacks; others overloaded -> nobody leaves.
+        lack = np.zeros((50, 3), dtype=bool)
+        lack[:, 1] = True
+        alg.step(st, 1, lack, rng)
+        np.testing.assert_array_equal(st.scout_target, 1)
+        alg.step(st, 2, lack, rng)
+        assert (st.assignment == 1).all()
+
+
+class TestScoutBehaviour:
+    def test_same_steady_closeness_as_full_ant(self):
+        """Remark 3.4: only the initial cost changes, not the steady state."""
+        demand = uniform_demands(n=8000, k=4)
+        gs = 0.01
+        lam = lambda_for_critical_value(demand, gamma_star=gs)
+        rounds, burn = 12000, 8000
+        out_scout = Simulator(
+            ScoutAntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=0
+        ).run(rounds, burn_in=burn)
+        out_full = Simulator(
+            AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=0
+        ).run(rounds, burn_in=burn)
+        c_scout = out_scout.metrics.closeness(gs, demand.total)
+        c_full = out_full.metrics.closeness(gs, demand.total)
+        assert c_scout <= 12.5  # Theorem 3.1 bound still holds
+        assert c_scout == pytest.approx(c_full, rel=0.5)
+
+    def test_registry(self):
+        from repro.core.registry import make_algorithm
+
+        alg = make_algorithm("ant_scout", gamma=0.02)
+        assert isinstance(alg, ScoutAntAlgorithm)

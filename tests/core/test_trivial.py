@@ -1,0 +1,99 @@
+"""Unit tests for the trivial algorithm (Appendix D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trivial import TrivialAlgorithm
+from repro.exceptions import ConfigurationError
+from repro.types import IDLE
+
+
+def make_state(alg, assignment, k=2):
+    assignment = np.asarray(assignment, dtype=np.int64)
+    return alg.create_state(assignment.shape[0], k, assignment)
+
+
+class TestSynchronousStep:
+    def test_idle_join_on_lack(self, rng):
+        alg = TrivialAlgorithm()
+        st = make_state(alg, [IDLE] * 10)
+        lack = np.zeros((10, 2), dtype=bool)
+        lack[:, 1] = True
+        alg.step(st, 1, lack, rng)
+        assert (st.assignment == 1).all()
+
+    def test_idle_stay_when_nothing_lacks(self, rng):
+        alg = TrivialAlgorithm()
+        st = make_state(alg, [IDLE] * 10)
+        alg.step(st, 1, np.zeros((10, 2), dtype=bool), rng)
+        assert (st.assignment == IDLE).all()
+
+    def test_leave_on_overload(self, rng):
+        alg = TrivialAlgorithm()
+        st = make_state(alg, [0] * 10)
+        alg.step(st, 1, np.zeros((10, 2), dtype=bool), rng)
+        assert (st.assignment == IDLE).all()
+
+    def test_stay_on_lack(self, rng):
+        alg = TrivialAlgorithm()
+        st = make_state(alg, [0] * 10)
+        alg.step(st, 1, np.ones((10, 2), dtype=bool), rng)
+        assert (st.assignment == 0).all()
+
+    def test_damped_leave(self):
+        alg = TrivialAlgorithm(leave_probability=0.25)
+        n = 100_000
+        gen = np.random.default_rng(0)
+        st = make_state(alg, np.zeros(n, dtype=np.int64))
+        alg.step(st, 1, np.zeros((n, 2), dtype=bool), gen)
+        assert (st.assignment == IDLE).mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_damped_join(self):
+        alg = TrivialAlgorithm(join_probability=0.25)
+        n = 100_000
+        gen = np.random.default_rng(0)
+        st = make_state(alg, np.full(n, IDLE, dtype=np.int64))
+        alg.step(st, 1, np.ones((n, 2), dtype=bool), gen)
+        assert (st.assignment != IDLE).mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            TrivialAlgorithm(leave_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            TrivialAlgorithm(join_probability=1.5)
+
+
+class TestSequentialStep:
+    def test_single_idle_joins(self, rng):
+        alg = TrivialAlgorithm()
+        st = make_state(alg, [IDLE, 0])
+        alg.step_single(st, 0, np.array([True, False]), rng)
+        assert st.assignment[0] == 0
+        assert st.assignment[1] == 0  # untouched
+
+    def test_single_leaves_on_overload(self, rng):
+        alg = TrivialAlgorithm()
+        st = make_state(alg, [0])
+        alg.step_single(st, 0, np.array([False, False]), rng)
+        assert st.assignment[0] == IDLE
+
+    def test_single_stays_on_lack(self, rng):
+        alg = TrivialAlgorithm()
+        st = make_state(alg, [1])
+        alg.step_single(st, 0, np.array([False, True]), rng)
+        assert st.assignment[0] == 1
+
+    def test_single_join_among_lacking_only(self, rng):
+        alg = TrivialAlgorithm()
+        for _ in range(20):
+            st = make_state(alg, [IDLE])
+            alg.step_single(st, 0, np.array([False, True]), rng)
+            assert st.assignment[0] == 1
+
+    def test_single_idle_no_lack_stays(self, rng):
+        alg = TrivialAlgorithm()
+        st = make_state(alg, [IDLE])
+        alg.step_single(st, 0, np.array([False, False]), rng)
+        assert st.assignment[0] == IDLE

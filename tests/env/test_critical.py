@@ -1,0 +1,118 @@
+"""Tests for the critical value and grey zone (Definition 2.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.critical import (
+    critical_value_sigmoid,
+    grey_zone,
+    lambda_for_critical_value,
+)
+from repro.env.demands import uniform_demands
+from repro.exceptions import ConfigurationError
+from repro.util.mathx import sigmoid_lack_probability
+
+
+class TestCriticalValue:
+    def test_definition_holds_at_boundary(self):
+        """s(-gamma* d_min) must equal p_fail at the computed gamma*."""
+        demand = uniform_demands(n=2000, k=3)
+        lam = 5.0
+        p_fail = 1e-7
+        gs = critical_value_sigmoid(demand, lam, p_fail=p_fail)
+        p = sigmoid_lack_probability(np.array([-gs * demand.min_demand]), lam)[0]
+        assert p == pytest.approx(p_fail, rel=1e-6)
+
+    def test_default_p_fail_uses_n8(self):
+        demand = uniform_demands(n=100, k=1, strict=False)
+        lam = 10.0
+        gs = critical_value_sigmoid(demand, lam)
+        expected = np.log((1 - 100.0**-8) / 100.0**-8) / (lam * demand.min_demand)
+        assert gs == pytest.approx(expected, rel=1e-9)
+
+    def test_raw_array_needs_n_when_no_p_fail(self):
+        with pytest.raises(ConfigurationError):
+            critical_value_sigmoid(np.array([100]), 5.0)
+
+    def test_raw_array_with_p_fail(self):
+        gs = critical_value_sigmoid(np.array([100, 50]), 5.0, p_fail=1e-6)
+        assert gs > 0
+
+    def test_min_demand_controls(self):
+        # Smaller min demand -> larger critical value.
+        a = critical_value_sigmoid(np.array([100, 1000]), 5.0, p_fail=1e-6)
+        b = critical_value_sigmoid(np.array([1000, 1000]), 5.0, p_fail=1e-6)
+        assert a > b
+
+    def test_too_flat_sigmoid_rejected(self):
+        with pytest.raises(ConfigurationError, match="too"):
+            critical_value_sigmoid(np.array([10]), 0.001, p_fail=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.5, max_value=50),
+        st.floats(min_value=1e-10, max_value=0.01),
+    )
+    def test_monotone_in_lambda_and_pfail(self, lam, p_fail):
+        d = np.array([500])
+        gs = critical_value_sigmoid(d, lam, p_fail=p_fail)
+        # Larger lambda shrinks gamma*.
+        gs2 = critical_value_sigmoid(d, lam * 2, p_fail=p_fail)
+        assert gs2 < gs
+        # Larger allowed failure shrinks gamma* too.
+        if p_fail * 10 < 0.5:
+            gs3 = critical_value_sigmoid(d, lam, p_fail=p_fail * 10)
+            assert gs3 < gs
+
+
+class TestLambdaInversion:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.001, max_value=0.4))
+    def test_roundtrip(self, gamma_star):
+        demand = uniform_demands(n=2000, k=2)
+        lam = lambda_for_critical_value(demand, gamma_star=gamma_star, p_fail=1e-8)
+        back = critical_value_sigmoid(demand, lam, p_fail=1e-8)
+        assert back == pytest.approx(gamma_star, rel=1e-9)
+
+    def test_rejects_bad_gamma(self):
+        demand = uniform_demands(n=2000, k=2)
+        with pytest.raises(ConfigurationError):
+            lambda_for_critical_value(demand, gamma_star=0.0)
+        with pytest.raises(ConfigurationError):
+            lambda_for_critical_value(demand, gamma_star=1.0)
+
+
+class TestGreyZone:
+    def test_half_widths(self):
+        gz = grey_zone(np.array([100, 200]), 0.1)
+        np.testing.assert_allclose(gz.half_widths, [10.0, 20.0])
+
+    def test_contains(self):
+        gz = grey_zone(np.array([100, 200]), 0.1)
+        np.testing.assert_array_equal(
+            gz.contains(np.array([5.0, -25.0])), [True, False]
+        )
+
+    def test_boundary_inclusive(self):
+        gz = grey_zone(np.array([100]), 0.1)
+        assert gz.contains(np.array([10.0]))[0]
+        assert gz.contains(np.array([-10.0]))[0]
+
+    def test_signed_excess(self):
+        gz = grey_zone(np.array([100]), 0.1)
+        np.testing.assert_allclose(gz.signed_excess(np.array([15.0])), [5.0])
+        np.testing.assert_allclose(gz.signed_excess(np.array([-15.0])), [-5.0])
+        np.testing.assert_allclose(gz.signed_excess(np.array([5.0])), [0.0])
+
+    def test_accepts_demand_vector(self):
+        d = uniform_demands(n=1000, k=2)
+        gz = grey_zone(d, 0.05)
+        assert gz.half_widths.shape == (2,)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ConfigurationError):
+            grey_zone(np.array([100]), 0.0)

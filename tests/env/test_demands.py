@@ -1,0 +1,167 @@
+"""Tests for demand vectors, Assumptions 2.1, and schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.demands import (
+    DemandVector,
+    PeriodicDemandSchedule,
+    StaticDemandSchedule,
+    StepDemandSchedule,
+    proportional_demands,
+    uniform_demands,
+)
+from repro.exceptions import AssumptionViolation, ConfigurationError
+
+
+class TestDemandVector:
+    def test_basic_properties(self):
+        d = DemandVector(np.array([100, 200]), n=1000)
+        assert d.k == 2
+        assert d.total == 300
+        assert d.min_demand == 100
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DemandVector(np.array([], dtype=np.int64), n=10)
+
+    def test_rejects_nonpositive_demand(self):
+        with pytest.raises(ConfigurationError):
+            DemandVector(np.array([0, 5]), n=100)
+
+    def test_rejects_total_above_n(self):
+        with pytest.raises(ConfigurationError):
+            DemandVector(np.array([60, 60]), n=100, strict=False)
+
+    def test_strict_log_floor(self):
+        # d = 1 violates d = Omega(log n) for n = 1000.
+        with pytest.raises(AssumptionViolation):
+            DemandVector(np.array([1]), n=1000)
+
+    def test_strict_slack(self):
+        # Sum of demands > n/2 violates Assumptions 2.1.
+        with pytest.raises(AssumptionViolation):
+            DemandVector(np.array([300, 300]), n=1000)
+
+    def test_non_strict_allows_out_of_model(self):
+        d = DemandVector(np.array([600]), n=1000, strict=False)
+        assert d.total == 600
+
+    def test_deficits(self):
+        d = DemandVector(np.array([100, 200]), n=1000)
+        np.testing.assert_array_equal(d.deficits([90, 250]), [10, -50])
+
+    def test_deficits_shape_mismatch(self):
+        d = DemandVector(np.array([100, 200]), n=1000)
+        with pytest.raises(ConfigurationError):
+            d.deficits([1, 2, 3])
+
+    def test_slack_ok_for_gamma(self):
+        d = DemandVector(np.array([100, 100]), n=1000)
+        assert d.slack_ok_for_gamma(0.5)
+        assert not d.slack_ok_for_gamma(10.0)
+
+    def test_with_demands(self):
+        d = DemandVector(np.array([100, 200]), n=1000)
+        d2 = d.with_demands([150, 150])
+        assert d2.total == 300 and d2.n == 1000
+
+    def test_frozen_demands_are_copied_out(self):
+        d = DemandVector(np.array([100, 200]), n=1000)
+        arr = d.as_array()
+        arr[0] = 999
+        assert d.min_demand == 100
+
+
+class TestConstructors:
+    def test_uniform(self):
+        d = uniform_demands(n=1000, k=4)
+        np.testing.assert_array_equal(d.as_array(), [125, 125, 125, 125])
+
+    def test_uniform_rejects_starved(self):
+        with pytest.raises(ConfigurationError):
+            uniform_demands(n=10, k=20)
+
+    def test_proportional_total(self):
+        d = proportional_demands(2000, weights=[1, 2, 3], load_fraction=0.5)
+        assert d.total == 1000
+
+    def test_proportional_ordering(self):
+        d = proportional_demands(2000, weights=[1, 2, 3])
+        arr = d.as_array()
+        assert arr[0] < arr[1] < arr[2]
+
+    def test_proportional_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            proportional_demands(1000, weights=[1, -2])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=400, max_value=100000),
+        st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=6),
+    )
+    def test_proportional_budget_property(self, n, weights):
+        d = proportional_demands(n, weights=weights, strict=False)
+        assert d.total == int(0.5 * n)
+        assert d.min_demand >= 1
+
+
+class TestSchedules:
+    def test_static(self):
+        d = uniform_demands(1000, 2)
+        s = StaticDemandSchedule(d)
+        assert s.demands_at(0) is d
+        assert s.demands_at(10**9) is d
+        assert s.change_points(100) == []
+
+    def test_step_lookup(self):
+        a = uniform_demands(1000, 2)
+        b = a.with_demands([100, 300])
+        s = StepDemandSchedule(steps=((0, a), (50, b)))
+        assert s.demands_at(49) is a
+        assert s.demands_at(50) is b
+        assert s.change_points(100) == [50]
+
+    def test_step_requires_zero_start(self):
+        a = uniform_demands(1000, 2)
+        with pytest.raises(ConfigurationError):
+            StepDemandSchedule(steps=((5, a),))
+
+    def test_step_requires_increasing(self):
+        a = uniform_demands(1000, 2)
+        with pytest.raises(ConfigurationError):
+            StepDemandSchedule(steps=((0, a), (10, a), (10, a)))
+
+    def test_step_requires_same_shape(self):
+        a = uniform_demands(1000, 2)
+        c = uniform_demands(1000, 4)
+        with pytest.raises(ConfigurationError):
+            StepDemandSchedule(steps=((0, a), (10, c)))
+
+    def test_periodic_cycles(self):
+        a = uniform_demands(1000, 2)
+        b = a.with_demands([100, 300])
+        s = PeriodicDemandSchedule(phases=(a, b), period=10)
+        assert s.demands_at(0) is a
+        assert s.demands_at(10) is b
+        assert s.demands_at(20) is a
+
+    def test_periodic_change_points(self):
+        a = uniform_demands(1000, 2)
+        b = a.with_demands([100, 300])
+        s = PeriodicDemandSchedule(phases=(a, b), period=10)
+        assert s.change_points(30) == [10, 20, 30]
+
+    def test_periodic_single_phase_no_changes(self):
+        a = uniform_demands(1000, 2)
+        s = PeriodicDemandSchedule(phases=(a,), period=10)
+        assert s.change_points(100) == []
+
+    def test_schedule_k_n(self):
+        a = uniform_demands(1000, 3)
+        s = StaticDemandSchedule(a)
+        assert s.k == 3 and s.n == 1000

@@ -1,0 +1,234 @@
+"""Tests for the noise models (Section 2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.adversary import (
+    AlwaysLackInGreyZone,
+    AlwaysOverloadInGreyZone,
+    CorrectInGreyZone,
+    IndistinguishableDemandAdversary,
+    InvertedInGreyZone,
+    PushAwayFromDemand,
+    RandomInGreyZone,
+    make_adversary,
+)
+from repro.env.feedback import (
+    AdversarialFeedback,
+    CorrelatedSigmoidFeedback,
+    ExactBinaryFeedback,
+    SigmoidFeedback,
+    ThresholdFeedback,
+)
+from repro.exceptions import ConfigurationError
+from repro.types import NoiseKind
+
+
+class TestSigmoidFeedback:
+    def test_probabilities_at_zero(self):
+        fb = SigmoidFeedback(2.0)
+        assert fb.lack_probabilities(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sample_shape(self, rng):
+        fb = SigmoidFeedback(2.0)
+        m = fb.sample_lack_matrix(np.array([0.0, 10.0, -10.0]), 100, rng)
+        assert m.shape == (100, 3) and m.dtype == bool
+
+    def test_extreme_deficits_deterministic(self, rng):
+        fb = SigmoidFeedback(2.0)
+        m = fb.sample_lack_matrix(np.array([100.0, -100.0]), 50, rng)
+        assert m[:, 0].all() and not m[:, 1].any()
+
+    def test_empirical_rate_matches(self, rng):
+        fb = SigmoidFeedback(0.5)
+        deficit = np.array([1.0])
+        p = fb.lack_probabilities(deficit)[0]
+        m = fb.sample_lack_matrix(deficit, 100_000, rng)
+        assert m.mean() == pytest.approx(p, abs=0.01)
+
+    def test_rejects_nonpositive_lambda(self):
+        with pytest.raises(ConfigurationError):
+            SigmoidFeedback(0.0)
+
+    def test_kind_and_iid(self):
+        fb = SigmoidFeedback(1.0)
+        assert fb.kind is NoiseKind.SIGMOID and fb.iid_across_ants
+
+
+class TestExactBinaryFeedback:
+    def test_lack_iff_deficit_nonnegative(self):
+        fb = ExactBinaryFeedback()
+        np.testing.assert_array_equal(
+            fb.lack_probabilities(np.array([0.0, 1.0, -1.0])), [1.0, 1.0, 0.0]
+        )
+
+    def test_sample_deterministic(self, rng):
+        fb = ExactBinaryFeedback()
+        m = fb.sample_lack_matrix(np.array([5.0, -5.0]), 10, rng)
+        assert m[:, 0].all() and not m[:, 1].any()
+
+
+class TestAdversarialFeedback:
+    def _fb(self, strategy):
+        return AdversarialFeedback(gamma_ad=0.1, strategy=strategy)
+
+    def test_correct_outside_grey(self, rng):
+        fb = self._fb(RandomInGreyZone())
+        demands = np.array([100.0, 100.0])
+        # deficits 20 and -20 are outside the grey zone [-10, 10].
+        m = fb.sample_lack_matrix(np.array([20.0, -20.0]), 50, rng, demands=demands)
+        assert m[:, 0].all() and not m[:, 1].any()
+
+    def test_grey_zone_strategy_controls(self, rng):
+        demands = np.array([100.0])
+        m = self._fb(AlwaysLackInGreyZone()).sample_lack_matrix(
+            np.array([0.0]), 20, rng, demands=demands
+        )
+        assert m.all()
+        m = self._fb(AlwaysOverloadInGreyZone()).sample_lack_matrix(
+            np.array([0.0]), 20, rng, demands=demands
+        )
+        assert not m.any()
+
+    def test_inverted_strategy(self, rng):
+        demands = np.array([100.0])
+        fb = self._fb(InvertedInGreyZone())
+        # Deficit +5 (inside grey): inverted says OVERLOAD.
+        m = fb.sample_lack_matrix(np.array([5.0]), 10, rng, demands=demands)
+        assert not m.any()
+
+    def test_correct_strategy(self, rng):
+        demands = np.array([100.0])
+        fb = self._fb(CorrectInGreyZone())
+        m = fb.sample_lack_matrix(np.array([5.0]), 10, rng, demands=demands)
+        assert m.all()
+
+    def test_push_away(self, rng):
+        demands = np.array([100.0])
+        fb = self._fb(PushAwayFromDemand())
+        # Overloaded (deficit -5) -> LACK to attract even more ants.
+        m = fb.sample_lack_matrix(np.array([-5.0]), 10, rng, demands=demands)
+        assert m.all()
+
+    def test_random_strategy_per_ant(self, rng):
+        demands = np.array([100.0])
+        fb = self._fb(RandomInGreyZone())
+        m = fb.sample_lack_matrix(np.array([0.0]), 10_000, rng, demands=demands)
+        assert m.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_requires_demands(self, rng):
+        fb = self._fb(RandomInGreyZone())
+        with pytest.raises(ConfigurationError):
+            fb.sample_lack_matrix(np.array([0.0]), 10, rng)
+
+    def test_no_iid_marginals(self):
+        fb = self._fb(RandomInGreyZone())
+        with pytest.raises(ConfigurationError):
+            fb.lack_probabilities(np.array([0.0]))
+
+    def test_boundary_is_grey(self, rng):
+        demands = np.array([100.0])
+        # Deficit exactly +/- gamma_ad*d is inside the (closed) grey zone.
+        fb = self._fb(AlwaysOverloadInGreyZone())
+        m = fb.sample_lack_matrix(np.array([10.0]), 5, rng, demands=demands)
+        assert not m.any()
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ConfigurationError):
+            AdversarialFeedback(gamma_ad=0.0)
+        with pytest.raises(ConfigurationError):
+            AdversarialFeedback(gamma_ad=1.0)
+
+
+class TestIndistinguishableAdversary:
+    def test_low_boundary(self, rng):
+        fb = AdversarialFeedback(
+            gamma_ad=0.1, strategy=IndistinguishableDemandAdversary(0.1, "low")
+        )
+        demands = np.array([100.0])
+        # deficit -10 is on the low boundary: still LACK in the "low" world.
+        m = fb.sample_lack_matrix(np.array([-10.0]), 5, rng, demands=demands)
+        assert m.all()
+
+    def test_high_boundary(self, rng):
+        fb = AdversarialFeedback(
+            gamma_ad=0.1, strategy=IndistinguishableDemandAdversary(0.1, "high")
+        )
+        demands = np.array([100.0])
+        # deficit +5 < +10: below the high boundary -> OVERLOAD.
+        m = fb.sample_lack_matrix(np.array([5.0]), 5, rng, demands=demands)
+        assert not m.any()
+
+    def test_rejects_bad_which(self):
+        with pytest.raises(ConfigurationError):
+            IndistinguishableDemandAdversary(0.1, "middle")
+
+
+class TestMakeAdversary:
+    @pytest.mark.parametrize(
+        "name", ["correct", "inverted", "always_lack", "always_overload", "random", "push_away"]
+    )
+    def test_known(self, name):
+        assert make_adversary(name) is not None
+
+    def test_indistinguishable(self):
+        s = make_adversary("indistinguishable", gamma_ad=0.1, which="high")
+        assert isinstance(s, IndistinguishableDemandAdversary)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown adversary"):
+            make_adversary("nonexistent")
+
+    def test_rejects_extra_kwargs(self):
+        with pytest.raises(ConfigurationError):
+            make_adversary("random", foo=1)
+
+
+class TestThresholdFeedback:
+    def test_lack_iff_load_below_threshold(self):
+        d = np.array([100.0, 100.0])
+        fb = ThresholdFeedback(np.array([90.0, 90.0]), d)
+        # Loads 80 and 95 -> deficits 20 and 5.
+        p = fb.lack_probabilities(np.array([20.0, 5.0]))
+        np.testing.assert_array_equal(p, [1.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdFeedback(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_iid(self):
+        fb = ThresholdFeedback(np.array([90.0]), np.array([100.0]))
+        assert fb.iid_across_ants
+
+
+class TestCorrelatedSigmoidFeedback:
+    def test_marginal_preserved(self, rng):
+        fb = CorrelatedSigmoidFeedback(0.5, rho=0.7)
+        deficit = np.array([1.0])
+        p = fb.lack_probabilities(deficit)[0]
+        samples = [
+            fb.sample_lack_matrix(deficit, 200, rng).mean() for _ in range(300)
+        ]
+        assert np.mean(samples) == pytest.approx(p, abs=0.02)
+
+    def test_rho_one_fully_shared(self, rng):
+        fb = CorrelatedSigmoidFeedback(0.5, rho=1.0)
+        m = fb.sample_lack_matrix(np.array([0.0]), 500, rng)
+        # All ants share one draw: the column is constant.
+        assert m[:, 0].all() or not m[:, 0].any()
+
+    def test_rho_zero_behaves_iid(self, rng):
+        fb = CorrelatedSigmoidFeedback(0.5, rho=0.0)
+        m = fb.sample_lack_matrix(np.array([0.0]), 10_000, rng)
+        assert m.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_not_counting_compatible(self):
+        assert not CorrelatedSigmoidFeedback(1.0, 0.5).iid_across_ants
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedSigmoidFeedback(1.0, rho=1.5)

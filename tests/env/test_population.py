@@ -1,0 +1,126 @@
+"""Tests for population schedules and dynamic colony sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import SigmoidFeedback
+from repro.env.population import (
+    StaticPopulation,
+    StepPopulation,
+    apply_population_change,
+)
+from repro.exceptions import ConfigurationError
+from repro.sim.counting import CountingSimulator
+
+
+class TestSchedules:
+    def test_static(self):
+        p = StaticPopulation(100)
+        assert p.population_at(0) == 100
+        assert p.population_at(10**9) == 100
+        assert p.max_population == 100
+
+    def test_step_lookup(self):
+        p = StepPopulation(steps=((0, 100), (50, 70), (80, 120)))
+        assert p.population_at(49) == 100
+        assert p.population_at(50) == 70
+        assert p.population_at(80) == 120
+        assert p.max_population == 120
+
+    def test_step_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepPopulation(steps=())
+        with pytest.raises(ConfigurationError):
+            StepPopulation(steps=((5, 10),))
+        with pytest.raises(ConfigurationError):
+            StepPopulation(steps=((0, 10), (0, 20)))
+
+
+class TestApplyChange:
+    def test_no_change(self, rng):
+        loads = np.array([10, 20])
+        out, idle = apply_population_change(loads, 5, 35, rng)
+        np.testing.assert_array_equal(out, loads)
+        assert idle == 5
+
+    def test_growth_arrives_idle(self, rng):
+        loads = np.array([10, 20])
+        out, idle = apply_population_change(loads, 5, 50, rng)
+        np.testing.assert_array_equal(out, loads)
+        assert idle == 20
+
+    def test_deaths_conserve_total(self, rng):
+        loads = np.array([100, 200])
+        out, idle = apply_population_change(loads, 50, 300, rng)
+        assert int(out.sum()) + idle == 300
+        assert np.all(out >= 0) and idle >= 0
+
+    def test_deaths_proportional(self):
+        gen = np.random.default_rng(0)
+        losses = np.zeros(3)
+        trials = 2000
+        for _ in range(trials):
+            out, idle = apply_population_change(np.array([100, 300]), 100, 250, gen)
+            losses += [100 - out[0], 300 - out[1], 100 - idle]
+        # 250 deaths from pools (100, 300, 100): expected 50/150/50.
+        np.testing.assert_allclose(losses / trials, [50, 150, 50], rtol=0.05)
+
+    def test_cannot_kill_more_than_colony(self, rng):
+        with pytest.raises(ConfigurationError):
+            apply_population_change(np.array([5]), 0, -1, rng)
+
+
+class TestCountingEngineWithPopulation:
+    def test_die_off_and_recovery(self):
+        """Kill 30% of the colony mid-run; Algorithm Ant re-converges."""
+        demand = uniform_demands(n=8000, k=4)
+        gs = 0.01
+        lam = lambda_for_critical_value(demand, gamma_star=gs)
+        # Demands total 4000; after the die-off 5600 ants remain (enough).
+        pop = StepPopulation(steps=((0, 8000), (6000, 5600)))
+        sim = CountingSimulator(
+            AntAlgorithm(gamma=0.025),
+            demand,
+            SigmoidFeedback(lam),
+            seed=0,
+            population=pop,
+        )
+        out = sim.run(16000, burn_in=12000, trace_stride=1)
+        assert out.metrics.closeness(gs, demand.total) <= 12.5
+        # The die-off round actually removed ants.
+        loads = out.trace.loads
+        totals = loads.sum(axis=1)
+        assert totals.max() <= 8000
+        assert totals[6100:].max() <= 5600
+
+    def test_growth_wave(self):
+        """A brood eclosion wave (25% more ants) is absorbed."""
+        demand = uniform_demands(n=8000, k=4)
+        gs = 0.01
+        lam = lambda_for_critical_value(demand, gamma_star=gs)
+        pop = StepPopulation(steps=((0, 6400), (6000, 8000)))
+        sim = CountingSimulator(
+            AntAlgorithm(gamma=0.025),
+            demand,
+            SigmoidFeedback(lam),
+            seed=0,
+            population=pop,
+        )
+        out = sim.run(14000, burn_in=10000)
+        assert out.metrics.closeness(gs, demand.total) <= 12.5
+
+    def test_schedule_exceeding_capacity_rejected(self):
+        demand = uniform_demands(n=8000, k=4)
+        lam = lambda_for_critical_value(demand, gamma_star=0.01)
+        with pytest.raises(ConfigurationError, match="capacity"):
+            CountingSimulator(
+                AntAlgorithm(gamma=0.025),
+                demand,
+                SigmoidFeedback(lam),
+                population=StepPopulation(steps=((0, 10000),)),
+            )

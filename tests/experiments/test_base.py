@@ -1,0 +1,73 @@
+"""Tests for the experiment infrastructure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import (
+    Claim,
+    ExperimentResult,
+    experiment,
+    get_experiment,
+    list_experiments,
+)
+
+
+class TestClaim:
+    def test_upper_verdicts(self):
+        assert Claim.upper("x", 1.0, 2.0).ok
+        assert not Claim.upper("x", 3.0, 2.0).ok
+
+    def test_lower_verdicts(self):
+        assert Claim.lower("x", 3.0, 2.0).ok
+        assert not Claim.lower("x", 1.0, 2.0).ok
+
+    def test_shape(self):
+        assert Claim.shape("x", True).ok
+        assert not Claim.shape("x", False).ok
+
+    def test_render(self):
+        assert "PASS" in Claim.upper("lbl", 1.0, 2.0).render()
+        assert "FAIL" in Claim.lower("lbl", 1.0, 2.0).render()
+        assert "lbl" in Claim.shape("lbl", True).render()
+
+
+class TestExperimentResult:
+    def test_all_ok(self):
+        r = ExperimentResult("EX", "t", "quick")
+        r.claims.append(Claim.upper("a", 1.0, 2.0))
+        assert r.all_ok
+        r.claims.append(Claim.upper("b", 3.0, 2.0))
+        assert not r.all_ok
+
+    def test_report_contains_everything(self):
+        r = ExperimentResult("EX", "title text", "quick")
+        r.tables.append("TABLE")
+        r.series["s"] = np.array([1.0, 2.0])
+        r.notes.append("a note")
+        r.claims.append(Claim.shape("claim text", True))
+        rep = r.report()
+        for fragment in ("EX", "title text", "TABLE", "series s", "a note", "claim text", "PASS"):
+            assert fragment in rep
+
+
+class TestRegistry:
+    def test_all_fifteen_registered(self):
+        ids = [eid for eid, _ in list_experiments()]
+        assert ids == [f"E{i}" for i in range(1, 16)]
+
+    def test_get_known(self):
+        fn = get_experiment("E1")
+        assert callable(fn)
+
+    def test_get_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            get_experiment("E99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            @experiment("E1", "duplicate")
+            def dup(scale="full", seed=0):  # pragma: no cover
+                raise AssertionError

@@ -1,0 +1,45 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.experiment == "E1"
+        assert args.scale == "full"
+        assert args.seed == 0
+
+    def test_run_options(self):
+        args = build_parser().parse_args(["run", "E2", "--scale", "quick", "--seed", "7"])
+        assert args.scale == "quick" and args.seed == 7
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E15" in out
+
+    def test_run_e1(self, capsys):
+        assert main(["run", "E1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "overall: PASS" in out
+
+    def test_run_unknown_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "E99"])

@@ -1,0 +1,36 @@
+"""End-to-end smoke tests: every experiment passes at quick scale.
+
+These are the library's reproduction gate: each experiment regenerates
+one paper artifact and asserts its claims; a FAIL here means the
+reproduction no longer exhibits the paper's shape.
+The cheap ones run in the default suite; the heavier ones are marked
+slow (they still run in CI-style full runs, just not in -m "not slow").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import get_experiment
+
+FAST = ["E1", "E2", "E7", "E8", "E11"]
+HEAVY = ["E3", "E4", "E5", "E6", "E9", "E10", "E12", "E13", "E14", "E15"]
+
+
+@pytest.mark.parametrize("eid", FAST)
+def test_fast_experiment_passes(eid):
+    result = get_experiment(eid)(scale="quick", seed=0)
+    assert result.all_ok, result.report()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("eid", HEAVY)
+def test_heavy_experiment_passes(eid):
+    result = get_experiment(eid)(scale="quick", seed=0)
+    assert result.all_ok, result.report()
+
+
+def test_reports_render(capsys):
+    result = get_experiment("E1")(scale="quick", seed=0)
+    text = result.report()
+    assert "E1" in text and "overall" in text

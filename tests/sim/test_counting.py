@@ -1,0 +1,122 @@
+"""Tests for the O(k)-per-round counting engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm, OneSampleAntAlgorithm
+from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
+from repro.core.trivial import TrivialAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import AdversarialFeedback, SigmoidFeedback
+from repro.exceptions import ConfigurationError
+from repro.sim.counting import CountingSimulator
+
+
+class TestConstruction:
+    def test_rejects_unsupported_algorithm(self, small_demand):
+        with pytest.raises(ConfigurationError, match="CountingSimulator supports"):
+            CountingSimulator(
+                OneSampleAntAlgorithm(gamma=0.01), small_demand, SigmoidFeedback(1.0)
+            )
+
+    def test_rejects_non_iid_feedback(self, small_demand):
+        with pytest.raises(ConfigurationError, match="i.i.d"):
+            CountingSimulator(
+                AntAlgorithm(gamma=0.01), small_demand, AdversarialFeedback(0.1)
+            )
+
+    def test_rejects_bad_initial_loads(self, small_demand):
+        with pytest.raises(ConfigurationError):
+            CountingSimulator(
+                AntAlgorithm(gamma=0.01),
+                small_demand,
+                SigmoidFeedback(1.0),
+                initial_loads=np.array([-1, 0, 0, 0]),
+            )
+        with pytest.raises(ConfigurationError):
+            CountingSimulator(
+                AntAlgorithm(gamma=0.01),
+                small_demand,
+                SigmoidFeedback(1.0),
+                initial_loads=np.full(4, small_demand.n),
+            )
+
+
+class TestAntCounting:
+    def test_runs_and_conserves(self, stable_demand, sigmoid):
+        sim = CountingSimulator(AntAlgorithm(gamma=0.025), stable_demand, sigmoid, seed=0)
+        out = sim.run(2000, trace_stride=1)
+        loads = out.trace.loads
+        assert np.all(loads >= 0)
+        assert np.all(loads.sum(axis=1) <= stable_demand.n)
+
+    def test_reproducible(self, stable_demand, sigmoid):
+        runs = [
+            CountingSimulator(AntAlgorithm(gamma=0.025), stable_demand, sigmoid, seed=5)
+            .run(500)
+            .final_loads
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_converges(self, stable_demand, sigmoid, gamma_star):
+        sim = CountingSimulator(AntAlgorithm(gamma=0.025), stable_demand, sigmoid, seed=0)
+        out = sim.run(8000, burn_in=4000)
+        assert out.metrics.closeness(gamma_star, stable_demand.total) <= 12.5
+
+    def test_final_assignment_consistent(self, stable_demand, sigmoid):
+        sim = CountingSimulator(AntAlgorithm(gamma=0.025), stable_demand, sigmoid, seed=0)
+        out = sim.run(100)
+        from repro.types import loads_from_assignment
+
+        np.testing.assert_array_equal(
+            loads_from_assignment(out.final_assignment, stable_demand.k),
+            out.final_loads.astype(np.int64),
+        )
+
+
+class TestTrivialCounting:
+    def test_oscillates_like_agent_engine(self):
+        from repro.env.demands import DemandVector
+
+        demand = DemandVector(np.array([500]), n=2000, strict=False)
+        lam = lambda_for_critical_value(demand, gamma_star=0.1)
+        sim = CountingSimulator(TrivialAlgorithm(), demand, SigmoidFeedback(lam), seed=0)
+        out = sim.run(200, trace_stride=1)
+        loads = out.trace.loads[:, 0]
+        assert loads.max() - loads.min() >= 1000
+
+    def test_rate_limited_variant(self, stable_demand, sigmoid):
+        alg = TrivialAlgorithm(leave_probability=0.002, join_probability=0.002)
+        sim = CountingSimulator(alg, stable_demand, sigmoid, seed=0)
+        out = sim.run(8000, burn_in=6000)
+        # The damped variant holds a tight allocation.
+        assert out.metrics.max_abs_deficit <= 0.1 * stable_demand.min_demand
+
+
+class TestPreciseSigmoidCounting:
+    def test_phase_structure_loads_piecewise_constant(self, stable_demand, sigmoid):
+        alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        start = stable_demand.as_array() + 50
+        sim = CountingSimulator(alg, stable_demand, sigmoid, seed=0, initial_loads=start)
+        out = sim.run(alg.phase_length, trace_stride=1)
+        loads = out.trace.loads
+        # Window 1 (rounds 1..m-1): loads frozen at the start value.
+        assert np.all(loads[: alg.m - 1] == start)
+        # Window 2 (rounds m..2m-1): frozen at the paused value.
+        assert np.all(loads[alg.m : 2 * alg.m - 1] == loads[alg.m - 1])
+
+    def test_converges_at_scale(self):
+        n = 80000
+        demand = uniform_demands(n=n, k=4)
+        gs = 0.01
+        lam = lambda_for_critical_value(demand, gamma_star=gs)
+        alg = PreciseSigmoidAlgorithm(gamma=0.04, eps=0.5)
+        start = np.round(demand.as_array() * (1 + 2 * alg.step_size)).astype(np.int64)
+        sim = CountingSimulator(alg, demand, SigmoidFeedback(lam), seed=0, initial_loads=start)
+        out = sim.run(40000, burn_in=8000)
+        # Theorem 3.2 rate: eps * gamma * sum_d.
+        assert out.metrics.average_regret <= 0.5 * 0.04 * demand.total

@@ -1,0 +1,141 @@
+"""Integration tests for the agent-level simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.core.trivial import TrivialAlgorithm
+from repro.env.demands import StepDemandSchedule, uniform_demands
+from repro.env.feedback import ExactBinaryFeedback, SigmoidFeedback
+from repro.env.critical import lambda_for_critical_value
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.types import IDLE, assignment_from_loads
+
+
+class TestSimulatorBasics:
+    def test_result_shape(self, small_demand):
+        sim = Simulator(
+            AntAlgorithm(gamma=0.05), small_demand, SigmoidFeedback(1.0), seed=0
+        )
+        out = sim.run(10, trace_stride=1)
+        assert out.rounds == 10
+        assert out.n == small_demand.n and out.k == small_demand.k
+        assert out.final_assignment.shape == (small_demand.n,)
+        assert len(out.trace) == 10
+
+    def test_reproducible_with_seed(self, small_demand):
+        def run():
+            sim = Simulator(
+                AntAlgorithm(gamma=0.05), small_demand, SigmoidFeedback(1.0), seed=99
+            )
+            return sim.run(50).final_loads
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_different_seeds_differ(self, small_demand):
+        outs = []
+        for seed in (1, 2):
+            sim = Simulator(
+                AntAlgorithm(gamma=0.05), small_demand, SigmoidFeedback(1.0), seed=seed
+            )
+            outs.append(sim.run(51).final_loads)
+        assert not np.array_equal(outs[0], outs[1])
+
+    def test_invariant_checking_enabled(self, small_demand):
+        sim = Simulator(
+            AntAlgorithm(gamma=0.05),
+            small_demand,
+            SigmoidFeedback(1.0),
+            seed=0,
+            check_invariants_every=1,
+        )
+        sim.run(20)  # must not raise
+
+    def test_conservation_of_ants(self, small_demand):
+        sim = Simulator(
+            AntAlgorithm(gamma=0.05), small_demand, SigmoidFeedback(1.0), seed=0
+        )
+        out = sim.run(30)
+        working = int(out.final_loads.sum())
+        idle = int((out.final_assignment == IDLE).sum())
+        assert working + idle == small_demand.n
+
+    def test_rejects_bad_demand_type(self):
+        with pytest.raises(ConfigurationError):
+            Simulator(AntAlgorithm(gamma=0.05), "demands", SigmoidFeedback(1.0))
+
+    def test_rejects_zero_rounds(self, small_demand):
+        sim = Simulator(AntAlgorithm(gamma=0.05), small_demand, SigmoidFeedback(1.0))
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+
+    def test_initial_assignment_array(self, small_demand):
+        start = assignment_from_loads(small_demand.as_array(), small_demand.n)
+        sim = Simulator(
+            AntAlgorithm(gamma=0.05),
+            small_demand,
+            SigmoidFeedback(1.0),
+            seed=0,
+            initial_assignment=start,
+        )
+        out = sim.run(1, trace_stride=1)
+        # After one (odd) round only pauses can occur: loads <= demands.
+        assert np.all(out.trace.loads[0] <= small_demand.as_array())
+
+    def test_burn_in_shrinks_accounted_rounds(self, small_demand):
+        sim = Simulator(AntAlgorithm(gamma=0.05), small_demand, SigmoidFeedback(1.0), seed=0)
+        out = sim.run(20, burn_in=10)
+        assert out.metrics.rounds == 10
+
+
+class TestSimulatorConvergence:
+    def test_ant_converges_and_stays(self, stable_demand, sigmoid, ant, gamma_star):
+        sim = Simulator(ant, stable_demand, sigmoid, seed=0)
+        out = sim.run(8000, burn_in=4000)
+        c = out.metrics.closeness(gamma_star, stable_demand.total)
+        assert c <= 5.0 * ant.gamma / gamma_star
+
+    def test_deficit_band_theorem_3_1(self, stable_demand, sigmoid, ant, gamma_star):
+        """Theorem 3.1's second claim: |deficit| <= 5*gamma*d + 3 in all
+        but O(k log n / gamma) rounds."""
+        sim = Simulator(ant, stable_demand, sigmoid, seed=1)
+        rounds = 8000
+        out = sim.run(rounds, burn_in=0)
+        k, n, gamma = stable_demand.k, stable_demand.n, ant.gamma
+        budget = 40.0 * k * np.log(n) / gamma  # generous constant
+        assert out.metrics.rounds_outside_band <= budget
+
+    def test_dynamic_demands(self, stable_demand, sigmoid):
+        shifted = stable_demand.with_demands(stable_demand.as_array() + [200, -200, 0, 0])
+        schedule = StepDemandSchedule(steps=((0, stable_demand), (2000, shifted)))
+        sim = Simulator(AntAlgorithm(gamma=0.025), schedule, sigmoid, seed=0)
+        out = sim.run(6000)
+        final_deficit = np.abs(shifted.as_array() - out.final_loads)
+        assert np.all(final_deficit <= 5 * 0.025 * shifted.as_array() + 3)
+
+    def test_trivial_synchronous_oscillates(self):
+        from repro.env.demands import DemandVector
+
+        demand = DemandVector(np.array([500]), n=2000, strict=False)
+        lam = lambda_for_critical_value(demand, gamma_star=0.1)
+        sim = Simulator(TrivialAlgorithm(), demand, SigmoidFeedback(lam), seed=0)
+        out = sim.run(200, trace_stride=1)
+        loads = out.trace.loads[:, 0]
+        assert loads.max() - loads.min() >= 1000  # Theta(n) swing
+
+    def test_exact_feedback_one_sided(self, small_demand):
+        # With exact feedback and all ants on one task, everyone leaves.
+        start = np.zeros(small_demand.n, dtype=np.int64)
+        sim = Simulator(
+            TrivialAlgorithm(),
+            small_demand,
+            ExactBinaryFeedback(),
+            seed=0,
+            initial_assignment=start,
+        )
+        out = sim.run(1, trace_stride=1)
+        # Overloaded task 0 sheds everyone; idle ants were none.
+        assert out.trace.loads[0, 0] == 0

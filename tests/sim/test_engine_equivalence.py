@@ -1,0 +1,112 @@
+"""Distributional equivalence of the agent-level and counting engines.
+
+The counting engine claims to be *exact in distribution* for Algorithm
+Ant and the trivial algorithm under i.i.d. noise.  These tests compare
+moments of the load trajectories across many trials of both engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.core.trivial import TrivialAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import SigmoidFeedback
+from repro.sim.counting import CountingSimulator
+from repro.sim.engine import Simulator
+from repro.types import assignment_from_loads
+
+
+def _trajectory_stats(engine_factory, trials: int, rounds: int, probe_rounds):
+    """Mean and std of loads at probe rounds over independent trials."""
+    samples = []
+    for trial in range(trials):
+        out = engine_factory(trial).run(rounds, trace_stride=1)
+        loads = out.trace.loads
+        samples.append([loads[t - 1] for t in probe_rounds])
+    arr = np.asarray(samples, dtype=float)  # (trials, probes, k)
+    return arr.mean(axis=0), arr.std(axis=0)
+
+
+@pytest.mark.slow
+class TestAntEquivalence:
+    def test_moments_match(self):
+        demand = uniform_demands(n=2000, k=3)
+        gs = 0.02
+        lam = lambda_for_critical_value(demand, gamma_star=gs)
+        gamma = 0.05
+        rounds, trials = 60, 60
+        probes = [2, 10, 30, 60]
+        start_loads = demand.as_array() + 80  # overloaded start: drains
+
+        def agent(seed):
+            return Simulator(
+                AntAlgorithm(gamma=gamma),
+                demand,
+                SigmoidFeedback(lam),
+                seed=1000 + seed,
+                initial_assignment=assignment_from_loads(start_loads, demand.n),
+            )
+
+        def counting(seed):
+            return CountingSimulator(
+                AntAlgorithm(gamma=gamma),
+                demand,
+                SigmoidFeedback(lam),
+                seed=2000 + seed,
+                initial_loads=start_loads,
+            )
+
+        mean_a, std_a = _trajectory_stats(agent, trials, rounds, probes)
+        mean_c, std_c = _trajectory_stats(counting, trials, rounds, probes)
+        # Means within 4 standard errors of each other.
+        sem = (std_a + std_c) / np.sqrt(trials) + 1e-9
+        assert np.all(np.abs(mean_a - mean_c) <= 4.0 * sem + 2.0)
+
+    def test_join_blowup_magnitude_matches(self):
+        """From all-idle, the first phase's join wave must have the same
+        expected size in both engines."""
+        demand = uniform_demands(n=2000, k=3)
+        lam = lambda_for_critical_value(demand, gamma_star=0.02)
+        gamma = 0.05
+        trials = 40
+        joins_agent, joins_counting = [], []
+        for trial in range(trials):
+            a = Simulator(
+                AntAlgorithm(gamma=gamma), demand, SigmoidFeedback(lam), seed=trial
+            ).run(2, trace_stride=1)
+            joins_agent.append(a.trace.loads[1].sum())
+            c = CountingSimulator(
+                AntAlgorithm(gamma=gamma), demand, SigmoidFeedback(lam), seed=trial
+            ).run(2, trace_stride=1)
+            joins_counting.append(c.trace.loads[1].sum())
+        assert np.mean(joins_agent) == pytest.approx(np.mean(joins_counting), rel=0.02)
+
+
+@pytest.mark.slow
+class TestTrivialEquivalence:
+    def test_oscillation_envelope_matches(self):
+        from repro.env.demands import DemandVector
+
+        demand = DemandVector(np.array([500, 500]), n=2000, strict=False)
+        lam = lambda_for_critical_value(demand, gamma_star=0.05)
+        rounds, trials = 40, 40
+        probes = [1, 2, 3, 10, 40]
+
+        def agent(seed):
+            return Simulator(
+                TrivialAlgorithm(), demand, SigmoidFeedback(lam), seed=3000 + seed
+            )
+
+        def counting(seed):
+            return CountingSimulator(
+                TrivialAlgorithm(), demand, SigmoidFeedback(lam), seed=4000 + seed
+            )
+
+        mean_a, std_a = _trajectory_stats(agent, trials, rounds, probes)
+        mean_c, std_c = _trajectory_stats(counting, trials, rounds, probes)
+        sem = (std_a + std_c) / np.sqrt(trials) + 1e-9
+        assert np.all(np.abs(mean_a - mean_c) <= 4.0 * sem + 2.0)

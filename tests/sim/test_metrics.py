@@ -1,0 +1,155 @@
+"""Tests for the regret metric machinery (Section 2.3 / Section 4 split)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AnalysisError
+from repro.sim.metrics import (
+    RegretTracker,
+    average_regret,
+    closeness,
+    count_switches,
+    regret_from_loads,
+    split_regret,
+)
+
+
+class TestRegretFromLoads:
+    def test_zero_at_demand(self):
+        assert regret_from_loads(np.array([10, 20]), np.array([10, 20])) == 0.0
+
+    def test_symmetric_penalty(self):
+        d = np.array([10.0])
+        assert regret_from_loads(d, np.array([15.0])) == regret_from_loads(d, np.array([5.0]))
+
+    def test_matrix_input(self):
+        d = np.array([10, 20])
+        loads = np.array([[10, 20], [5, 25]])
+        np.testing.assert_allclose(regret_from_loads(d, loads), [0.0, 10.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=5),
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=5),
+    )
+    def test_nonnegative_and_triangle(self, d, w):
+        k = min(len(d), len(w))
+        d, w = np.array(d[:k]), np.array(w[:k])
+        r = regret_from_loads(d, w)
+        assert r >= 0
+        # Regret equals L1 distance.
+        assert r == pytest.approx(np.abs(d - w).sum())
+
+
+class TestSplitRegret:
+    def test_partition_sums_to_regret(self):
+        d = np.array([100.0, 100.0])
+        w = np.array([150.0, 40.0])
+        plus, near, minus = split_regret(d, w, gamma=0.05, c_plus=3.0, c_minus=4.0)
+        assert plus + near + minus == pytest.approx(regret_from_loads(d, w))
+
+    def test_overload_component(self):
+        d = np.array([100.0])
+        # Threshold: (1 + 3*0.05)*100 = 115; load 150 -> r+ = 35.
+        plus, _, minus = split_regret(d, np.array([150.0]), 0.05, 3.0, 4.0)
+        assert plus == pytest.approx(35.0)
+        assert minus == 0.0
+
+    def test_lack_component(self):
+        d = np.array([100.0])
+        # Threshold: (1 - 4*0.05)*100 = 80; load 40 -> r- = 40.
+        plus, _, minus = split_regret(d, np.array([40.0]), 0.05, 3.0, 4.0)
+        assert minus == pytest.approx(40.0)
+        assert plus == 0.0
+
+    def test_near_zone_only(self):
+        d = np.array([100.0])
+        plus, near, minus = split_regret(d, np.array([105.0]), 0.05, 3.0, 4.0)
+        assert plus == 0.0 and minus == 0.0 and near == pytest.approx(5.0)
+
+
+class TestClosenessHelpers:
+    def test_average_regret(self):
+        assert average_regret(100.0, 10) == 10.0
+
+    def test_average_regret_rejects_zero(self):
+        with pytest.raises(AnalysisError):
+            average_regret(100.0, 0)
+
+    def test_closeness(self):
+        assert closeness(50.0, 0.05, 1000.0) == pytest.approx(1.0)
+
+    def test_closeness_rejects_degenerate(self):
+        with pytest.raises(AnalysisError):
+            closeness(1.0, 0.0, 100.0)
+
+
+class TestCountSwitches:
+    def test_no_change(self):
+        a = np.array([0, 1, -1])
+        assert count_switches(a, a.copy()) == 0
+
+    def test_counts_all_kinds(self):
+        prev = np.array([0, 1, -1, 2])
+        cur = np.array([1, 1, 0, -1])  # task switch, same, join, leave
+        assert count_switches(prev, cur) == 3
+
+
+class TestRegretTracker:
+    def test_accumulates(self):
+        tr = RegretTracker(gamma=0.05)
+        d = np.array([10.0])
+        tr.observe(1, d, np.array([8.0]))
+        tr.observe(2, d, np.array([12.0]))
+        m = tr.finalize()
+        assert m.cumulative_regret == pytest.approx(4.0)
+        assert m.average_regret == pytest.approx(2.0)
+
+    def test_burn_in_excluded(self):
+        tr = RegretTracker(gamma=0.05, burn_in=1)
+        d = np.array([10.0])
+        tr.observe(1, d, np.array([0.0]))  # burn-in round, huge regret
+        tr.observe(2, d, np.array([10.0]))
+        m = tr.finalize()
+        assert m.cumulative_regret == 0.0
+        assert m.rounds == 1
+
+    def test_switches_tracked(self):
+        tr = RegretTracker()
+        d = np.array([10.0])
+        tr.observe(1, d, np.array([10.0]), switches=7)
+        m = tr.finalize()
+        assert m.total_switches == 7
+        assert m.switches_per_round == 7.0
+
+    def test_band_counting(self):
+        tr = RegretTracker(gamma=0.01, band_coefficient=5.0)
+        d = np.array([100.0])
+        tr.observe(1, d, np.array([99.0]))  # |deficit|=1 <= 5*0.01*100+3=8
+        tr.observe(2, d, np.array([80.0]))  # |deficit|=20 > 8
+        m = tr.finalize()
+        assert m.rounds_outside_band == 1
+
+    def test_finalize_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            RegretTracker().finalize()
+
+    def test_split_components_sum(self):
+        tr = RegretTracker(gamma=0.05, c_plus=3.0, c_minus=4.0)
+        d = np.array([100.0, 100.0])
+        tr.observe(1, d, np.array([150.0, 40.0]))
+        m = tr.finalize()
+        assert m.regret_plus + m.regret_near + m.regret_minus == pytest.approx(
+            m.cumulative_regret
+        )
+
+    def test_metrics_closeness_method(self):
+        tr = RegretTracker()
+        d = np.array([100.0])
+        tr.observe(1, d, np.array([95.0]))
+        m = tr.finalize()
+        assert m.closeness(0.05, 100.0) == pytest.approx(1.0)

@@ -1,0 +1,96 @@
+"""Distributional equivalence of the Precise Sigmoid counting reduction.
+
+The counting engine simulates Algorithm Precise Sigmoid at the *phase*
+level using binomially amplified median probabilities (the Theorem 3.2
+reduction).  This compares phase-boundary load moments against the
+agent-level engine, which executes every round literally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import DemandVector
+from repro.env.feedback import SigmoidFeedback
+from repro.sim.counting import CountingSimulator
+from repro.sim.engine import Simulator
+from repro.types import assignment_from_loads
+
+
+@pytest.mark.slow
+class TestPreciseSigmoidEquivalence:
+    def test_phase_boundary_moments_match(self):
+        demand = DemandVector(np.array([300, 300]), n=1200, strict=False)
+        lam = lambda_for_critical_value(demand, gamma_star=0.05)
+        # Large gamma/eps so joins/leaves have visible rates in few phases.
+        alg = PreciseSigmoidAlgorithm(gamma=0.4, eps=0.9)
+        phases = 3
+        rounds = phases * alg.phase_length
+        trials = 40
+        start_loads = demand.as_array() + 60  # overloaded: leaves happen
+        probe_rounds = [p * alg.phase_length for p in range(1, phases + 1)]
+
+        def collect(make_sim):
+            vals = []
+            for trial in range(trials):
+                out = make_sim(trial).run(rounds, trace_stride=1)
+                vals.append([out.trace.loads[t - 1] for t in probe_rounds])
+            return np.asarray(vals, dtype=float)
+
+        agent = collect(
+            lambda s: Simulator(
+                alg,
+                demand,
+                SigmoidFeedback(lam),
+                seed=7000 + s,
+                initial_assignment=assignment_from_loads(start_loads, demand.n),
+            )
+        )
+        counting = collect(
+            lambda s: CountingSimulator(
+                alg,
+                demand,
+                SigmoidFeedback(lam),
+                seed=8000 + s,
+                initial_loads=start_loads,
+            )
+        )
+        sem = (agent.std(axis=0) + counting.std(axis=0)) / np.sqrt(trials) + 1e-9
+        diff = np.abs(agent.mean(axis=0) - counting.mean(axis=0))
+        assert np.all(diff <= 4.0 * sem + 2.0), (diff, sem)
+
+    def test_pause_depth_matches(self):
+        """The mid-phase (post-pause) load distribution agrees too."""
+        demand = DemandVector(np.array([400]), n=800, strict=False)
+        lam = lambda_for_critical_value(demand, gamma_star=0.05)
+        alg = PreciseSigmoidAlgorithm(gamma=0.4, eps=0.9)
+        trials = 40
+        start_loads = demand.as_array().copy()
+        probe = alg.m  # the pause round
+
+        def mid_loads(make_sim):
+            out = []
+            for trial in range(trials):
+                r = make_sim(trial).run(probe, trace_stride=1)
+                out.append(float(r.trace.loads[probe - 1, 0]))
+            return np.asarray(out)
+
+        a = mid_loads(
+            lambda s: Simulator(
+                alg,
+                demand,
+                SigmoidFeedback(lam),
+                seed=9000 + s,
+                initial_assignment=assignment_from_loads(start_loads, demand.n),
+            )
+        )
+        c = mid_loads(
+            lambda s: CountingSimulator(
+                alg, demand, SigmoidFeedback(lam), seed=9500 + s, initial_loads=start_loads
+            )
+        )
+        sem = (a.std() + c.std()) / np.sqrt(trials) + 1e-9
+        assert abs(a.mean() - c.mean()) <= 4.0 * sem + 1.0

@@ -1,0 +1,105 @@
+"""Tests for the multi-trial runner and sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import SigmoidFeedback
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.runner import TrialRunner, run_trials, sweep
+
+_DEMAND = uniform_demands(n=1000, k=2)
+_LAM = lambda_for_critical_value(_DEMAND, gamma_star=0.05)
+
+
+def _factory(seed):
+    return Simulator(AntAlgorithm(gamma=0.05), _DEMAND, SigmoidFeedback(_LAM), seed=seed)
+
+
+def _factory_for_gamma(gamma):
+    def make(seed):
+        return Simulator(
+            AntAlgorithm(gamma=gamma), _DEMAND, SigmoidFeedback(_LAM), seed=seed
+        )
+
+    return make
+
+
+class TestRunTrials:
+    def test_summary_shape(self):
+        s = run_trials(_factory, rounds=100, trials=3, seed=0)
+        assert s.trials == 3
+        assert s.average_regrets.shape == (3,)
+        assert len(s.results) == 3
+
+    def test_closeness_computed_when_given(self):
+        s = run_trials(
+            _factory, rounds=100, trials=2, seed=0,
+            gamma_star=0.05, total_demand=_DEMAND.total,
+        )
+        assert s.closenesses is not None
+        assert s.mean_closeness > 0
+
+    def test_closeness_unavailable_raises(self):
+        s = run_trials(_factory, rounds=50, trials=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            _ = s.mean_closeness
+
+    def test_reproducible(self):
+        a = run_trials(_factory, rounds=60, trials=2, seed=4).average_regrets
+        b = run_trials(_factory, rounds=60, trials=2, seed=4).average_regrets
+        np.testing.assert_array_equal(a, b)
+
+    def test_trials_independent(self):
+        s = run_trials(_factory, rounds=61, trials=3, seed=0)
+        assert len(set(s.average_regrets.tolist())) > 1
+
+    def test_keep_results_false(self):
+        s = run_trials(_factory, rounds=50, trials=2, seed=0, keep_results=False)
+        assert s.results == []
+
+    def test_describe(self):
+        s = run_trials(_factory, rounds=50, trials=2, seed=0, label="abc")
+        assert "abc" in s.describe()
+
+    def test_multiprocess(self):
+        s = run_trials(_factory, rounds=60, trials=2, seed=4, processes=2)
+        b = run_trials(_factory, rounds=60, trials=2, seed=4)
+        np.testing.assert_allclose(s.average_regrets, b.average_regrets)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(_factory, rounds=10, trials=0)
+
+
+class TestSweep:
+    def test_series_and_table(self):
+        result = sweep(
+            "gamma",
+            [0.03, 0.0625],
+            _factory_for_gamma,
+            rounds=200,
+            trials=2,
+            seed=0,
+            gamma_star_for=lambda g: 0.05,
+            total_demand=_DEMAND.total,
+        )
+        assert result.series().shape == (2,)
+        assert "gamma" in result.table()
+        assert result.summaries[0].params == {"gamma": 0.03}
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ConfigurationError):
+            sweep("x", [], _factory_for_gamma, rounds=10, trials=1)
+
+
+class TestTrialRunner:
+    def test_run_with_overrides(self):
+        r = TrialRunner(_factory, rounds=50, trials=2, seed=0)
+        s = r.run(rounds=30, label="short")
+        assert s.rounds == 30 and s.label == "short"

@@ -1,0 +1,64 @@
+"""Tests for the sequential (one-ant-per-round) scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.core.trivial import TrivialAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import DemandVector
+from repro.env.feedback import SigmoidFeedback
+from repro.exceptions import ConfigurationError
+from repro.sim.sequential import SequentialSimulator
+
+
+@pytest.fixture
+def single_task():
+    return DemandVector(np.array([500]), n=2000, strict=False)
+
+
+class TestSequentialSimulator:
+    def test_requires_step_single(self, single_task):
+        with pytest.raises(ConfigurationError, match="step_single"):
+            SequentialSimulator(
+                AntAlgorithm(gamma=0.01), single_task, SigmoidFeedback(1.0)
+            )
+
+    def test_one_ant_moves_per_round(self, single_task):
+        lam = lambda_for_critical_value(single_task, gamma_star=0.1)
+        sim = SequentialSimulator(
+            TrivialAlgorithm(), single_task, SigmoidFeedback(lam), seed=0
+        )
+        out = sim.run(100, trace_stride=1)
+        loads = out.trace.loads[:, 0]
+        diffs = np.abs(np.diff(np.concatenate([[0], loads])))
+        assert np.all(diffs <= 1)
+
+    def test_converges_to_small_regret(self, single_task):
+        lam = lambda_for_critical_value(single_task, gamma_star=0.1)
+        sim = SequentialSimulator(
+            TrivialAlgorithm(), single_task, SigmoidFeedback(lam), seed=0
+        )
+        out = sim.run(40_000, burn_in=20_000)
+        # Appendix D.1: regret stays at the gamma* * d scale, not Theta(n).
+        assert out.metrics.average_regret <= 0.1 * single_task.min_demand
+
+    def test_reproducible(self, single_task):
+        lam = lambda_for_critical_value(single_task, gamma_star=0.1)
+
+        def run():
+            return SequentialSimulator(
+                TrivialAlgorithm(), single_task, SigmoidFeedback(lam), seed=11
+            ).run(500).final_loads
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_burn_in(self, single_task):
+        lam = lambda_for_critical_value(single_task, gamma_star=0.1)
+        sim = SequentialSimulator(
+            TrivialAlgorithm(), single_task, SigmoidFeedback(lam), seed=0
+        )
+        out = sim.run(100, burn_in=50)
+        assert out.metrics.rounds == 50

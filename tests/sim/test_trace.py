@@ -1,0 +1,67 @@
+"""Tests for trace recording."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.sim.trace import Trace
+
+
+class TestTrace:
+    def test_dense_recording(self):
+        tr = Trace(stride=1)
+        for t in range(1, 6):
+            tr.record(t, np.array([t, 2 * t]), float(t))
+        assert len(tr) == 5
+        np.testing.assert_array_equal(tr.rounds, [1, 2, 3, 4, 5])
+        assert tr.loads.shape == (5, 2)
+        np.testing.assert_allclose(tr.regrets, [1, 2, 3, 4, 5])
+
+    def test_stride(self):
+        tr = Trace(stride=10)
+        for t in range(1, 31):
+            tr.record(t, np.array([t]), 0.0)
+        np.testing.assert_array_equal(tr.rounds, [10, 20, 30])
+
+    def test_deficits(self):
+        tr = Trace(stride=1)
+        tr.record(1, np.array([8, 15]), 0.0)
+        d = tr.deficits(np.array([10, 20]))
+        np.testing.assert_array_equal(d, [[2, 5]])
+
+    def test_deficits_shape_mismatch(self):
+        tr = Trace(stride=1)
+        tr.record(1, np.array([8, 15]), 0.0)
+        with pytest.raises(AnalysisError):
+            tr.deficits(np.array([10]))
+
+    def test_tail_window(self):
+        tr = Trace(stride=100, tail_window=3)
+        for t in range(1, 11):
+            tr.record(t, np.array([t]), float(t))
+        ts, loads, rs = tr.tail()
+        np.testing.assert_array_equal(ts, [8, 9, 10])
+        np.testing.assert_array_equal(loads[:, 0], [8, 9, 10])
+
+    def test_tail_without_window_raises(self):
+        tr = Trace(stride=1)
+        tr.record(1, np.array([1]), 0.0)
+        with pytest.raises(AnalysisError):
+            tr.tail()
+
+    def test_loads_copied(self):
+        tr = Trace(stride=1)
+        arr = np.array([5])
+        tr.record(1, arr, 0.0)
+        arr[0] = 99
+        assert tr.loads[0, 0] == 5
+
+    def test_empty_loads_shape(self):
+        tr = Trace(stride=1)
+        assert tr.loads.shape == (0, 0)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(Exception):
+            Trace(stride=0)

@@ -1,0 +1,178 @@
+"""Cross-module integration and invariant tests.
+
+These exercise full simulations through the public API and assert the
+paper's global invariants hold along entire trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import (
+    AdversarialFeedback,
+    AntAlgorithm,
+    CountingSimulator,
+    PreciseAdversarialAlgorithm,
+    PreciseSigmoidAlgorithm,
+    SigmoidFeedback,
+    Simulator,
+    TrivialAlgorithm,
+    lambda_for_critical_value,
+    make_adversary,
+    make_algorithm,
+    uniform_demands,
+)
+from repro.types import IDLE, loads_from_assignment
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_flow(self):
+        demand = uniform_demands(n=2000, k=4)
+        lam = lambda_for_critical_value(demand, gamma_star=0.02)
+        sim = Simulator(AntAlgorithm(gamma=0.02), demand, SigmoidFeedback(lam), seed=0)
+        result = sim.run(4000, burn_in=2000)
+        assert result.metrics.closeness(0.02, demand.total) < 5.0
+
+
+class TestTrajectoryInvariants:
+    @pytest.mark.parametrize(
+        "alg_name,kwargs",
+        [
+            ("ant", {"gamma": 0.05}),
+            ("ant_one_sample", {"gamma": 0.05}),
+            ("trivial", {}),
+            ("precise_sigmoid", {"gamma": 0.05, "eps": 0.9}),
+            ("precise_adversarial", {"gamma": 0.05, "eps": 0.9}),
+        ],
+    )
+    def test_conservation_all_algorithms(self, alg_name, kwargs):
+        demand = uniform_demands(n=500, k=3, strict=False)
+        lam = lambda_for_critical_value(demand, gamma_star=0.05)
+        alg = make_algorithm(alg_name, **kwargs)
+        sim = Simulator(
+            alg, demand, SigmoidFeedback(lam), seed=0, check_invariants_every=1
+        )
+        out = sim.run(max(3 * alg.phase_length, 50), trace_stride=1)
+        loads = out.trace.loads
+        assert np.all(loads >= 0)
+        assert np.all(loads.sum(axis=1) <= demand.n)
+
+    def test_ant_loads_never_negative_long_run(self):
+        demand = uniform_demands(n=1000, k=2)
+        lam = lambda_for_critical_value(demand, gamma_star=0.05)
+        sim = CountingSimulator(
+            AntAlgorithm(gamma=0.05), demand, SigmoidFeedback(lam), seed=0
+        )
+        out = sim.run(20_000, trace_stride=7)
+        assert np.all(out.trace.loads >= 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_random_seed_property_conservation(self, seed):
+        demand = uniform_demands(n=300, k=2, strict=False)
+        lam = lambda_for_critical_value(demand, gamma_star=0.1)
+        sim = Simulator(
+            AntAlgorithm(gamma=0.0625),
+            demand,
+            SigmoidFeedback(lam),
+            seed=seed,
+            initial_assignment="random",
+            check_invariants_every=1,
+        )
+        out = sim.run(40)
+        idle = int((out.final_assignment == IDLE).sum())
+        assert idle + int(out.final_loads.sum()) == demand.n
+
+
+class TestCrossNoiseModels:
+    def test_ant_bounded_under_every_adversary(self):
+        demand = uniform_demands(n=4000, k=2)
+        gamma_ad = 0.01
+        for strat in ("correct", "random", "inverted", "always_lack", "always_overload", "push_away"):
+            fb = AdversarialFeedback(gamma_ad=gamma_ad, strategy=make_adversary(strat))
+            sim = Simulator(AntAlgorithm(gamma=0.025), demand, fb, seed=0)
+            out = sim.run(6000, burn_in=3000)
+            c = out.metrics.closeness(gamma_ad, demand.total)
+            assert c <= 12.5, f"strategy {strat} broke the Theorem 3.1 bound: {c}"
+
+    def test_precise_adversarial_beats_ant_on_switches(self):
+        demand = uniform_demands(n=4000, k=2)
+        fb = lambda: AdversarialFeedback(gamma_ad=0.01, strategy=make_adversary("random"))  # noqa: E731
+        pa = PreciseAdversarialAlgorithm(gamma=0.025, eps=0.5)
+        out_pa = Simulator(pa, demand, fb(), seed=0).run(6000, burn_in=3000)
+        out_ant = Simulator(AntAlgorithm(gamma=0.025), demand, fb(), seed=0).run(
+            6000, burn_in=3000
+        )
+        assert out_pa.metrics.switches_per_round < out_ant.metrics.switches_per_round
+
+
+class TestPopulationShock:
+    def test_recovery_after_worker_die_off(self):
+        """Conclusion claim: resilience to changes in the number of ants.
+
+        Run to steady state, kill 30% of the workers (restart from the
+        thinned load vector with a smaller colony), and verify the colony
+        re-converges to the Theorem 3.1 band.
+        """
+        from repro.env.demands import DemandVector
+
+        demand = uniform_demands(n=8000, k=4)
+        gs = 0.01
+        lam = lambda_for_critical_value(demand, gamma_star=gs)
+        first = CountingSimulator(
+            AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=0
+        ).run(6000)
+        survivors = np.floor(first.final_loads * 0.7).astype(np.int64)
+        shrunk = DemandVector(demand.as_array(), n=6000, strict=False)
+        second = CountingSimulator(
+            AntAlgorithm(gamma=0.025),
+            shrunk,
+            SigmoidFeedback(lam),
+            seed=1,
+            initial_loads=survivors,
+        ).run(8000, burn_in=4000)
+        assert second.metrics.closeness(gs, shrunk.total) <= 12.5
+
+    def test_recovery_after_task_added(self):
+        """A new task appearing mid-run (demands re-shaped) is absorbed."""
+        demand4 = uniform_demands(n=8000, k=4)
+        gs = 0.01
+        lam = lambda_for_critical_value(demand4, gamma_star=gs)
+        # Steady state with only 3 tasks demanded (4th demand minimal).
+        from repro.env.demands import DemandVector, StepDemandSchedule
+
+        light = DemandVector(np.array([1300, 1300, 1300, 100]), n=8000, strict=False)
+        schedule = StepDemandSchedule(steps=((0, light), (4000, demand4)))
+        out = CountingSimulator(
+            AntAlgorithm(gamma=0.025), schedule, SigmoidFeedback(lam), seed=0
+        ).run(12000, burn_in=8000)
+        assert out.metrics.closeness(gs, demand4.total) <= 12.5
+
+
+class TestSelfStabilization:
+    @pytest.mark.parametrize(
+        "start", ["all_idle", "all_on_first_task", "random", "demand_matched"]
+    )
+    def test_ant_converges_from_any_start(self, start):
+        demand = uniform_demands(n=8000, k=4)
+        lam = lambda_for_critical_value(demand, gamma_star=0.01)
+        sim = Simulator(
+            AntAlgorithm(gamma=0.025),
+            demand,
+            SigmoidFeedback(lam),
+            seed=3,
+            initial_assignment=start,
+        )
+        out = sim.run(8000, burn_in=4000)
+        assert out.metrics.closeness(0.01, demand.total) <= 12.5

@@ -1,0 +1,68 @@
+"""Tests for the shared type helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import (
+    IDLE,
+    Feedback,
+    assignment_from_loads,
+    idle_count,
+    loads_from_assignment,
+)
+
+
+class TestEncodings:
+    def test_idle_sentinel(self):
+        assert IDLE == -1
+
+    def test_feedback_enum_values(self):
+        # LACK == 1 so boolean lack-matrices interoperate with the enum.
+        assert int(Feedback.LACK) == 1
+        assert int(Feedback.OVERLOAD) == 0
+        assert bool(Feedback.LACK) and not bool(Feedback.OVERLOAD)
+
+
+class TestLoadsFromAssignment:
+    def test_basic(self):
+        a = np.array([0, 0, 1, IDLE, 2])
+        np.testing.assert_array_equal(loads_from_assignment(a, 3), [2, 1, 1])
+
+    def test_empty_tasks_zero(self):
+        a = np.array([IDLE, IDLE])
+        np.testing.assert_array_equal(loads_from_assignment(a, 2), [0, 0])
+
+    def test_idle_count(self):
+        assert idle_count(np.array([IDLE, 0, IDLE])) == 2
+
+
+class TestAssignmentFromLoads:
+    def test_roundtrip(self):
+        loads = np.array([3, 0, 2])
+        a = assignment_from_loads(loads, 10)
+        np.testing.assert_array_equal(loads_from_assignment(a, 3), loads)
+        assert idle_count(a) == 5
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            assignment_from_loads(np.array([5, 6]), 10)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            assignment_from_loads(np.array([-1]), 10)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_roundtrip_property(self, loads, extra):
+        loads = np.array(loads)
+        n = int(loads.sum()) + extra
+        a = assignment_from_loads(loads, n)
+        np.testing.assert_array_equal(loads_from_assignment(a, loads.size), loads)
+        assert a.shape == (n,)

@@ -1,0 +1,56 @@
+"""Tests for the terminal plotting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.ascii_plot import histogram, line_plot, multi_line_plot
+
+
+class TestLinePlot:
+    def test_contains_title_and_legend(self):
+        out = line_plot([0, 1, 2], [1, 2, 3], title="T", ylabel="y")
+        assert "T" in out and "legend" in out
+
+    def test_empty_input(self):
+        assert "empty" in line_plot([], [])
+
+    def test_constant_series_no_crash(self):
+        out = line_plot([0, 1, 2], [5, 5, 5])
+        assert "*" in out
+
+    def test_dimensions(self):
+        out = line_plot(np.arange(50), np.arange(50), width=40, height=8)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+
+    def test_nan_tolerated(self):
+        out = line_plot([0, 1, 2, 3], [1.0, float("nan"), 3.0, 4.0])
+        assert "*" in out
+
+
+class TestMultiLinePlot:
+    def test_two_series_two_markers(self):
+        out = multi_line_plot([0, 1, 2], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "*=a" in out and "+=b" in out
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            multi_line_plot([0, 1], {"a": [1, 2, 3]})
+
+    def test_xlabel_rendered(self):
+        out = multi_line_plot([0, 1], {"a": [0, 1]}, xlabel="rounds")
+        assert "rounds" in out
+
+
+class TestHistogram:
+    def test_counts_present(self):
+        out = histogram([1, 1, 2, 3], bins=3)
+        assert "#" in out
+
+    def test_empty(self):
+        assert "no data" in histogram([])
+
+    def test_title(self):
+        assert "H" in histogram([1, 2], title="H")

@@ -1,0 +1,152 @@
+"""Unit + property tests for the math helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.util.mathx import (
+    enumerate_subset_join_probabilities,
+    inverse_logistic,
+    log1pexp,
+    logistic,
+    sigmoid_lack_probability,
+)
+
+
+class TestLogistic:
+    def test_at_zero(self):
+        assert logistic(0.0) == pytest.approx(0.5)
+
+    def test_saturates_high(self):
+        assert logistic(1000.0) == pytest.approx(1.0)
+
+    def test_saturates_low(self):
+        assert logistic(-1000.0) == pytest.approx(0.0)
+
+    def test_no_overflow_extreme(self):
+        # Must not warn or produce NaN at extreme arguments.
+        vals = logistic(np.array([-1e8, -750.0, 750.0, 1e8]))
+        assert np.all(np.isfinite(vals))
+        assert vals[0] == 0.0 and vals[-1] == 1.0
+
+    def test_vector_shape_preserved(self):
+        x = np.linspace(-5, 5, 17).reshape(17, 1)
+        assert logistic(x).shape == (17, 1)
+
+    @given(st.floats(min_value=-500, max_value=500))
+    def test_antisymmetry(self, x):
+        # s(-x) == 1 - s(x), the property Definition 2.3 relies on.
+        assert logistic(-x) == pytest.approx(1.0 - logistic(x), abs=1e-12)
+
+    @given(st.floats(min_value=-100, max_value=100), st.floats(min_value=-100, max_value=100))
+    def test_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert logistic(lo) <= logistic(hi) + 1e-15
+
+    @given(st.floats(min_value=-20, max_value=20))
+    def test_inverse_roundtrip(self, x):
+        # Precision degrades as the sigmoid saturates (1-p loses bits),
+        # so the property is asserted on the numerically meaningful range.
+        assert inverse_logistic(logistic(x)) == pytest.approx(x, rel=1e-5, abs=1e-5)
+
+    def test_inverse_rejects_boundary(self):
+        with pytest.raises(ConfigurationError):
+            inverse_logistic(0.0)
+        with pytest.raises(ConfigurationError):
+            inverse_logistic(1.0)
+
+
+class TestLog1pExp:
+    @given(st.floats(min_value=-700, max_value=700))
+    def test_matches_naive_where_safe(self, x):
+        if abs(x) < 30:
+            assert log1pexp(x) == pytest.approx(np.log1p(np.exp(x)), rel=1e-12)
+
+    def test_large_argument_linear(self):
+        assert log1pexp(1000.0) == pytest.approx(1000.0)
+
+    def test_very_negative_is_zero(self):
+        assert log1pexp(-1000.0) == pytest.approx(0.0, abs=1e-300)
+
+
+class TestSigmoidLackProbability:
+    def test_rejects_nonpositive_lambda(self):
+        with pytest.raises(ConfigurationError):
+            sigmoid_lack_probability(np.zeros(3), 0.0)
+
+    def test_half_at_zero_deficit(self):
+        assert sigmoid_lack_probability(np.array([0.0]), 2.0)[0] == pytest.approx(0.5)
+
+    def test_lack_likely_when_underloaded(self):
+        p = sigmoid_lack_probability(np.array([50.0]), 1.0)[0]
+        assert p > 0.999
+
+    def test_overload_likely_when_overloaded(self):
+        p = sigmoid_lack_probability(np.array([-50.0]), 1.0)[0]
+        assert p < 0.001
+
+
+class TestSubsetJoinProbabilities:
+    def test_sums_to_one(self):
+        pi = enumerate_subset_join_probabilities(np.array([0.3, 0.7, 0.1]))
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_all_zero_probs_stay_idle(self):
+        pi = enumerate_subset_join_probabilities(np.zeros(4))
+        assert pi[-1] == pytest.approx(1.0)
+        assert np.all(pi[:-1] == 0.0)
+
+    def test_all_one_probs_uniform_split(self):
+        pi = enumerate_subset_join_probabilities(np.ones(4))
+        assert pi[-1] == pytest.approx(0.0)
+        np.testing.assert_allclose(pi[:-1], 0.25)
+
+    def test_single_task(self):
+        pi = enumerate_subset_join_probabilities(np.array([0.4]))
+        np.testing.assert_allclose(pi, [0.4, 0.6])
+
+    def test_symmetric_inputs_give_symmetric_outputs(self):
+        pi = enumerate_subset_join_probabilities(np.array([0.5, 0.5]))
+        assert pi[0] == pytest.approx(pi[1])
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_subset_join_probabilities(np.array([1.5]))
+        with pytest.raises(ConfigurationError):
+            enumerate_subset_join_probabilities(np.array([-0.1]))
+
+    def test_rejects_large_k(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_subset_join_probabilities(np.full(25, 0.5))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6)
+    )
+    def test_distribution_property(self, u):
+        pi = enumerate_subset_join_probabilities(np.array(u))
+        assert pi.shape == (len(u) + 1,)
+        assert np.all(pi >= -1e-12)
+        assert pi.sum() == pytest.approx(1.0)
+        # Stay-idle probability equals prod(1 - u_j).
+        assert pi[-1] == pytest.approx(float(np.prod(1.0 - np.array(u))), abs=1e-9)
+
+    def test_matches_monte_carlo(self, rng):
+        u = np.array([0.6, 0.2, 0.9])
+        pi = enumerate_subset_join_probabilities(u)
+        trials = 200_000
+        marks = rng.random((trials, 3)) < u
+        counts = np.zeros(4)
+        rows_any = marks.any(axis=1)
+        counts[3] = (~rows_any).sum()
+        idx = np.nonzero(rows_any)[0]
+        row_counts = marks[idx].sum(axis=1)
+        r = rng.integers(0, row_counts)
+        csum = np.cumsum(marks[idx], axis=1)
+        chosen = np.argmax(csum > r[:, None], axis=1)
+        counts[:3] = np.bincount(chosen, minlength=3)
+        np.testing.assert_allclose(counts / trials, pi, atol=5e-3)

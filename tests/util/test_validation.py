@@ -1,0 +1,88 @@
+"""Tests for the validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.util.validation import (
+    check_in_range,
+    check_integer,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_allow_zero(self):
+        assert check_positive("x", 0.0, allow_zero=True) == 0.0
+
+    def test_rejects_negative_with_allow_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.0, allow_zero=True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="NaN"):
+            check_positive("x", math.nan)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts(self, p):
+        assert check_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, math.nan])
+    def test_rejects(self, p):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", p)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive_low=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 2.0, 1.0, 2.0, inclusive_high=False)
+
+    def test_error_message_brackets(self):
+        with pytest.raises(ConfigurationError, match=r"\(1.*2\.0\]"):
+            check_in_range("x", 0.5, 1.0, 2.0, inclusive_low=False)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer("n", 5) == 5
+
+    def test_accepts_integral_float(self):
+        assert check_integer("n", 5.0) == 5
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ConfigurationError):
+            check_integer("n", 5.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_integer("n", True)
+
+    def test_minimum(self):
+        with pytest.raises(ConfigurationError, match=">= 3"):
+            check_integer("n", 2, minimum=3)
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            check_integer("n", "five")
