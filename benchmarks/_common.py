@@ -1,4 +1,4 @@
-"""Shared helper for the per-experiment benchmarks.
+"""Shared helpers for the per-experiment benchmarks.
 
 Each benchmark runs one experiment at quick scale under
 pytest-benchmark (timing the full regeneration) and asserts that every
@@ -6,11 +6,19 @@ claim of the experiment passes — so ``pytest benchmarks/
 --benchmark-only`` both times the reproduction and gates its
 correctness.  Experiments are stochastic multi-second simulations, so
 each is timed as a single pedantic round.
+
+Engine-level benchmarks use the declarative scenario API instead:
+:func:`scenario_spec` builds a standard colony spec and
+:func:`run_scenario_benchmark` times one ``run_scenario`` call.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.experiments.base import ExperimentResult, get_experiment
+from repro.scenario import ScenarioSpec, run_scenario
+from repro.sim.engine import SimulationResult
 
 
 def run_experiment_benchmark(benchmark, experiment_id: str, seed: int = 0) -> ExperimentResult:
@@ -21,4 +29,36 @@ def run_experiment_benchmark(benchmark, experiment_id: str, seed: int = 0) -> Ex
     )
     assert isinstance(result, ExperimentResult)
     assert result.all_ok, f"\n{result.report()}"
+    return result
+
+
+def scenario_spec(
+    *,
+    n: int,
+    k: int = 4,
+    engine: str = "agent",
+    gamma: float = 0.025,
+    gamma_star: float = 0.01,
+    rounds: int = 500,
+    seed: int = 0,
+    **engine_params: Any,
+) -> ScenarioSpec:
+    """The benchmarks' standard colony as a declarative spec."""
+    return ScenarioSpec(
+        algorithm={"name": "ant", "params": {"gamma": gamma}},
+        demand={"name": "uniform", "params": {"n": n, "k": k}},
+        feedback={"name": "calibrated_sigmoid", "params": {"gamma_star": gamma_star}},
+        engine={"name": engine, "params": engine_params},
+        rounds=rounds,
+        seed=seed,
+        gamma_star=gamma_star,
+        label=f"{engine}(n={n}, k={k})",
+    )
+
+
+def run_scenario_benchmark(benchmark, spec: ScenarioSpec, **run_kwargs: Any) -> SimulationResult:
+    """Benchmark one single-trial ``run_scenario`` call on ``spec``."""
+    result = benchmark(run_scenario, spec, **run_kwargs)
+    assert isinstance(result, SimulationResult)
+    assert result.rounds == run_kwargs.get("rounds", spec.rounds)
     return result

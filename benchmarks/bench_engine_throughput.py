@@ -1,48 +1,31 @@
 """Engine throughput benchmarks (not tied to a paper artifact).
 
-Measures rounds/second of the two engines so performance regressions in
-the hot paths (the ``(n, k)`` Bernoulli draw + mask updates, and the
-O(k) binomial/multinomial transition) are caught.  The counting engine
+Measures rounds/second of the engines so performance regressions in the
+hot paths (the ``(n, k)`` Bernoulli draw + mask updates, and the O(k)
+binomial/multinomial transition) are caught.  The counting engine
 should be orders of magnitude faster per round and independent of n.
+
+Engines are built through the declarative scenario API (the spec layer
+adds one constant-cost construction per run, which the pedantic timing
+amortizes over ``ROUNDS`` rounds).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.ant import AntAlgorithm
-from repro.env.critical import lambda_for_critical_value
-from repro.env.demands import uniform_demands
-from repro.env.feedback import SigmoidFeedback
-from repro.sim.counting import CountingSimulator
-from repro.sim.engine import Simulator
+from benchmarks._common import run_scenario_benchmark, scenario_spec
 
 ROUNDS = 500
 
 
-def _setup(n: int):
-    demand = uniform_demands(n=n, k=4)
-    lam = lambda_for_critical_value(demand, gamma_star=0.01)
-    return demand, SigmoidFeedback(lam)
-
-
 @pytest.mark.parametrize("n", [2000, 8000])
 def test_agent_engine_throughput(benchmark, n):
-    demand, fb = _setup(n)
-
-    def run():
-        return Simulator(AntAlgorithm(gamma=0.025), demand, fb, seed=0).run(ROUNDS)
-
-    result = benchmark(run)
-    assert result.rounds == ROUNDS
+    spec = scenario_spec(n=n, engine="agent", rounds=ROUNDS)
+    run_scenario_benchmark(benchmark, spec)
 
 
 @pytest.mark.parametrize("n", [8000, 512000])
 def test_counting_engine_throughput(benchmark, n):
-    demand, fb = _setup(n)
-
-    def run():
-        return CountingSimulator(AntAlgorithm(gamma=0.025), demand, fb, seed=0).run(ROUNDS)
-
-    result = benchmark(run)
-    assert result.rounds == ROUNDS
+    spec = scenario_spec(n=n, engine="counting", rounds=ROUNDS)
+    run_scenario_benchmark(benchmark, spec)

@@ -6,6 +6,11 @@ a "night" regime (brood-care-heavy demands).  The demands flip every
 ``period`` rounds; Algorithm Ant re-converges after each flip without
 any reset — the self-stabilization the paper emphasizes.
 
+The whole experiment is one declarative :class:`repro.ScenarioSpec`
+using the ``periodic_proportional`` demand schedule and the O(k)
+counting engine — the same JSON-serializable scenario ships in
+``examples/scenarios/day_night.json`` for the config-file-driven runner.
+
 Run:  python examples/day_night_colony.py
 """
 
@@ -13,38 +18,46 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    AntAlgorithm,
-    CountingSimulator,
-    PeriodicDemandSchedule,
-    SigmoidFeedback,
-    lambda_for_critical_value,
-    proportional_demands,
-)
-from repro.util.ascii_plot import multi_line_plot
+from repro import ScenarioSpec, run_scenario
 
 TASKS = ["foraging", "brood care", "nest repair", "patrolling"]
 
+PERIOD = 6000
+
+
+def build_spec() -> ScenarioSpec:
+    # Day: foraging dominates.  Night: brood care dominates.
+    return ScenarioSpec(
+        algorithm={"name": "ant", "params": {"gamma": 0.05}},
+        demand={
+            "name": "periodic_proportional",
+            "params": {
+                "n": 8000,
+                "phase_weights": [[4, 1, 2, 1], [1, 4, 2, 1]],
+                "period": PERIOD,
+            },
+        },
+        feedback={"name": "calibrated_sigmoid", "params": {"gamma_star": 0.02}},
+        engine={"name": "counting"},
+        rounds=4 * PERIOD,  # two full day/night cycles
+        seed=7,
+        run_params={"trace_stride": PERIOD // 150},
+        label="day/night colony",
+    )
+
 
 def main() -> None:
-    n = 8000
-    # Day: foraging dominates.  Night: brood care dominates.
-    day = proportional_demands(n, weights=[4, 1, 2, 1])
-    night = proportional_demands(n, weights=[1, 4, 2, 1])
-    period = 6000
-    schedule = PeriodicDemandSchedule(phases=(day, night), period=period)
+    from repro.util.ascii_plot import multi_line_plot
+
+    spec = build_spec()
+    schedule = spec.build_demand()
+    day, night = schedule.demands_at(0), schedule.demands_at(PERIOD)
     print("day   demands:", dict(zip(TASKS, day.as_array())))
     print("night demands:", dict(zip(TASKS, night.as_array())))
 
-    gamma_star = 0.02
-    lam = lambda_for_critical_value(day, gamma_star=gamma_star)
-    gamma = 0.05
-
-    sim = CountingSimulator(
-        AntAlgorithm(gamma=gamma), schedule, SigmoidFeedback(lam), seed=7
-    )
-    rounds = 4 * period  # two full day/night cycles
-    result = sim.run(rounds, trace_stride=period // 150)
+    result = run_scenario(spec)
+    rounds = spec.rounds
+    gamma = spec.algorithm.params["gamma"]
 
     t = result.trace.rounds
     loads = result.trace.loads
@@ -53,7 +66,7 @@ def main() -> None:
         multi_line_plot(
             t,
             {TASKS[0]: loads[:, 0], TASKS[1]: loads[:, 1]},
-            title=f"loads across day/night flips every {period} rounds",
+            title=f"loads across day/night flips every {PERIOD} rounds",
             xlabel="round",
             height=14,
         )
@@ -62,7 +75,7 @@ def main() -> None:
     # Quantify re-convergence after each flip: rounds until all deficits
     # re-enter the 5*gamma*d band.
     # Skip flips too close to the horizon to observe re-convergence.
-    for flip in [f for f in schedule.change_points(rounds) if f <= rounds - period // 2]:
+    for flip in [f for f in schedule.change_points(rounds) if f <= rounds - PERIOD // 2]:
         demands = schedule.demands_at(flip).as_array().astype(float)
         after = loads[t >= flip]
         band = 5.0 * gamma * demands + 3.0

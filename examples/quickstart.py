@@ -1,51 +1,51 @@
 #!/usr/bin/env python
 """Quickstart: run Algorithm Ant on a small colony and inspect the result.
 
-The minimal end-to-end use of the library:
+The minimal end-to-end use of the library, on the declarative scenario
+API:
 
-1. build a demand vector (Assumptions 2.1 validated),
-2. calibrate the sigmoid noise to a chosen critical value ``gamma*``,
-3. run Algorithm Ant from a cold (all-idle) start,
+1. describe the whole simulation as a :class:`repro.ScenarioSpec`
+   (components picked by registry name; Assumptions 2.1 validated),
+2. let ``calibrated_sigmoid`` tune the noise to a chosen critical value,
+3. run it through :func:`repro.run_scenario` from a cold (all-idle) start,
 4. read regret / closeness metrics and the per-task loads.
+
+The same spec serializes to JSON (``spec.to_json()``) and runs from the
+command line: ``repro-experiments scenario run <file.json>``.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import (
-    AntAlgorithm,
-    SigmoidFeedback,
-    Simulator,
-    lambda_for_critical_value,
-    uniform_demands,
-)
+from repro import ScenarioSpec, run_scenario
 from repro.analysis import ant_closeness_bound
 from repro.util.ascii_plot import line_plot
 
 
 def main() -> None:
-    # A colony of 4000 ants, 4 tasks, each demanding 500 workers.
-    demand = uniform_demands(n=4000, k=4)
-    print(f"colony: n={demand.n}, demands={demand.as_array()}")
-
-    # Calibrate the sigmoid so feedback becomes reliable once the deficit
-    # exceeds 1% of the demand (gamma* = 0.01).
+    # A colony of 4000 ants, 4 tasks, each demanding 500 workers, with
+    # sigmoid noise calibrated so feedback becomes reliable once the
+    # deficit exceeds 1% of the demand (gamma* = 0.01), running
+    # Algorithm Ant at learning rate gamma = 2.5 * gamma*.
     gamma_star = 0.01
-    lam = lambda_for_critical_value(demand, gamma_star=gamma_star)
-    print(f"sigmoid steepness lambda = {lam:.3f}  (gamma* = {gamma_star})")
-
-    # Algorithm Ant with learning rate gamma = 2.5 * gamma*.
     gamma = 0.025
-    sim = Simulator(
-        AntAlgorithm(gamma=gamma),
-        demand,
-        SigmoidFeedback(lam),
+    spec = ScenarioSpec(
+        algorithm={"name": "ant", "params": {"gamma": gamma}},
+        demand={"name": "uniform", "params": {"n": 4000, "k": 4}},
+        feedback={"name": "calibrated_sigmoid", "params": {"gamma_star": gamma_star}},
+        engine={"name": "agent"},
+        rounds=10000,
         seed=42,
+        run_params={"burn_in": 5000, "trace_stride": 25},
+        gamma_star=gamma_star,
+        label="quickstart",
     )
-    result = sim.run(10000, burn_in=5000, trace_stride=25)
+    demand = spec.initial_demand()
+    print(f"colony: n={demand.n}, demands={demand.as_array()}")
+    print(f"feedback: {spec.feedback.build(demand=demand)}  (gamma* = {gamma_star})")
+
+    result = run_scenario(spec)
 
     m = result.metrics
     closeness = m.closeness(gamma_star, demand.total)
@@ -73,6 +73,8 @@ def main() -> None:
 
     assert closeness <= bound, "Theorem 3.1 violated?!"
     print("quickstart OK: allocation is within the Theorem 3.1 closeness bound")
+    print("\nThis entire scenario as a config file:")
+    print(spec.to_json())
 
 
 if __name__ == "__main__":

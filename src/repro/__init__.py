@@ -8,17 +8,40 @@ A production-quality reproduction of
 
 Quickstart
 ----------
->>> from repro import (
-...     AntAlgorithm, SigmoidFeedback, Simulator, uniform_demands,
-...     lambda_for_critical_value,
+Every simulation is a declarative, serializable :class:`ScenarioSpec`:
+pick components by registry name, run through one entry point.
+
+>>> from repro import ScenarioSpec, run_scenario
+>>> spec = ScenarioSpec(
+...     algorithm={"name": "ant", "params": {"gamma": 0.02}},
+...     demand={"name": "uniform", "params": {"n": 2000, "k": 4}},
+...     feedback={"name": "calibrated_sigmoid", "params": {"gamma_star": 0.02}},
+...     rounds=4000, seed=0,
 ... )
->>> demand = uniform_demands(n=2000, k=4)
->>> lam = lambda_for_critical_value(demand, gamma_star=0.02)
->>> sim = Simulator(AntAlgorithm(gamma=0.02), demand,
-...                 SigmoidFeedback(lam), seed=0)
->>> result = sim.run(4000, burn_in=2000)
->>> result.metrics.closeness(0.02, demand.total) < 5.0
+>>> result = run_scenario(spec, burn_in=2000)
+>>> result.metrics.closeness(0.02, spec.initial_demand().total) < 5.0
 True
+
+The classic imperative API remains available (and is what the spec
+layer builds): construct ``AntAlgorithm`` / ``SigmoidFeedback`` /
+``Simulator`` directly when you need non-serializable components.
+
+Scenario
+--------
+Specs round-trip through JSON (``spec.to_json()`` /
+``ScenarioSpec.from_json``), so whole experiments live in config files
+and run from the command line::
+
+    repro-experiments scenario run examples/scenarios/quickstart.json
+
+Multi-trial statistics and parameter sweeps route through the trial
+runner with picklable spec-based factories, so ``run_scenario(spec,
+trials=16, parallel=8)`` farms trials to worker processes for *any*
+registered configuration — with statistics bit-identical to the serial
+path.  Components are pluggable: ``register_algorithm``,
+``register_feedback``, ``register_demand``, ``register_population`` and
+``repro.scenario.register_engine`` add new names; every registry lists
+its known names in its error messages.
 
 Layout
 ------
@@ -26,6 +49,7 @@ Layout
 ``repro.core``        the paper's algorithms (Ant, Precise Sigmoid,
                       Precise Adversarial, trivial baseline)
 ``repro.sim``         simulation engines, metrics, multi-trial runner
+``repro.scenario``    declarative specs, registries, ``run_scenario``
 ``repro.automaton``   finite-state-machine substrate (Assumption 2.2,
                       Theorem 3.3 memory-bounded algorithm family)
 ``repro.analysis``    statistics, oscillation detection, theorem bounds
@@ -43,6 +67,15 @@ from repro.exceptions import (
     AnalysisError,
 )
 from repro.env import (
+    make_feedback,
+    make_demand,
+    make_population,
+    available_feedbacks,
+    available_demands,
+    available_populations,
+    register_feedback,
+    register_demand,
+    register_population,
     DemandVector,
     DemandSchedule,
     StaticDemandSchedule,
@@ -77,6 +110,20 @@ from repro.core import (
     TrivialAlgorithm,
     make_algorithm,
     available_algorithms,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.scenario import (
+    AlgorithmSpec,
+    FeedbackSpec,
+    DemandSpec,
+    PopulationSpec,
+    EngineSpec,
+    ScenarioSpec,
+    ScenarioFactory,
+    run_scenario,
+    sweep_scenario,
+    available_engines,
 )
 from repro.sim import (
     Simulator,
@@ -126,6 +173,15 @@ __all__ = [
     "ExactBinaryFeedback",
     "CorrelatedSigmoidFeedback",
     "make_adversary",
+    "make_feedback",
+    "make_demand",
+    "make_population",
+    "available_feedbacks",
+    "available_demands",
+    "available_populations",
+    "register_feedback",
+    "register_demand",
+    "register_population",
     # core
     "ColonyAlgorithm",
     "InitialAssignment",
@@ -139,6 +195,19 @@ __all__ = [
     "TrivialAlgorithm",
     "make_algorithm",
     "available_algorithms",
+    "register_algorithm",
+    "unregister_algorithm",
+    # scenario
+    "AlgorithmSpec",
+    "FeedbackSpec",
+    "DemandSpec",
+    "PopulationSpec",
+    "EngineSpec",
+    "ScenarioSpec",
+    "ScenarioFactory",
+    "run_scenario",
+    "sweep_scenario",
+    "available_engines",
     # sim
     "Simulator",
     "CountingSimulator",

@@ -18,7 +18,12 @@ from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
 from repro.core.precise_adversarial import PreciseAdversarialAlgorithm
 from repro.core.scout import ScoutAntAlgorithm
 from repro.core.trivial import TrivialAlgorithm
-from repro.core.registry import make_algorithm, available_algorithms
+from repro.core.registry import (
+    make_algorithm,
+    available_algorithms,
+    register_algorithm,
+    unregister_algorithm,
+)
 
 __all__ = [
     "ColonyAlgorithm",
@@ -34,4 +39,6 @@ __all__ = [
     "TrivialAlgorithm",
     "make_algorithm",
     "available_algorithms",
+    "register_algorithm",
+    "unregister_algorithm",
 ]

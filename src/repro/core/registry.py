@@ -1,7 +1,10 @@
 """Algorithm registry: construct any algorithm by name.
 
-Used by the experiment CLI and sweep configs so algorithm choices are
-serializable strings.
+Used by the experiment CLI, sweep configs and the declarative scenario
+layer (:mod:`repro.scenario`) so algorithm choices are serializable
+strings.  Built on the shared :class:`~repro.util.registry.Registry`
+utility; sibling registries for feedback / demand / population live in
+:mod:`repro.env.registry`.
 """
 
 from __future__ import annotations
@@ -14,33 +17,48 @@ from repro.core.precise_adversarial import PreciseAdversarialAlgorithm
 from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
 from repro.core.scout import ScoutAntAlgorithm
 from repro.core.trivial import TrivialAlgorithm
-from repro.exceptions import ConfigurationError
+from repro.util.registry import Registry
 
-__all__ = ["make_algorithm", "available_algorithms", "register_algorithm"]
+__all__ = [
+    "ALGORITHMS",
+    "make_algorithm",
+    "available_algorithms",
+    "register_algorithm",
+    "unregister_algorithm",
+]
 
-_FACTORIES: dict[str, Callable[..., ColonyAlgorithm]] = {
-    "ant": AntAlgorithm,
-    "ant_one_sample": OneSampleAntAlgorithm,
-    "ant_scout": ScoutAntAlgorithm,
-    "precise_sigmoid": PreciseSigmoidAlgorithm,
-    "precise_adversarial": PreciseAdversarialAlgorithm,
-    "trivial": TrivialAlgorithm,
-}
+#: The shared algorithm registry (one instance per component family).
+ALGORITHMS = Registry("algorithm")
+ALGORITHMS.register("ant", AntAlgorithm)
+ALGORITHMS.register("ant_one_sample", OneSampleAntAlgorithm)
+ALGORITHMS.register("ant_scout", ScoutAntAlgorithm)
+ALGORITHMS.register("precise_sigmoid", PreciseSigmoidAlgorithm)
+ALGORITHMS.register("precise_adversarial", PreciseAdversarialAlgorithm)
+ALGORITHMS.register("trivial", TrivialAlgorithm)
 
 
-def register_algorithm(name: str, factory: Callable[..., ColonyAlgorithm]) -> None:
+def register_algorithm(
+    name: str,
+    factory: Callable[..., ColonyAlgorithm],
+    *,
+    allow_overwrite: bool = False,
+) -> None:
     """Register a custom algorithm factory under ``name``.
 
-    Raises if the name is already taken (registries must be unambiguous).
+    Raises if the name is already taken (registries must be unambiguous)
+    unless ``allow_overwrite=True`` is passed explicitly.
     """
-    if name in _FACTORIES:
-        raise ConfigurationError(f"algorithm {name!r} is already registered")
-    _FACTORIES[name] = factory
+    ALGORITHMS.register(name, factory, allow_overwrite=allow_overwrite)
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registered algorithm (e.g. to undo a test-local plugin)."""
+    ALGORITHMS.unregister(name)
 
 
 def available_algorithms() -> list[str]:
     """Sorted list of registered algorithm names."""
-    return sorted(_FACTORIES)
+    return ALGORITHMS.names()
 
 
 def make_algorithm(name: str, **kwargs) -> ColonyAlgorithm:
@@ -53,10 +71,4 @@ def make_algorithm(name: str, **kwargs) -> ColonyAlgorithm:
     >>> make_algorithm("precise_sigmoid", gamma=0.05, eps=0.25)  # doctest: +ELLIPSIS
     PreciseSigmoidAlgorithm(...)
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown algorithm {name!r}; known: {available_algorithms()}"
-        ) from None
-    return factory(**kwargs)
+    return ALGORITHMS.make(name, **kwargs)

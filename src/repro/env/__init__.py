@@ -47,6 +47,17 @@ from repro.env.adversary import (
     IndistinguishableDemandAdversary,
     make_adversary,
 )
+from repro.env.registry import (
+    make_feedback,
+    make_demand,
+    make_population,
+    available_feedbacks,
+    available_demands,
+    available_populations,
+    register_feedback,
+    register_demand,
+    register_population,
+)
 
 __all__ = [
     "DemandVector",
@@ -79,4 +90,13 @@ __all__ = [
     "PushAwayFromDemand",
     "IndistinguishableDemandAdversary",
     "make_adversary",
+    "make_feedback",
+    "make_demand",
+    "make_population",
+    "available_feedbacks",
+    "available_demands",
+    "available_populations",
+    "register_feedback",
+    "register_demand",
+    "register_population",
 ]

@@ -1,0 +1,249 @@
+"""Environment registries: feedback / demand / population by name.
+
+Companions to the algorithm registry (:mod:`repro.core.registry`): every
+environment component is constructible from a string name plus
+JSON-friendly keyword arguments, which is what the declarative scenario
+layer (:mod:`repro.scenario`) and config-file-driven sweeps build on.
+
+Factories whose natural constructor takes numpy arrays or nested model
+objects get thin wrappers here that accept plain lists / strings — e.g.
+``adversarial`` builds its grey-zone strategy from a registered
+adversary name, and ``step`` / ``periodic`` demand schedules take demand
+vectors as lists of ints.
+
+Two feedback factories are *demand-aware*: ``calibrated_sigmoid``
+(sigmoid steepness solved from a target critical value ``gamma*``) and
+``threshold`` (per-task load thresholds need the demand scale).  They
+declare a ``demand`` parameter which :class:`repro.scenario.FeedbackSpec`
+injects automatically from the scenario's demand vector at build time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.env.adversary import AdversaryStrategy, make_adversary
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import (
+    DemandVector,
+    PeriodicDemandSchedule,
+    StepDemandSchedule,
+    proportional_demands,
+    uniform_demands,
+)
+from repro.env.feedback import (
+    AdversarialFeedback,
+    CorrelatedSigmoidFeedback,
+    ExactBinaryFeedback,
+    SigmoidFeedback,
+    ThresholdFeedback,
+)
+from repro.env.population import StaticPopulation, StepPopulation
+from repro.exceptions import ConfigurationError
+from repro.util.registry import Registry
+
+__all__ = [
+    "FEEDBACKS",
+    "DEMANDS",
+    "POPULATIONS",
+    "make_feedback",
+    "make_demand",
+    "make_population",
+    "available_feedbacks",
+    "available_demands",
+    "available_populations",
+    "register_feedback",
+    "register_demand",
+    "register_population",
+]
+
+
+# ----------------------------------------------------------------------
+# Feedback models
+
+FEEDBACKS = Registry("feedback model")
+
+
+def _adversarial_feedback(
+    gamma_ad: float,
+    strategy: str | AdversaryStrategy | None = None,
+    strategy_params: dict | None = None,
+) -> AdversarialFeedback:
+    """Adversarial noise with the grey-zone strategy given by name."""
+    if isinstance(strategy, str):
+        strategy = make_adversary(strategy, **(strategy_params or {}))
+    elif strategy_params:
+        raise ConfigurationError(
+            "strategy_params only applies when the strategy is given by name"
+        )
+    return AdversarialFeedback(gamma_ad, strategy)
+
+
+def _calibrated_sigmoid(
+    gamma_star: float,
+    demand: DemandVector | None = None,
+    p_fail: float | None = None,
+) -> SigmoidFeedback:
+    """Sigmoid noise with steepness solved for a target critical value.
+
+    ``demand`` is injected by the scenario layer; calling this directly
+    without one is a configuration error.
+    """
+    if demand is None:
+        raise ConfigurationError(
+            "calibrated_sigmoid needs the scenario's demand vector to solve "
+            "for lambda; build it through a ScenarioSpec or pass demand="
+        )
+    lam = lambda_for_critical_value(demand, gamma_star=gamma_star, p_fail=p_fail)
+    return SigmoidFeedback(lam)
+
+
+def _threshold_feedback(
+    thresholds: Sequence[float],
+    demand: DemandVector | None = None,
+) -> ThresholdFeedback:
+    """Deterministic load-threshold feedback against the scenario demand."""
+    if demand is None:
+        raise ConfigurationError(
+            "threshold feedback needs the scenario's demand vector; build it "
+            "through a ScenarioSpec or pass demand="
+        )
+    return ThresholdFeedback(
+        np.asarray(thresholds, dtype=np.float64),
+        demand.as_array().astype(np.float64),
+    )
+
+
+FEEDBACKS.register("sigmoid", SigmoidFeedback)
+FEEDBACKS.register("calibrated_sigmoid", _calibrated_sigmoid)
+FEEDBACKS.register("exact", ExactBinaryFeedback)
+FEEDBACKS.register("correlated_sigmoid", CorrelatedSigmoidFeedback)
+FEEDBACKS.register("adversarial", _adversarial_feedback)
+FEEDBACKS.register("threshold", _threshold_feedback)
+
+
+# ----------------------------------------------------------------------
+# Demands (static vectors and dynamic schedules)
+
+DEMANDS = Registry("demand")
+
+
+def _explicit_demands(demands: Sequence[int], n: int, strict: bool = True) -> DemandVector:
+    return DemandVector(np.asarray(demands, dtype=np.int64), n=n, strict=strict)
+
+
+def _step_demands(
+    steps: Sequence[Sequence],
+    n: int,
+    strict: bool = True,
+) -> StepDemandSchedule:
+    """Piecewise-constant demands: ``steps = [[start_round, [d1, ...]], ...]``."""
+    try:
+        built = tuple(
+            (int(start), _explicit_demands(demands, n, strict)) for start, demands in steps
+        )
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"step demands must be [[start_round, [d(1), ..., d(k)]], ...]: {exc}"
+        ) from exc
+    return StepDemandSchedule(built)
+
+
+def _periodic_demands(
+    phases: Sequence[Sequence[int]],
+    n: int,
+    period: int,
+    strict: bool = True,
+) -> PeriodicDemandSchedule:
+    """Cycling demands: each phase a demand list, held ``period`` rounds."""
+    built = tuple(_explicit_demands(p, n, strict) for p in phases)
+    return PeriodicDemandSchedule(phases=built, period=period)
+
+
+def _periodic_proportional(
+    n: int,
+    phase_weights: Sequence[Sequence[float]],
+    period: int,
+    load_fraction: float = 0.5,
+    strict: bool = True,
+) -> PeriodicDemandSchedule:
+    """Cycling proportional splits (e.g. day/night foraging vs brood care)."""
+    built = tuple(
+        proportional_demands(n, weights=w, load_fraction=load_fraction, strict=strict)
+        for w in phase_weights
+    )
+    return PeriodicDemandSchedule(phases=built, period=period)
+
+
+DEMANDS.register("uniform", uniform_demands)
+DEMANDS.register("proportional", proportional_demands)
+DEMANDS.register("explicit", _explicit_demands)
+DEMANDS.register("step", _step_demands)
+DEMANDS.register("periodic", _periodic_demands)
+DEMANDS.register("periodic_proportional", _periodic_proportional)
+
+
+# ----------------------------------------------------------------------
+# Population schedules
+
+POPULATIONS = Registry("population schedule")
+
+
+def _step_population(steps: Sequence[Sequence[int]]) -> StepPopulation:
+    """Piecewise-constant colony size: ``steps = [[start_round, n], ...]``."""
+    try:
+        built = tuple((int(start), int(n)) for start, n in steps)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"step population must be [[start_round, n], ...]: {exc}"
+        ) from exc
+    return StepPopulation(built)
+
+
+POPULATIONS.register("static", StaticPopulation)
+POPULATIONS.register("step", _step_population)
+
+
+# ----------------------------------------------------------------------
+# Wrappers (mirror repro.core.registry's module-level API)
+
+
+def make_feedback(name: str, **kwargs):
+    """Instantiate a registered feedback model by name."""
+    return FEEDBACKS.make(name, **kwargs)
+
+
+def make_demand(name: str, **kwargs):
+    """Instantiate a registered demand vector / schedule by name."""
+    return DEMANDS.make(name, **kwargs)
+
+
+def make_population(name: str, **kwargs):
+    """Instantiate a registered population schedule by name."""
+    return POPULATIONS.make(name, **kwargs)
+
+
+def available_feedbacks() -> list[str]:
+    return FEEDBACKS.names()
+
+
+def available_demands() -> list[str]:
+    return DEMANDS.names()
+
+
+def available_populations() -> list[str]:
+    return POPULATIONS.names()
+
+
+def register_feedback(name: str, factory, *, allow_overwrite: bool = False) -> None:
+    FEEDBACKS.register(name, factory, allow_overwrite=allow_overwrite)
+
+
+def register_demand(name: str, factory, *, allow_overwrite: bool = False) -> None:
+    DEMANDS.register(name, factory, allow_overwrite=allow_overwrite)
+
+
+def register_population(name: str, factory, *, allow_overwrite: bool = False) -> None:
+    POPULATIONS.register(name, factory, allow_overwrite=allow_overwrite)

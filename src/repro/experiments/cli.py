@@ -5,6 +5,10 @@ Usage::
     repro-experiments list
     repro-experiments run E3 [--scale quick|full] [--seed N]
     repro-experiments run all [--scale quick]
+    repro-experiments scenario run <file.json> [--rounds N] [--trials T]
+                                               [--parallel P] [--seed S]
+    repro-experiments scenario show <file.json>
+    repro-experiments scenario components
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.base import get_experiment, list_experiments
 
@@ -27,11 +32,84 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("experiment", help="experiment id, e.g. E3, or 'all'")
     runp.add_argument("--scale", choices=("quick", "full"), default="full")
     runp.add_argument("--seed", type=int, default=0)
+
+    scen = sub.add_parser("scenario", help="declarative scenario specs (JSON)")
+    ssub = scen.add_subparsers(dest="scenario_command", required=True)
+    srun = ssub.add_parser("run", help="run a scenario spec from a JSON file")
+    srun.add_argument("file", help="path to a ScenarioSpec JSON file")
+    srun.add_argument("--rounds", type=int, default=None, help="override spec.rounds")
+    srun.add_argument("--trials", type=int, default=1, help="independent trials")
+    srun.add_argument("--parallel", type=int, default=0, help="worker processes")
+    srun.add_argument("--seed", type=int, default=None, help="override spec.seed")
+    sshow = ssub.add_parser("show", help="validate a spec file and print it normalized")
+    sshow.add_argument("file", help="path to a ScenarioSpec JSON file")
+    ssub.add_parser("components", help="list registered component names")
     return parser
+
+
+def _load_spec(path: str):
+    from repro.scenario import ScenarioSpec
+
+    return ScenarioSpec.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _scenario_main(args: argparse.Namespace) -> int:
+    from repro.core.registry import available_algorithms
+    from repro.env.registry import (
+        available_demands,
+        available_feedbacks,
+        available_populations,
+    )
+    from repro.scenario import available_engines, run_scenario
+    from repro.sim.runner import TrialSummary
+
+    if args.scenario_command == "components":
+        for kind, names in (
+            ("algorithms", available_algorithms()),
+            ("feedbacks", available_feedbacks()),
+            ("demands", available_demands()),
+            ("populations", available_populations()),
+            ("engines", available_engines()),
+        ):
+            print(f"{kind:>12}: {', '.join(names)}")
+        return 0
+
+    spec = _load_spec(args.file)
+    if args.scenario_command == "show":
+        print(spec.to_json())
+        return 0
+
+    t0 = time.perf_counter()
+    out = run_scenario(
+        spec,
+        rounds=args.rounds,
+        trials=args.trials,
+        parallel=args.parallel,
+        seed=args.seed,
+    )
+    dt = time.perf_counter() - t0
+    if isinstance(out, TrialSummary):
+        print(out.describe())
+    else:
+        m = out.metrics
+        line = (
+            f"{spec.describe()}: R(t)/t = {m.average_regret:.2f}"
+            f"  max|deficit| = {m.max_abs_deficit:.1f}"
+            f"  switches/round = {m.switches_per_round:.2f}"
+        )
+        if spec.gamma_star is not None:
+            closeness = m.closeness(spec.gamma_star, spec.initial_demand().total)
+            line += f"  closeness = {closeness:.3f}"
+        print(line)
+        print(f"final loads = {m.final_loads.astype(int)}")
+    print(f"(scenario took {dt:.1f}s)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "scenario":
+        return _scenario_main(args)
     if args.command == "list":
         for eid, title in list_experiments():
             print(f"{eid:>4}  {title}")

@@ -1,0 +1,152 @@
+"""Engine registry: simulation engines constructible by name.
+
+Each engine builder receives the already-built components (algorithm,
+demand, feedback, optional population schedule) plus the run seed and
+the engine-specific options from :class:`~repro.scenario.spec.EngineSpec`
+params.  Three engines ship with the library:
+
+* ``agent`` — :class:`~repro.sim.engine.Simulator`, the exact per-ant
+  synchronous engine (any algorithm / feedback);
+* ``counting`` — :class:`~repro.sim.counting.CountingSimulator`, the
+  O(k)-per-round load-level engine (Ant / trivial / precise sigmoid
+  under i.i.d. noise; the only engine supporting dynamic populations);
+* ``sequential`` — :class:`~repro.sim.sequential.SequentialSimulator`,
+  the Appendix D.1 one-ant-per-round scheduler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.population import PopulationSchedule
+from repro.exceptions import ConfigurationError
+from repro.sim.counting import CountingSimulator
+from repro.sim.engine import Simulator
+from repro.sim.sequential import SequentialSimulator
+from repro.util.registry import Registry
+
+__all__ = [
+    "ENGINES",
+    "make_engine",
+    "available_engines",
+    "register_engine",
+    "unregister_engine",
+    "POPULATION_AWARE_ENGINES",
+]
+
+ENGINES = Registry("engine")
+
+#: Engine names that accept a population schedule (colony-size dynamics).
+#: Extended by ``register_engine(..., population_aware=True)``.
+POPULATION_AWARE_ENGINES: set[str] = {"counting"}
+
+
+def _require_no_population(engine: str, population: PopulationSchedule | None) -> None:
+    if population is not None:
+        raise ConfigurationError(
+            f"the {engine!r} engine does not support population schedules "
+            "(only the counting engine tracks colony-size dynamics)"
+        )
+
+
+def _build_agent(
+    algorithm,
+    demand,
+    feedback,
+    *,
+    seed=None,
+    population=None,
+    initial_assignment: str = "all_idle",
+    check_invariants_every: int = 0,
+) -> Simulator:
+    _require_no_population("agent", population)
+    return Simulator(
+        algorithm,
+        demand,
+        feedback,
+        initial_assignment=initial_assignment,
+        seed=seed,
+        check_invariants_every=check_invariants_every,
+    )
+
+
+def _build_counting(
+    algorithm,
+    demand,
+    feedback,
+    *,
+    seed=None,
+    population=None,
+    initial_loads=None,
+) -> CountingSimulator:
+    if initial_loads is not None:
+        initial_loads = np.asarray(initial_loads, dtype=np.int64)
+    return CountingSimulator(
+        algorithm,
+        demand,
+        feedback,
+        initial_loads=initial_loads,
+        seed=seed,
+        population=population,
+    )
+
+
+def _build_sequential(
+    algorithm,
+    demand,
+    feedback,
+    *,
+    seed=None,
+    population=None,
+    initial_assignment: str = "all_idle",
+) -> SequentialSimulator:
+    _require_no_population("sequential", population)
+    return SequentialSimulator(
+        algorithm,
+        demand,
+        feedback,
+        initial_assignment=initial_assignment,
+        seed=seed,
+    )
+
+
+ENGINES.register("agent", _build_agent)
+ENGINES.register("counting", _build_counting)
+ENGINES.register("sequential", _build_sequential)
+
+
+def make_engine(name: str, **kwargs):
+    """Build a registered engine (see the engine builders for kwargs)."""
+    return ENGINES.make(name, **kwargs)
+
+
+def available_engines() -> list[str]:
+    return ENGINES.names()
+
+
+def register_engine(
+    name: str,
+    factory,
+    *,
+    allow_overwrite: bool = False,
+    population_aware: bool = False,
+) -> None:
+    """Register a custom engine builder.
+
+    The builder is called as ``factory(algorithm, demand, feedback, *,
+    seed, population, **engine_params)`` and must return an object with
+    a ``run(rounds, **run_kwargs)`` method.  Pass ``population_aware=True``
+    when the builder actually consumes a population schedule; otherwise
+    specs pairing it with a population are rejected at construction.
+    """
+    ENGINES.register(name, factory, allow_overwrite=allow_overwrite)
+    if population_aware:
+        POPULATION_AWARE_ENGINES.add(name)
+    else:
+        POPULATION_AWARE_ENGINES.discard(name)
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (e.g. to undo a test-local plugin)."""
+    ENGINES.unregister(name)
+    POPULATION_AWARE_ENGINES.discard(name)

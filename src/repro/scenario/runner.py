@@ -1,0 +1,163 @@
+"""One entry point from spec to results: ``run_scenario`` / ``sweep_scenario``.
+
+``run_scenario(spec)`` runs a single simulation and returns a
+:class:`~repro.sim.engine.SimulationResult`; ``run_scenario(spec,
+trials=...)`` routes through :func:`repro.sim.runner.run_trials` and
+returns a :class:`~repro.sim.runner.TrialSummary`.  The trial factory is
+:class:`ScenarioFactory` — a picklable wrapper around the spec — so
+``parallel=P`` farms trials to ``P`` worker processes for *any*
+configuration, with results bit-identical to the serial path (per-trial
+seeds are derived from the root seed either way).
+
+``sweep_scenario`` generalizes the one-parameter sweep: each swept value
+is applied to the spec via :meth:`ScenarioSpec.with_param` dotted paths
+(``"algorithm.gamma"``, ``"feedback.lam"``, ...), so the entire sweep
+stays declarative and process-parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import SimulationResult
+from repro.sim.runner import SweepResult, TrialSummary, run_trials, sweep
+from repro.util.validation import check_integer
+
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["ScenarioFactory", "run_scenario", "sweep_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioFactory:
+    """Picklable ``seed -> simulator`` factory for multi-trial runs.
+
+    Specs are plain data, so instances survive ``pickle`` and can be
+    shipped to ``ProcessPoolExecutor`` workers — unlike closures over
+    live simulator components.
+    """
+
+    spec: ScenarioSpec
+
+    def __call__(self, seed: int) -> Any:
+        return self.spec.build(seed=seed)
+
+
+def _closeness_inputs(spec: ScenarioSpec) -> tuple[float | None, float | None]:
+    """``(gamma_star, total_demand)`` for trial summaries, when available."""
+    if spec.gamma_star is None:
+        return None, None
+    return spec.gamma_star, float(spec.initial_demand().total)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    rounds: int | None = None,
+    trials: int = 1,
+    parallel: int = 0,
+    seed: int | None = None,
+    label: str | None = None,
+    keep_results: bool = True,
+    **run_overrides: Any,
+) -> SimulationResult | TrialSummary:
+    """Run a declarative scenario end to end.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run.
+    rounds:
+        Horizon; defaults to ``spec.rounds``.
+    trials:
+        Number of independent trials.  ``trials=1`` (default) runs once
+        and returns the full :class:`SimulationResult`; ``trials > 1``
+        returns a :class:`TrialSummary` with per-trial seeds derived
+        from the root seed.
+    parallel:
+        Worker processes for multi-trial runs (0 = in-process).  The
+        statistics are bit-identical to the serial path.
+    seed:
+        Root seed override; defaults to ``spec.seed``.
+    label:
+        Summary label override; defaults to ``spec.describe()``.
+    run_overrides:
+        Extra ``run()`` kwargs, overriding ``spec.run_params`` (e.g.
+        ``burn_in``, ``trace_stride``).
+    """
+    rounds = check_integer("rounds", spec.rounds if rounds is None else rounds, minimum=1)
+    trials = check_integer("trials", trials, minimum=1)
+    parallel = check_integer("parallel", parallel, minimum=0)
+    run_kwargs = {**spec.run_params, **run_overrides}
+    root_seed = spec.seed if seed is None else check_integer("seed", seed, minimum=0)
+
+    if trials == 1:
+        if parallel > 0:
+            raise ConfigurationError(
+                "parallel workers only apply to multi-trial runs; pass trials > 1 "
+                f"(got trials=1, parallel={parallel})"
+            )
+        simulator = spec.build(seed=root_seed)
+        return simulator.run(rounds, **run_kwargs)
+
+    gamma_star, total_demand = _closeness_inputs(spec)
+    return run_trials(
+        ScenarioFactory(spec),
+        rounds,
+        trials,
+        seed=root_seed,
+        label=spec.describe() if label is None else label,
+        gamma_star=gamma_star,
+        total_demand=total_demand,
+        processes=parallel,
+        keep_results=keep_results,
+        **run_kwargs,
+    )
+
+
+def sweep_scenario(
+    spec: ScenarioSpec,
+    parameter: str,
+    values: Iterable[Any],
+    *,
+    rounds: int | None = None,
+    trials: int = 5,
+    parallel: int = 0,
+    keep_results: bool = False,
+    **run_overrides: Any,
+) -> SweepResult:
+    """Sweep one spec parameter (dotted path) over ``values``.
+
+    Each value produces a derived spec via ``spec.with_param(parameter,
+    value)`` and runs ``trials`` trials; closeness uses the *base*
+    spec's ``gamma_star`` and total demand (sweeping the demand size
+    itself therefore reports closeness against the base demand).
+
+    Only component params (``"component.param"`` paths) are sweepable:
+    the trial runner controls the horizon and seed derivation itself,
+    so a derived spec's ``rounds`` / ``seed`` fields would be silently
+    ignored — pass ``rounds=`` here (or run separate sweeps) instead.
+    """
+    if "." not in parameter:
+        raise ConfigurationError(
+            f"sweep_scenario sweeps component params like 'algorithm.gamma'; "
+            f"top-level field {parameter!r} is fixed per sweep (the trial runner "
+            "supplies rounds and per-trial seeds) — pass it as a keyword instead"
+        )
+    rounds = check_integer("rounds", spec.rounds if rounds is None else rounds, minimum=1)
+    gamma_star, total_demand = _closeness_inputs(spec)
+    return sweep(
+        parameter,
+        values,
+        lambda value: ScenarioFactory(spec.with_param(parameter, value)),
+        rounds,
+        trials,
+        seed=spec.seed,
+        gamma_star_for=None if gamma_star is None else (lambda value: gamma_star),
+        total_demand=total_demand,
+        processes=parallel,
+        keep_results=keep_results,
+        **{**spec.run_params, **run_overrides},
+    )

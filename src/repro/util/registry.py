@@ -1,0 +1,114 @@
+"""Generic name -> factory registry shared by every pluggable component.
+
+The library constructs algorithms, feedback models, demand schedules,
+population schedules and simulation engines from ``(name, kwargs)``
+pairs so that whole experiment configurations are serializable (JSON
+sweeps, config files, pickled factories for worker processes).  Each
+component family holds one :class:`Registry` instance; the per-family
+modules (``repro.core.registry``, ``repro.env.registry``,
+``repro.scenario.engines``) expose thin ``make_*`` / ``register_*``
+wrappers around it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    """A mapping of component names to factories, with friendly errors.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component family name (``"algorithm"``,
+        ``"feedback model"`` ...), used in every error message.
+
+    Examples
+    --------
+    >>> r = Registry("widget")
+    >>> r.register("cog", dict)
+    >>> r.make("cog", teeth=12)
+    {'teeth': 12}
+    >>> r.names()
+    ['cog']
+    """
+
+    def __init__(self, kind: str) -> None:
+        if not isinstance(kind, str) or not kind:
+            raise ConfigurationError("registry kind must be a non-empty string")
+        self.kind = kind
+        self._factories: dict[str, Callable[..., Any]] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Any],
+        *,
+        allow_overwrite: bool = False,
+    ) -> None:
+        """Register ``factory`` under ``name``.
+
+        Raises :class:`ConfigurationError` if the name is already taken,
+        unless ``allow_overwrite=True`` (registries must stay unambiguous;
+        deliberate replacement has to be explicit).
+        """
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(f"{self.kind} name must be a non-empty string")
+        if not callable(factory):
+            raise ConfigurationError(
+                f"{self.kind} factory for {name!r} must be callable, "
+                f"got {type(factory).__name__}"
+            )
+        if name in self._factories and not allow_overwrite:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered "
+                "(pass allow_overwrite=True to replace it)"
+            )
+        self._factories[name] = factory
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered name; unknown names raise."""
+        if name not in self._factories:
+            raise ConfigurationError(
+                f"cannot unregister unknown {self.kind} {name!r}; known: {self.names()}"
+            )
+        del self._factories[name]
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Sorted list of registered names."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under ``name``; unknown names raise
+        with the full list of known names (self-documenting configs)."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; known: {self.names()}"
+            ) from None
+
+    def check(self, name: str) -> None:
+        """Validate that ``name`` is registered (without instantiating)."""
+        self.get(name)
+
+    def make(self, name: str, **kwargs: Any) -> Any:
+        """Instantiate the component registered under ``name``."""
+        return self.get(name)(**kwargs)

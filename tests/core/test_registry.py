@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.core.ant import AntAlgorithm
-from repro.core.registry import available_algorithms, make_algorithm, register_algorithm
+from repro.core.registry import (
+    available_algorithms,
+    make_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
 from repro.exceptions import ConfigurationError
 
 
@@ -28,6 +33,10 @@ class TestRegistry:
         with pytest.raises(ConfigurationError, match="unknown algorithm"):
             make_algorithm("quantum_ant")
 
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigurationError, match="'ant'"):
+            make_algorithm("quantum_ant")
+
     def test_bad_kwargs_propagate(self):
         with pytest.raises(ConfigurationError):
             make_algorithm("ant", gamma=5.0)
@@ -42,10 +51,28 @@ class TestRegistry:
             alg = make_algorithm("custom_test_alg", gamma=0.01)
             assert isinstance(alg, Custom)
         finally:
-            from repro.core import registry
-
-            registry._FACTORIES.pop("custom_test_alg", None)
+            unregister_algorithm("custom_test_alg")
 
     def test_register_duplicate_rejected(self):
         with pytest.raises(ConfigurationError, match="already registered"):
             register_algorithm("ant", AntAlgorithm)
+
+    def test_register_overwrite_allowed_when_explicit(self):
+        class Custom(AntAlgorithm):
+            pass
+
+        register_algorithm("overwrite_test_alg", AntAlgorithm)
+        try:
+            register_algorithm("overwrite_test_alg", Custom, allow_overwrite=True)
+            assert isinstance(make_algorithm("overwrite_test_alg", gamma=0.01), Custom)
+        finally:
+            unregister_algorithm("overwrite_test_alg")
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot unregister"):
+            unregister_algorithm("never_registered_alg")
+
+    def test_unregister_removes(self):
+        register_algorithm("ephemeral_test_alg", AntAlgorithm)
+        unregister_algorithm("ephemeral_test_alg")
+        assert "ephemeral_test_alg" not in available_algorithms()

@@ -1,0 +1,182 @@
+"""Tests for run_scenario / sweep_scenario / the scenario CLI."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenario import ScenarioFactory, ScenarioSpec, run_scenario, sweep_scenario
+from repro.sim.counting import CountingSimulator
+from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.runner import TrialSummary
+from repro.sim.sequential import SequentialSimulator
+
+
+def counting_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        algorithm={"name": "ant", "params": {"gamma": 0.025}},
+        demand={"name": "uniform", "params": {"n": 2000, "k": 4}},
+        feedback={"name": "calibrated_sigmoid", "params": {"gamma_star": 0.01}},
+        engine={"name": "counting"},
+        rounds=300,
+        seed=11,
+        gamma_star=0.01,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestBuild:
+    def test_engine_selection(self):
+        assert isinstance(counting_spec().build(), CountingSimulator)
+        agent = counting_spec(engine={"name": "agent"}, gamma_star=None)
+        assert isinstance(agent.build(), Simulator)
+        seq = counting_spec(
+            algorithm={"name": "trivial"}, engine={"name": "sequential"}
+        )
+        assert isinstance(seq.build(), SequentialSimulator)
+
+    def test_engine_algorithm_mismatch_surfaces(self):
+        spec = counting_spec(algorithm={"name": "precise_adversarial",
+                                        "params": {"gamma": 0.02, "eps": 0.5}})
+        with pytest.raises(ConfigurationError, match="CountingSimulator supports"):
+            spec.build()
+
+    def test_seed_override(self):
+        sim = counting_spec().build(seed=99)
+        assert sim is not None
+
+
+class TestRunScenario:
+    def test_single_trial_returns_simulation_result(self):
+        result = run_scenario(counting_spec())
+        assert isinstance(result, SimulationResult)
+        assert result.rounds == 300
+
+    def test_single_trial_deterministic(self):
+        a = run_scenario(counting_spec())
+        b = run_scenario(counting_spec())
+        assert a.metrics.average_regret == b.metrics.average_regret
+        assert np.array_equal(a.final_loads, b.final_loads)
+
+    def test_rounds_and_run_overrides(self):
+        result = run_scenario(counting_spec(), rounds=50, burn_in=10)
+        assert result.rounds == 50
+
+    def test_multi_trial_returns_summary(self):
+        summary = run_scenario(counting_spec(), trials=3)
+        assert isinstance(summary, TrialSummary)
+        assert summary.trials == 3
+        assert summary.label == "ant@counting"
+        assert summary.closenesses is not None  # spec.gamma_star flows through
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = run_scenario(counting_spec(), trials=4, parallel=0)
+        parallel = run_scenario(counting_spec(), trials=4, parallel=2)
+        assert np.array_equal(serial.average_regrets, parallel.average_regrets)
+        assert np.array_equal(serial.closenesses, parallel.closenesses)
+        assert np.array_equal(serial.max_abs_deficits, parallel.max_abs_deficits)
+        assert np.array_equal(serial.switches_per_round, parallel.switches_per_round)
+
+    def test_pickled_spec_survives_process_pool(self):
+        spec = counting_spec()
+        revived = pickle.loads(pickle.dumps(spec))
+        assert revived == spec
+        # parallel=2 ships the ScenarioFactory through ProcessPoolExecutor.
+        summary = run_scenario(revived, trials=2, parallel=2, rounds=100)
+        assert summary.trials == 2
+
+    def test_factory_builds_fresh_simulators(self):
+        factory = ScenarioFactory(counting_spec())
+        a, b = factory(1), factory(1)
+        assert a is not b
+        assert isinstance(a, CountingSimulator)
+
+    def test_agent_engine_scenario_runs(self):
+        result = run_scenario(counting_spec(engine={"name": "agent"}), rounds=50)
+        assert isinstance(result, SimulationResult)
+
+    def test_label_override(self):
+        summary = run_scenario(counting_spec(), trials=2, label="custom")
+        assert summary.label == "custom"
+
+    def test_invalid_trials(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(counting_spec(), trials=0)
+
+    def test_parallel_requires_multiple_trials(self):
+        with pytest.raises(ConfigurationError, match="trials > 1"):
+            run_scenario(counting_spec(), parallel=2)
+
+    def test_negative_seed_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            run_scenario(counting_spec(), trials=2, seed=-1)
+
+
+class TestSweepScenario:
+    def test_sweep_component_param(self):
+        result = sweep_scenario(
+            counting_spec(), "algorithm.gamma", [0.02, 0.04], trials=2, rounds=100
+        )
+        assert result.parameter == "algorithm.gamma"
+        assert [s.params["algorithm.gamma"] for s in result.summaries] == [0.02, 0.04]
+        assert all(s.trials == 2 for s in result.summaries)
+        assert all(s.closenesses is not None for s in result.summaries)
+
+    def test_sweep_invalid_value_surfaces(self):
+        with pytest.raises(ConfigurationError):
+            sweep_scenario(counting_spec(), "algorithm.gamma", [5.0], trials=1, rounds=10)
+
+    def test_sweep_rejects_top_level_fields(self):
+        # The trial runner owns rounds and seed derivation; sweeping them
+        # would silently run every point identically.
+        for parameter in ("rounds", "seed"):
+            with pytest.raises(ConfigurationError, match="component params"):
+                sweep_scenario(counting_spec(), parameter, [1, 2], trials=1, rounds=10)
+
+
+class TestScenarioCli:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(counting_spec().to_json(), encoding="utf-8")
+        return str(path)
+
+    def test_run_single(self, spec_file, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["scenario", "run", spec_file, "--rounds", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "ant@counting" in out and "R(t)/t" in out
+
+    def test_run_trials(self, spec_file, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["scenario", "run", spec_file, "--rounds", "50", "--trials", "2"]) == 0
+        assert "+/-" in capsys.readouterr().out
+
+    def test_show_round_trips(self, spec_file, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["scenario", "show", spec_file]) == 0
+        shown = capsys.readouterr().out
+        assert ScenarioSpec.from_json(shown) == counting_spec()
+
+    def test_components_lists_registries(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["scenario", "components"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ant", "sigmoid", "uniform", "static", "counting"):
+            assert name in out
+
+    def test_bad_spec_file_raises(self, tmp_path):
+        from repro.experiments.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"algorithm": {"name": "nope"}}', encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            main(["scenario", "run", str(bad)])

@@ -1,0 +1,297 @@
+"""Tests for the declarative spec layer: validation + serialization.
+
+The canonical-params tables below drive a JSON round-trip test over
+*every* registered component and every algorithm/feedback/demand/engine
+combination; a guard test fails if a new registration is missing from
+the tables, keeping the coverage exhaustive by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+
+import pytest
+
+from repro.core.registry import available_algorithms
+from repro.env.demands import DemandSchedule, DemandVector
+from repro.env.registry import available_demands, available_feedbacks, available_populations
+from repro.exceptions import ConfigurationError
+from repro.scenario import (
+    AlgorithmSpec,
+    DemandSpec,
+    EngineSpec,
+    FeedbackSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    available_engines,
+)
+
+N, K = 2000, 4
+
+#: Canonical constructor params for every registered component name.
+ALGORITHM_PARAMS = {
+    "ant": {"gamma": 0.02},
+    "ant_one_sample": {"gamma": 0.02},
+    "ant_scout": {"gamma": 0.02},
+    "precise_sigmoid": {"gamma": 0.02, "eps": 0.5},
+    "precise_adversarial": {"gamma": 0.02, "eps": 0.5},
+    "trivial": {},
+}
+FEEDBACK_PARAMS = {
+    "sigmoid": {"lam": 1.0},
+    "calibrated_sigmoid": {"gamma_star": 0.01},
+    "exact": {},
+    "correlated_sigmoid": {"lam": 1.0, "rho": 0.5},
+    "adversarial": {"gamma_ad": 0.05, "strategy": "inverted"},
+    "threshold": {"thresholds": [250, 250, 250, 250]},
+}
+DEMAND_PARAMS = {
+    "uniform": {"n": N, "k": K},
+    "proportional": {"n": N, "weights": [1, 2, 1, 1]},
+    "explicit": {"demands": [250, 250, 250, 250], "n": N},
+    "step": {"steps": [[0, [250, 250, 250, 250]], [500, [300, 200, 250, 250]]], "n": N},
+    "periodic": {
+        "phases": [[250, 250, 250, 250], [300, 200, 250, 250]],
+        "n": N,
+        "period": 500,
+    },
+    "periodic_proportional": {
+        "n": N,
+        "phase_weights": [[4, 1, 2, 1], [1, 4, 2, 1]],
+        "period": 500,
+    },
+}
+POPULATION_PARAMS = {
+    "static": {"n": N},
+    "step": {"steps": [[0, N], [500, N - 500]]},
+}
+ENGINE_PARAMS = {"agent": {}, "counting": {}, "sequential": {}}
+
+
+def base_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        algorithm={"name": "ant", "params": {"gamma": 0.02}},
+        demand={"name": "uniform", "params": {"n": N, "k": K}},
+        feedback={"name": "calibrated_sigmoid", "params": {"gamma_star": 0.01}},
+        rounds=100,
+        seed=1,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestCanonicalTablesAreExhaustive:
+    """New registrations must extend the tables (keeps round-trips total)."""
+
+    def test_algorithms(self):
+        assert set(ALGORITHM_PARAMS) == set(available_algorithms())
+
+    def test_feedbacks(self):
+        assert set(FEEDBACK_PARAMS) == set(available_feedbacks())
+
+    def test_demands(self):
+        assert set(DEMAND_PARAMS) == set(available_demands())
+
+    def test_populations(self):
+        assert set(POPULATION_PARAMS) == set(available_populations())
+
+    def test_engines(self):
+        assert set(ENGINE_PARAMS) == set(available_engines())
+
+
+class TestComponentSpecs:
+    @pytest.mark.parametrize(
+        "spec_cls, table",
+        [
+            (AlgorithmSpec, ALGORITHM_PARAMS),
+            (FeedbackSpec, FEEDBACK_PARAMS),
+            (DemandSpec, DEMAND_PARAMS),
+            (PopulationSpec, POPULATION_PARAMS),
+            (EngineSpec, ENGINE_PARAMS),
+        ],
+        ids=["algorithm", "feedback", "demand", "population", "engine"],
+    )
+    def test_round_trip_every_registered_name(self, spec_cls, table):
+        for name, params in table.items():
+            spec = spec_cls(name=name, params=params)
+            assert spec_cls.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigurationError, match=r"unknown algorithm 'nope'.*'ant'"):
+            AlgorithmSpec("nope")
+        with pytest.raises(ConfigurationError, match=r"unknown feedback model.*'sigmoid'"):
+            FeedbackSpec("nope")
+        with pytest.raises(ConfigurationError, match=r"unknown demand.*'uniform'"):
+            DemandSpec("nope")
+        with pytest.raises(ConfigurationError, match=r"unknown population.*'static'"):
+            PopulationSpec("nope")
+        with pytest.raises(ConfigurationError, match=r"unknown engine.*'agent'"):
+            EngineSpec("nope")
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON-serializable"):
+            AlgorithmSpec("ant", {"gamma": object()})
+
+    def test_non_string_param_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="param names must be strings"):
+            AlgorithmSpec("ant", {1: 2})
+
+    def test_params_canonicalized_to_json_types(self):
+        spec = DemandSpec("proportional", {"n": N, "weights": (1, 2, 1, 1)})
+        assert spec.params["weights"] == [1, 2, 1, 1]
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm spec keys"):
+            AlgorithmSpec.from_dict({"name": "ant", "parms": {}})
+
+    def test_build_demand_vector_and_schedule(self):
+        assert isinstance(DemandSpec("uniform", DEMAND_PARAMS["uniform"]).build(), DemandVector)
+        assert isinstance(DemandSpec("step", DEMAND_PARAMS["step"]).build(), DemandSchedule)
+
+    def test_demand_aware_feedback_injection(self):
+        demand = DemandSpec("uniform", DEMAND_PARAMS["uniform"]).build()
+        for name in ("calibrated_sigmoid", "threshold"):
+            model = FeedbackSpec(name, FEEDBACK_PARAMS[name]).build(demand=demand)
+            assert model is not None
+        # Demand-oblivious models silently ignore the injected demand.
+        model = FeedbackSpec("sigmoid", {"lam": 1.0}).build(demand=demand)
+        assert model.lam == 1.0
+
+    def test_calibrated_sigmoid_requires_demand(self):
+        with pytest.raises(ConfigurationError, match="demand"):
+            FeedbackSpec("calibrated_sigmoid", {"gamma_star": 0.01}).build()
+
+
+class TestScenarioSpec:
+    def test_dict_components_coerced(self):
+        spec = base_spec()
+        assert isinstance(spec.algorithm, AlgorithmSpec)
+        assert isinstance(spec.engine, EngineSpec)
+        assert spec.engine.name == "agent"
+
+    def test_json_round_trip(self):
+        spec = base_spec(
+            engine={"name": "counting"},
+            population={"name": "step", "params": POPULATION_PARAMS["step"]},
+            run_params={"burn_in": 50},
+            gamma_star=0.01,
+            label="full house",
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_every_component_combination(self):
+        for alg, fb, dem, eng in itertools.product(
+            ALGORITHM_PARAMS, FEEDBACK_PARAMS, DEMAND_PARAMS, ENGINE_PARAMS
+        ):
+            spec = ScenarioSpec(
+                algorithm={"name": alg, "params": ALGORITHM_PARAMS[alg]},
+                demand={"name": dem, "params": DEMAND_PARAMS[dem]},
+                feedback={"name": fb, "params": FEEDBACK_PARAMS[fb]},
+                engine={"name": eng, "params": ENGINE_PARAMS[eng]},
+            )
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            assert rebuilt == spec, f"round trip failed for {alg}/{fb}/{dem}/{eng}"
+
+    def test_round_trip_every_population(self):
+        for name, params in POPULATION_PARAMS.items():
+            spec = base_spec(
+                engine={"name": "counting"}, population={"name": name, "params": params}
+            )
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_pickle_round_trip(self):
+        spec = base_spec(engine={"name": "counting"})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_population_requires_counting_engine(self):
+        with pytest.raises(ConfigurationError, match="population-aware"):
+            base_spec(population={"name": "static", "params": {"n": N}})
+
+    def test_population_with_counting_engine_builds(self):
+        spec = base_spec(
+            engine={"name": "counting"},
+            population={"name": "step", "params": POPULATION_PARAMS["step"]},
+        )
+        assert spec.build() is not None
+
+    def test_invalid_rounds_and_seed(self):
+        with pytest.raises(ConfigurationError):
+            base_spec(rounds=0)
+        with pytest.raises(ConfigurationError, match="seed"):
+            base_spec(seed="zero")
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            base_spec(seed=-1)
+
+    def test_custom_population_aware_engine(self):
+        from repro.scenario import register_engine, unregister_engine
+
+        def dummy_engine(algorithm, demand, feedback, *, seed=None, population=None):
+            return ("dummy", population)
+
+        register_engine("dummy_pop_engine", dummy_engine, population_aware=True)
+        try:
+            spec = base_spec(
+                engine={"name": "dummy_pop_engine"},
+                population={"name": "static", "params": {"n": N}},
+            )
+            kind, population = spec.build()
+            assert kind == "dummy" and population is not None
+        finally:
+            unregister_engine("dummy_pop_engine")
+        # Unregistering also clears the population-aware flag.
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            base_spec(engine={"name": "dummy_pop_engine"})
+
+    def test_invalid_gamma_star(self):
+        with pytest.raises(ConfigurationError, match="gamma_star"):
+            base_spec(gamma_star=1.5)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = base_spec().to_dict()
+        data["algorithmn"] = data["algorithm"]
+        with pytest.raises(ConfigurationError, match="unknown scenario spec keys"):
+            ScenarioSpec.from_dict(data)
+
+    def test_from_dict_requires_core_components(self):
+        data = base_spec().to_dict()
+        del data["feedback"]
+        with pytest.raises(ConfigurationError, match="needs 'feedback'"):
+            ScenarioSpec.from_dict(data)
+
+    def test_from_json_bad_text(self):
+        with pytest.raises(ConfigurationError, match="invalid scenario JSON"):
+            ScenarioSpec.from_json("{not json")
+
+    def test_with_param_component(self):
+        spec = base_spec()
+        derived = spec.with_param("algorithm.gamma", 0.05)
+        assert derived.algorithm.params["gamma"] == 0.05
+        assert spec.algorithm.params["gamma"] == 0.02  # original untouched
+
+    def test_with_param_top_level(self):
+        assert base_spec().with_param("rounds", 77).rounds == 77
+
+    def test_with_param_errors(self):
+        with pytest.raises(ConfigurationError, match="cannot set"):
+            base_spec().with_param("bogus", 1)
+        with pytest.raises(ConfigurationError, match="unknown component"):
+            base_spec().with_param("bogus.x", 1)
+        with pytest.raises(ConfigurationError, match="no population"):
+            base_spec().with_param("population.n", 1)
+
+    def test_with_param_revalidates_spec_level(self):
+        with pytest.raises(ConfigurationError, match="JSON-serializable"):
+            base_spec().with_param("algorithm.gamma", object())
+
+    def test_with_param_bad_value_surfaces_at_build(self):
+        with pytest.raises(ConfigurationError):
+            base_spec().with_param("algorithm.gamma", 5.0).build()
+
+    def test_describe_default_and_label(self):
+        assert base_spec().describe() == "ant@agent"
+        assert base_spec(label="x").describe() == "x"
+
+    def test_initial_demand(self):
+        spec = base_spec(demand={"name": "step", "params": DEMAND_PARAMS["step"]})
+        assert spec.initial_demand().as_array().tolist() == [250, 250, 250, 250]

@@ -1,0 +1,72 @@
+"""Tests for the shared name -> factory registry utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.util.registry import Registry
+
+
+@pytest.fixture
+def registry() -> Registry:
+    r = Registry("gizmo")
+    r.register("dict", dict)
+    r.register("list", list)
+    return r
+
+
+class TestRegister:
+    def test_register_and_make(self, registry):
+        assert registry.make("dict", a=1) == {"a": 1}
+
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("dict", dict)
+
+    def test_duplicate_allowed_with_overwrite(self, registry):
+        registry.register("dict", lambda: "replaced", allow_overwrite=True)
+        assert registry.make("dict") == "replaced"
+
+    def test_non_callable_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="must be callable"):
+            registry.register("bad", 42)
+
+    def test_empty_name_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="non-empty string"):
+            registry.register("", dict)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Registry("")
+
+
+class TestLookup:
+    def test_unknown_lists_known_names(self, registry):
+        with pytest.raises(ConfigurationError, match=r"unknown gizmo 'nope'.*'dict'"):
+            registry.make("nope")
+
+    def test_names_sorted(self, registry):
+        registry.register("aardvark", dict)
+        assert registry.names() == sorted(registry.names())
+
+    def test_contains_len_iter(self, registry):
+        assert "dict" in registry and "nope" not in registry
+        assert len(registry) == 2
+        assert list(registry) == ["dict", "list"]
+
+    def test_check_does_not_instantiate(self, registry):
+        calls = []
+        registry.register("probe", lambda: calls.append(1))
+        registry.check("probe")
+        assert not calls
+
+
+class TestUnregister:
+    def test_unregister(self, registry):
+        registry.unregister("dict")
+        assert "dict" not in registry
+
+    def test_unregister_unknown_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="cannot unregister"):
+            registry.unregister("nope")
