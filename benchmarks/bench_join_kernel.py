@@ -1,0 +1,162 @@
+"""Join-kernel and many-task counting-engine benchmarks.
+
+Two entry points:
+
+* under pytest-benchmark (``pytest benchmarks/bench_join_kernel.py
+  --benchmark-only``) each timing is a named benchmark case;
+* as a script (``python benchmarks/bench_join_kernel.py --json
+  BENCH_counting.json``) it times the same cases without the plugin and
+  records kernel + counting-engine throughput to a JSON file, which CI
+  uploads so the performance trajectory of the hot path is tracked.
+
+Both modes assert the PR's acceptance criteria: the O(k^2) exact kernel
+is >= 10x faster than subset enumeration at k = 12, and an exact
+counting run at k = 64 (impossible under the old ``2^k`` enumerator)
+completes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import SigmoidFeedback
+from repro.sim.counting import CountingSimulator
+from repro.util.mathx import (
+    enumerate_subset_join_probabilities,
+    exact_join_probabilities,
+)
+
+SPEEDUP_FLOOR = 10.0  # required kernel speedup over enumeration at k = 12
+ENUM_K = 12
+KERNEL_KS = (12, 64, 256)
+ENGINE_KS = (4, 64, 256)
+ENGINE_ROUNDS = 500
+
+
+def _kernel_inputs(k: int) -> np.ndarray:
+    return np.random.default_rng(k).random(k)
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _engine_for(k: int) -> CountingSimulator:
+    demand = uniform_demands(n=1000 * k, k=k)
+    lam = lambda_for_critical_value(demand, gamma_star=0.01)
+    return CountingSimulator(
+        AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=0
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark cases
+
+
+def test_enumeration_baseline_k12(benchmark):
+    u = _kernel_inputs(ENUM_K)
+    pi = benchmark(enumerate_subset_join_probabilities, u)
+    assert pi.shape == (ENUM_K + 1,)
+
+
+def test_exact_kernel_k12(benchmark):
+    u = _kernel_inputs(ENUM_K)
+    pi = benchmark(exact_join_probabilities, u)
+    np.testing.assert_allclose(pi, enumerate_subset_join_probabilities(u), atol=1e-12)
+
+
+def test_exact_kernel_k64(benchmark):
+    u = _kernel_inputs(64)
+    pi = benchmark(exact_join_probabilities, u)
+    assert abs(pi.sum() - 1.0) < 1e-12
+
+
+def test_exact_kernel_k256(benchmark):
+    u = _kernel_inputs(256)
+    pi = benchmark(exact_join_probabilities, u)
+    assert abs(pi.sum() - 1.0) < 1e-12
+
+
+def test_kernel_speedup_over_enumeration_k12():
+    u = _kernel_inputs(ENUM_K)
+    t_enum = _time(lambda: enumerate_subset_join_probabilities(u), repeats=3)
+    t_kernel = _time(lambda: exact_join_probabilities(u), repeats=20)
+    speedup = t_enum / t_kernel
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"kernel only {speedup:.1f}x faster than enumeration at k={ENUM_K}"
+    )
+
+
+def test_counting_engine_k64_exact_run(benchmark):
+    """An exact k = 64 counting run — impossible under subset enumeration."""
+    out = benchmark.pedantic(
+        lambda: _engine_for(64).run(ENGINE_ROUNDS), rounds=1, iterations=1
+    )
+    assert out.k == 64 and out.rounds == ENGINE_ROUNDS
+
+
+# ----------------------------------------------------------------------
+# Standalone recorder (CI writes BENCH_counting.json with this)
+
+
+def collect() -> dict:
+    record: dict = {"speedup_floor": SPEEDUP_FLOOR, "kernel": {}, "counting_engine": {}}
+
+    u12 = _kernel_inputs(ENUM_K)
+    t_enum = _time(lambda: enumerate_subset_join_probabilities(u12), repeats=3)
+    record["enumeration"] = {"k": ENUM_K, "seconds_per_call": t_enum}
+
+    for k in KERNEL_KS:
+        u = _kernel_inputs(k)
+        t = _time(lambda: exact_join_probabilities(u), repeats=20)
+        record["kernel"][f"k={k}"] = {"seconds_per_call": t, "calls_per_second": 1.0 / t}
+
+    speedup = t_enum / record["kernel"][f"k={ENUM_K}"]["seconds_per_call"]
+    record["speedup_at_k12"] = speedup
+    assert speedup >= SPEEDUP_FLOOR, f"speedup {speedup:.1f}x below {SPEEDUP_FLOOR}x floor"
+
+    for k in ENGINE_KS:
+        sim = _engine_for(k)
+        t0 = time.perf_counter()
+        out = sim.run(ENGINE_ROUNDS)
+        elapsed = time.perf_counter() - t0
+        assert out.rounds == ENGINE_ROUNDS
+        record["counting_engine"][f"k={k}"] = {
+            "n": sim.n,
+            "rounds": ENGINE_ROUNDS,
+            "seconds": elapsed,
+            "rounds_per_second": ENGINE_ROUNDS / elapsed,
+        }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default="BENCH_counting.json",
+                        help="output path for the benchmark record")
+    args = parser.parse_args(argv)
+    record = collect()
+    with open(args.json, "w", encoding="utf-8") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+    print(f"speedup over enumeration at k={ENUM_K}: {record['speedup_at_k12']:.0f}x")
+    for key, row in record["counting_engine"].items():
+        print(f"counting engine {key}: {row['rounds_per_second']:.0f} rounds/s")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

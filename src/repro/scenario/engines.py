@@ -78,7 +78,11 @@ def _build_counting(
     seed=None,
     population=None,
     initial_loads=None,
+    join_strategy: str = "exact",
 ) -> CountingSimulator:
+    # No task-count cap here: the O(k^2) exact join kernel makes counting
+    # scenarios with k in the hundreds declarable and runnable (the old
+    # subset enumerator's k <= 14 cliff survives only as a test oracle).
     if initial_loads is not None:
         initial_loads = np.asarray(initial_loads, dtype=np.int64)
     return CountingSimulator(
@@ -88,6 +92,7 @@ def _build_counting(
         initial_loads=initial_loads,
         seed=seed,
         population=population,
+        join_strategy=join_strategy,
     )
 
 

@@ -267,6 +267,14 @@ class ScenarioSpec:
         object.__setattr__(
             self, "run_params", _normalize_params("run_params", self.run_params)
         )
+        burn_in = self.run_params.get("burn_in")
+        if burn_in is not None:
+            burn_in = check_integer("run_params burn_in", burn_in, minimum=0)
+            if burn_in >= self.rounds:
+                raise ConfigurationError(
+                    f"run_params burn_in={burn_in} must be < rounds={self.rounds}; "
+                    "such a run would exclude every round from its metrics"
+                )
         if self.gamma_star is not None:
             if not isinstance(self.gamma_star, (int, float)) or not 0.0 < self.gamma_star < 1.0:
                 raise ConfigurationError(

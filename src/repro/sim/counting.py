@@ -11,9 +11,15 @@ exchangeable.  The engine therefore simulates loads directly:
   ``Binomial(W_j, (1-p1_j)(1-p2_j) * gamma/c_d)``;
 * joins: an idle ant marks task ``j`` underloaded w.p. ``u_j = p1_j p2_j``
   independently across tasks and joins uniformly among its marked tasks —
-  the exact marginal action distribution is computed by subset
-  enumeration (``O(2^k k)``, k <= 14) and the joint join counts drawn as
-  one ``Multinomial(idle, pi)``.
+  the exact marginal action distribution ``pi[j] = u_j E[1/(1+B_j)]``
+  (``B_j`` the Poisson-binomial count of *other* marked tasks) is
+  computed by the O(k^2) leave-one-out deconvolution kernel
+  (:func:`repro.util.mathx.exact_join_probabilities`) and the joint join
+  counts drawn as one ``Multinomial(idle, pi)``.  This keeps the engine
+  genuinely polynomial in ``k`` — many-task scenarios (k = 64..256) run
+  exactly; the old ``O(2^k k)`` subset enumerator survives only as the
+  test oracle, and per-idle-ant sampling (``join_strategy="per_ant"``)
+  only as a distributional cross-check.
 
 This is the guides' "algorithmic optimization first": identical law to
 the agent engine (property-tested in
@@ -39,15 +45,18 @@ from repro.sim.engine import SimulationResult, _coerce_schedule
 from repro.sim.metrics import RegretTracker
 from repro.sim.trace import Trace
 from repro.types import IDLE
-from repro.util.mathx import enumerate_subset_join_probabilities
+from repro.util.mathx import exact_join_probabilities
 from repro.util.rng import RngFactory
 from repro.util.validation import check_integer
 
-__all__ = ["CountingSimulator"]
+__all__ = ["CountingSimulator", "JOIN_STRATEGIES"]
 
-#: Above this many tasks, exact subset enumeration is replaced by
-#: per-idle-ant sampling (still exact, just O(idle * k) instead of O(2^k)).
-_ENUMERATION_K_LIMIT = 14
+#: How the joint join counts of the idle pool are drawn each decision
+#: round.  Both are exact in distribution: ``"exact"`` (default) is one
+#: ``Multinomial(idle, pi)`` over the O(k^2) kernel's action
+#: distribution; ``"per_ant"`` simulates every idle ant's marks
+#: (O(idle * k)) and exists as a cross-check of the kernel.
+JOIN_STRATEGIES = ("exact", "per_ant")
 
 
 class CountingSimulator:
@@ -55,7 +64,9 @@ class CountingSimulator:
 
     Parameters mirror :class:`~repro.sim.engine.Simulator`; the initial
     state is given as per-task loads (plus implied idle ants) rather than
-    per-ant assignments.
+    per-ant assignments.  ``join_strategy`` selects how the idle pool's
+    joint join counts are drawn (see :data:`JOIN_STRATEGIES`); both
+    choices are exact in distribution.
 
     Raises
     ------
@@ -73,7 +84,13 @@ class CountingSimulator:
         initial_loads: np.ndarray | None = None,
         seed: int | np.random.Generator | None = None,
         population: PopulationSchedule | None = None,
+        join_strategy: str = "exact",
     ) -> None:
+        if join_strategy not in JOIN_STRATEGIES:
+            raise ConfigurationError(
+                f"join_strategy must be one of {JOIN_STRATEGIES}, got {join_strategy!r}"
+            )
+        self.join_strategy = join_strategy
         if not isinstance(algorithm, (AntAlgorithm, TrivialAlgorithm, PreciseSigmoidAlgorithm)):
             raise ConfigurationError(
                 "CountingSimulator supports AntAlgorithm, TrivialAlgorithm and "
@@ -120,6 +137,12 @@ class CountingSimulator:
     ) -> SimulationResult:
         """Run ``rounds`` rounds; see :meth:`Simulator.run` for options."""
         rounds = check_integer("rounds", rounds, minimum=1)
+        burn_in = check_integer("burn_in", burn_in, minimum=0)
+        if burn_in >= rounds:
+            raise ConfigurationError(
+                f"burn_in={burn_in} must be < rounds={rounds}; no rounds would "
+                "contribute to the cumulative metrics"
+            )
         if tracker is None:
             gamma = getattr(self.algorithm, "gamma", 1.0 / 16.0)
             tracker = RegretTracker(gamma=float(gamma), burn_in=burn_in)
@@ -127,6 +150,8 @@ class CountingSimulator:
         record_trace = trace_stride > 0 or tail_window > 0
         rng = self._rng_factory.stream("counting")
         self.feedback.reset()
+        # Rewind colony-size state so repeated run() calls start identically.
+        self._n_current = int(self.population.population_at(0))
 
         if isinstance(self.algorithm, AntAlgorithm):
             loads_iter = self._run_ant(rounds, rng)
@@ -149,6 +174,7 @@ class CountingSimulator:
             rounds=rounds,
             n=self.n,
             k=self.k,
+            n_current=self._n_current,
         )
 
     # ------------------------------------------------------------------
@@ -266,18 +292,24 @@ class CountingSimulator:
         """Joint join counts for ``idle`` exchangeable idle ants.
 
         Each ant marks task ``j`` w.p. ``underload_probs[j]`` independently
-        and joins a uniform marked task (idle if none).  Exact multinomial
-        via subset enumeration for small ``k``; exact per-ant sampling
-        otherwise.
+        and joins a uniform marked task (idle if none).  The default draws
+        one multinomial over the O(k^2) exact action distribution for any
+        ``k``; ``join_strategy="per_ant"`` samples every ant (identical
+        law, kept as a cross-check).
         """
         if idle <= 0:
             return np.zeros(self.k, dtype=np.int64)
         u = np.clip(underload_probs, 0.0, 1.0)
-        if self.k <= _ENUMERATION_K_LIMIT:
-            pi = enumerate_subset_join_probabilities(u)
-            counts = rng.multinomial(idle, pi)
-            return counts[: self.k].astype(np.int64)
-        # Fallback: exact, O(idle * k).
+        if self.join_strategy == "per_ant":
+            return self._sample_joins_per_ant(idle, u, rng)
+        pi = exact_join_probabilities(u)
+        counts = rng.multinomial(idle, pi)
+        return counts[: self.k].astype(np.int64)
+
+    def _sample_joins_per_ant(
+        self, idle: int, u: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact O(idle * k) per-ant simulation of the join step."""
         marks = rng.random((idle, self.k)) < u[np.newaxis, :]
         counts = np.zeros(self.k, dtype=np.int64)
         row_counts = marks.sum(axis=1)
@@ -312,8 +344,13 @@ class CountingSimulator:
             )
 
     def _loads_to_assignment(self, loads: np.ndarray) -> np.ndarray:
-        """Materialize *an* assignment consistent with the final loads."""
-        out = np.full(self.n, IDLE, dtype=np.int64)
+        """Materialize *an* assignment consistent with the final loads.
+
+        Sized by the *living* colony (``n_current``), not the capacity
+        ``n``: after a population shrink, dead ants must not show up as
+        extra IDLE workers.
+        """
+        out = np.full(self._n_current, IDLE, dtype=np.int64)
         pos = 0
         for j, w in enumerate(loads):
             out[pos : pos + int(w)] = j

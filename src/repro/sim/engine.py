@@ -35,7 +35,14 @@ __all__ = ["Simulator", "SimulationResult"]
 
 @dataclass
 class SimulationResult:
-    """Output of one simulation run."""
+    """Output of one simulation run.
+
+    ``n`` is the colony *capacity* (the size the simulator was built
+    for); ``n_current`` is the number of ants alive at the end of the
+    run.  They differ only for engines with dynamic populations (the
+    counting engine under a :class:`~repro.env.population
+    .PopulationSchedule`); fixed-population engines report both equal.
+    """
 
     metrics: RunMetrics
     trace: Trace
@@ -43,6 +50,11 @@ class SimulationResult:
     rounds: int
     n: int
     k: int
+    n_current: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_current is None:
+            self.n_current = self.n
 
     @property
     def final_loads(self) -> np.ndarray:
@@ -132,9 +144,15 @@ class Simulator:
             oscillation analysis).
         burn_in:
             Rounds excluded from cumulative metrics (ignored when an
-            explicit ``tracker`` is supplied).
+            explicit ``tracker`` is supplied).  Must be < ``rounds``.
         """
         rounds = check_integer("rounds", rounds, minimum=1)
+        burn_in = check_integer("burn_in", burn_in, minimum=0)
+        if burn_in >= rounds:
+            raise ConfigurationError(
+                f"burn_in={burn_in} must be < rounds={rounds}; no rounds would "
+                "contribute to the cumulative metrics"
+            )
         if tracker is None:
             gamma = getattr(self.algorithm, "gamma", 1.0 / 16.0)
             tracker = RegretTracker(gamma=float(gamma), burn_in=burn_in)

@@ -183,10 +183,24 @@ class RegretTracker:
         return r
 
     def finalize(self) -> RunMetrics:
-        """Summarize everything observed so far."""
+        """Summarize everything observed so far.
+
+        Raises
+        ------
+        AnalysisError
+            If nothing was observed, or the burn-in swallowed every
+            observed round — the all-zero metrics that used to come back
+            (``average_regret == 0.0`` over one phantom round) silently
+            read as a perfect allocation.
+        """
         if self._rounds == 0 or self._last_loads is None:
             raise AnalysisError("no rounds observed")
-        effective = max(self._rounds - self.burn_in, 1)
+        effective = self._rounds - self.burn_in
+        if effective <= 0:
+            raise AnalysisError(
+                f"burn_in={self.burn_in} excludes all {self._rounds} observed "
+                "rounds; cumulative metrics would be vacuously zero"
+            )
         return RunMetrics(
             rounds=effective,
             cumulative_regret=self._cum,

@@ -196,6 +196,15 @@ def sweep(
     values = list(values)
     if not values:
         raise ConfigurationError("sweep needs at least one value")
+    # One independent root seed per sweep point, spawned from the sweep's
+    # root.  The old ``seed + i`` derivation aliased across sweeps: point
+    # i of a seed-s sweep reused every trial seed of point i-1 of a
+    # seed-(s+1) sweep, correlating runs that must be independent.
+    if seed is None:
+        point_seeds: list[int | None] = [None] * len(values)
+    else:
+        root = np.random.SeedSequence(seed)
+        point_seeds = [int(s.generate_state(1)[0]) for s in root.spawn(len(values))]
     summaries = []
     for i, v in enumerate(values):
         gs = gamma_star_for(v) if gamma_star_for is not None else None
@@ -204,7 +213,7 @@ def sweep(
                 factory_for(v),
                 rounds,
                 trials,
-                seed=None if seed is None else seed + i,
+                seed=point_seeds[i],
                 label=f"{parameter}={v}",
                 gamma_star=gs,
                 total_demand=total_demand,

@@ -65,6 +65,12 @@ class SequentialSimulator:
     ) -> SimulationResult:
         """Run ``rounds`` single-ant rounds; same options as :class:`Simulator`."""
         rounds = check_integer("rounds", rounds, minimum=1)
+        burn_in = check_integer("burn_in", burn_in, minimum=0)
+        if burn_in >= rounds:
+            raise ConfigurationError(
+                f"burn_in={burn_in} must be < rounds={rounds}; no rounds would "
+                "contribute to the cumulative metrics"
+            )
         if tracker is None:
             tracker = RegretTracker(gamma=1.0 / 16.0, burn_in=burn_in)
         trace = Trace(stride=trace_stride or max(rounds, 1), tail_window=tail_window)

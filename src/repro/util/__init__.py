@@ -1,10 +1,13 @@
 """Utility layer: math helpers, RNG streams, validation, ASCII plotting."""
 
 from repro.util.mathx import (
+    ENUMERATION_K_LIMIT,
     log1pexp,
     logistic,
     inverse_logistic,
     sigmoid_lack_probability,
+    poisson_binomial_pmf,
+    exact_join_probabilities,
     enumerate_subset_join_probabilities,
 )
 from repro.util.rng import RngFactory, as_generator, spawn_generators
@@ -16,10 +19,13 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "ENUMERATION_K_LIMIT",
     "log1pexp",
     "logistic",
     "inverse_logistic",
     "sigmoid_lack_probability",
+    "poisson_binomial_pmf",
+    "exact_join_probabilities",
     "enumerate_subset_join_probabilities",
     "RngFactory",
     "as_generator",

@@ -16,12 +16,21 @@ import numpy.typing as npt
 from repro.exceptions import ConfigurationError
 
 __all__ = [
+    "ENUMERATION_K_LIMIT",
     "log1pexp",
     "logistic",
     "inverse_logistic",
     "sigmoid_lack_probability",
+    "poisson_binomial_pmf",
+    "exact_join_probabilities",
     "enumerate_subset_join_probabilities",
 ]
+
+#: Largest task count for which the O(2^k k) subset enumerator is allowed.
+#: Single source of truth shared with the counting engine: above this the
+#: enumerator refuses, and callers must use :func:`exact_join_probabilities`
+#: (identical distribution, O(k^2)) instead.
+ENUMERATION_K_LIMIT = 14
 
 
 def log1pexp(x: npt.ArrayLike) -> np.ndarray:
@@ -89,6 +98,116 @@ def sigmoid_lack_probability(
     return logistic(lam * np.asarray(deficit, dtype=np.float64))
 
 
+def _check_probability_vector(u: npt.ArrayLike) -> np.ndarray:
+    """Validate a 1-d vector of probabilities and return it as float64."""
+    u = np.asarray(u, dtype=np.float64)
+    if u.ndim != 1:
+        raise ConfigurationError("u must be a 1-d vector of per-task probabilities")
+    if np.any(u < 0.0) or np.any(u > 1.0):
+        raise ConfigurationError("per-task underload probabilities must lie in [0, 1]")
+    return u
+
+
+def _normalize_join_distribution(pi: np.ndarray, k: int) -> np.ndarray:
+    """Clip fp dust and renormalize an action distribution to sum to 1.
+
+    Accumulated rounding grows with the number of terms, so the sanity
+    check scales with ``k`` instead of the fixed ``atol=1e-9`` the old
+    enumerator used (which spuriously tripped near the old k cap).  A
+    genuinely broken distribution — sum far from 1 — still raises.
+    """
+    pi = np.clip(pi, 0.0, None)
+    total = float(pi.sum())
+    if not np.isclose(total, 1.0, rtol=0.0, atol=1e-9 * max(k, 1)):
+        raise ConfigurationError(f"join probabilities do not sum to 1 (got {total})")
+    return pi / total
+
+
+def poisson_binomial_pmf(u: npt.ArrayLike) -> np.ndarray:
+    """PMF of a Poisson-binomial count ``B = sum_j Bernoulli(u[j])``.
+
+    Standard O(k^2) dynamic programme: convolve the running PMF with one
+    Bernoulli factor at a time, each step vectorized over the support.
+
+    Returns
+    -------
+    Array of shape ``(k + 1,)`` with ``pmf[m] = P[B = m]``.
+    """
+    u = _check_probability_vector(u)
+    k = u.shape[0]
+    pmf = np.zeros(k + 1, dtype=np.float64)
+    pmf[0] = 1.0
+    for j in range(k):
+        p = u[j]
+        if p == 0.0:
+            continue
+        pmf[1 : j + 2] = pmf[1 : j + 2] * (1.0 - p) + pmf[0 : j + 1] * p
+        pmf[0] *= 1.0 - p
+    return pmf
+
+
+def exact_join_probabilities(u: npt.ArrayLike) -> np.ndarray:
+    """Exact per-task join probabilities for an idle ant, in O(k^2).
+
+    Same distribution as :func:`enumerate_subset_join_probabilities` —
+    the ant marks task ``j`` "underloaded" independently w.p. ``u[j]``
+    and joins one uniformly random marked task (idle if none) — but
+    computed without touching the ``2^k`` subsets:
+
+    ``pi[j] = u[j] * E[1 / (1 + B_j)]``
+
+    where ``B_j`` is the Poisson-binomial count of *other* marked tasks.
+    The full-count PMF is built by the O(k^2) DP, then every leave-one-out
+    PMF is recovered by deconvolving one Bernoulli factor — a two-term
+    recurrence run forward where ``u[j] <= 1/2`` and backward where
+    ``u[j] > 1/2`` so the error amplification factor never exceeds 1 —
+    vectorized across tasks, so total work stays O(k^2).
+
+    Returns
+    -------
+    Array of shape ``(k + 1,)``: entries ``0..k-1`` are join probabilities,
+    entry ``k`` is the stay-idle probability.  Sums to 1.
+    """
+    u = _check_probability_vector(u)
+    k = u.shape[0]
+    pi = np.zeros(k + 1, dtype=np.float64)
+    if k == 0:
+        pi[0] = 1.0
+        return pi
+    pmf = poisson_binomial_pmf(u)
+    # Stay idle iff no task is marked.
+    pi[k] = pmf[0]
+    active = np.nonzero(u > 0.0)[0]
+    if active.size:
+        ua = u[active]
+        qa = 1.0 - ua
+        # Leave-one-out PMFs: g[i, m] = P[B_j = m] for j = active[i].
+        # B_j has support 0..k-1 (task j itself is excluded).
+        g = np.empty((active.size, k), dtype=np.float64)
+        fwd = ua <= 0.5
+        if np.any(fwd):
+            uf, qf = ua[fwd], qa[fwd]
+            gf = np.empty((uf.size, k), dtype=np.float64)
+            gf[:, 0] = pmf[0] / qf
+            for m in range(1, k):
+                gf[:, m] = (pmf[m] - uf * gf[:, m - 1]) / qf
+            g[fwd] = gf
+        bwd = ~fwd
+        if np.any(bwd):
+            ub, qb = ua[bwd], qa[bwd]
+            gb = np.empty((ub.size, k), dtype=np.float64)
+            gb[:, k - 1] = pmf[k] / ub
+            for m in range(k - 1, 0, -1):
+                gb[:, m - 1] = (pmf[m] - qb * gb[:, m]) / ub
+            g[bwd] = gb
+        # Deconvolution dust: clip and renormalize each leave-one-out PMF.
+        np.clip(g, 0.0, 1.0, out=g)
+        g /= g.sum(axis=1, keepdims=True)
+        # pi[j] = u_j * E[1/(1+B_j)] = u_j * sum_m g[j, m] / (m + 1).
+        pi[active] = ua * (g @ (1.0 / np.arange(1.0, k + 1.0)))
+    return _normalize_join_distribution(pi, k)
+
+
 def enumerate_subset_join_probabilities(u: npt.ArrayLike) -> np.ndarray:
     """Exact per-task join probabilities for an idle ant.
 
@@ -101,23 +220,23 @@ def enumerate_subset_join_probabilities(u: npt.ArrayLike) -> np.ndarray:
     ``pi[j] = sum over subsets S containing j of P[S] / |S|`` for ``j < k``,
     and ``pi[k] = P[empty set]`` is the probability of staying idle.
 
-    Used by the O(k)-per-round counting engine; complexity ``O(2^k * k)``,
-    intended for ``k <= ~14``.
+    Complexity ``O(2^k * k)``, allowed only for ``k <=``
+    :data:`ENUMERATION_K_LIMIT`.  Retained as the brute-force test oracle
+    for :func:`exact_join_probabilities`, which computes the identical
+    distribution in O(k^2) and is what the counting engine uses.
 
     Returns
     -------
     Array of shape ``(k + 1,)``: entries ``0..k-1`` are join probabilities,
     entry ``k`` is the stay-idle probability.  Sums to 1.
     """
-    u = np.asarray(u, dtype=np.float64)
-    if u.ndim != 1:
-        raise ConfigurationError("u must be a 1-d vector of per-task probabilities")
-    if np.any(u < 0.0) or np.any(u > 1.0):
-        raise ConfigurationError("per-task underload probabilities must lie in [0, 1]")
+    u = _check_probability_vector(u)
     k = u.shape[0]
-    if k > 20:
+    if k > ENUMERATION_K_LIMIT:
         raise ConfigurationError(
-            f"subset enumeration is exponential in k; k={k} is too large (use agent sampling)"
+            f"subset enumeration is exponential in k; k={k} exceeds "
+            f"ENUMERATION_K_LIMIT={ENUMERATION_K_LIMIT} "
+            "(use exact_join_probabilities)"
         )
     pi = np.zeros(k + 1, dtype=np.float64)
     one_minus = 1.0 - u
@@ -134,8 +253,4 @@ def enumerate_subset_join_probabilities(u: npt.ArrayLike) -> np.ndarray:
                 continue
             for j in subset:
                 pi[j] += p_subset * share
-    # Guard against tiny negative drift / renormalize to machine precision.
-    total = pi.sum()
-    if not np.isclose(total, 1.0, atol=1e-9):
-        raise ConfigurationError(f"join probabilities do not sum to 1 (got {total})")
-    return pi / total
+    return _normalize_join_distribution(pi, k)

@@ -247,6 +247,35 @@ class TestScenarioSpec:
         with pytest.raises(ConfigurationError, match="gamma_star"):
             base_spec(gamma_star=1.5)
 
+    def test_burn_in_must_be_below_rounds(self):
+        base_spec(rounds=100, run_params={"burn_in": 99})  # valid
+        with pytest.raises(ConfigurationError, match="burn_in"):
+            base_spec(rounds=100, run_params={"burn_in": 100})
+        with pytest.raises(ConfigurationError, match="burn_in"):
+            base_spec(rounds=100, run_params={"burn_in": -5})
+
+    def test_many_task_counting_scenario_declarable(self):
+        # The O(k^2) join kernel removed the practical k <= 14 ceiling:
+        # a counting scenario with hundreds of tasks is declarable,
+        # buildable, and runnable.
+        spec = ScenarioSpec(
+            algorithm={"name": "ant", "params": {"gamma": 0.025}},
+            demand={"name": "uniform", "params": {"n": 128000, "k": 128}},
+            feedback={"name": "calibrated_sigmoid", "params": {"gamma_star": 0.01}},
+            engine={"name": "counting", "params": {"join_strategy": "exact"}},
+            rounds=20,
+            seed=5,
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        out = spec.build().run(spec.rounds)
+        assert out.k == 128
+
+    def test_counting_engine_join_strategy_validated(self):
+        spec = base_spec(engine={"name": "counting",
+                                 "params": {"join_strategy": "enumerate"}})
+        with pytest.raises(ConfigurationError, match="join_strategy"):
+            spec.build()
+
     def test_from_dict_rejects_unknown_keys(self):
         data = base_spec().to_dict()
         data["algorithmn"] = data["algorithm"]

@@ -11,6 +11,7 @@ from repro.core.trivial import TrivialAlgorithm
 from repro.env.critical import lambda_for_critical_value
 from repro.env.demands import uniform_demands
 from repro.env.feedback import AdversarialFeedback, SigmoidFeedback
+from repro.env.population import StepPopulation
 from repro.exceptions import ConfigurationError
 from repro.sim.counting import CountingSimulator
 
@@ -26,6 +27,15 @@ class TestConstruction:
         with pytest.raises(ConfigurationError, match="i.i.d"):
             CountingSimulator(
                 AntAlgorithm(gamma=0.01), small_demand, AdversarialFeedback(0.1)
+            )
+
+    def test_rejects_unknown_join_strategy(self, small_demand):
+        with pytest.raises(ConfigurationError, match="join_strategy"):
+            CountingSimulator(
+                AntAlgorithm(gamma=0.01),
+                small_demand,
+                SigmoidFeedback(1.0),
+                join_strategy="enumerate",
             )
 
     def test_rejects_bad_initial_loads(self, small_demand):
@@ -76,6 +86,124 @@ class TestAntCounting:
             loads_from_assignment(out.final_assignment, stable_demand.k),
             out.final_loads.astype(np.int64),
         )
+
+
+class TestManyTasks:
+    """Exact counting runs at task counts the subset enumerator could
+    never reach (the O(k^2) kernel's raison d'etre)."""
+
+    def test_k64_exact_run_completes(self):
+        demand = uniform_demands(n=64000, k=64)
+        lam = lambda_for_critical_value(demand, gamma_star=0.01)
+        sim = CountingSimulator(
+            AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=0
+        )
+        out = sim.run(1000, burn_in=500)
+        assert out.k == 64
+        assert np.all(out.final_loads >= 0)
+        assert int(out.final_loads.sum()) <= demand.n
+        # After burn-in the colony is near demand, not stuck at zero.
+        assert out.metrics.average_regret < 0.5 * demand.total
+
+    def test_k256_run_completes(self):
+        demand = uniform_demands(n=256000, k=256)
+        lam = lambda_for_critical_value(demand, gamma_star=0.01)
+        sim = CountingSimulator(
+            AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=1
+        )
+        out = sim.run(200)
+        assert out.k == 256
+        assert int(out.final_loads.sum()) <= demand.n
+
+    @pytest.mark.slow
+    def test_exact_matches_per_ant_cross_check(self):
+        """Same law for the multinomial-over-kernel and per-ant join
+        strategies: load moments agree within Monte-Carlo error at a k
+        beyond the retired enumeration limit."""
+        demand = uniform_demands(n=4000, k=20)
+        lam = lambda_for_critical_value(demand, gamma_star=0.02)
+        rounds, trials = 40, 60
+        probes = [2, 10, 40]
+
+        def stats_for(strategy):
+            samples = []
+            for trial in range(trials):
+                out = CountingSimulator(
+                    AntAlgorithm(gamma=0.05),
+                    demand,
+                    SigmoidFeedback(lam),
+                    seed=(5000 if strategy == "exact" else 6000) + trial,
+                    join_strategy=strategy,
+                ).run(rounds, trace_stride=1)
+                samples.append([out.trace.loads[t - 1] for t in probes])
+            arr = np.asarray(samples, dtype=float)
+            return arr.mean(axis=0), arr.std(axis=0)
+
+        mean_e, std_e = stats_for("exact")
+        mean_p, std_p = stats_for("per_ant")
+        sem = (std_e + std_p) / np.sqrt(trials) + 1e-9
+        assert np.all(np.abs(mean_e - mean_p) <= 4.0 * sem + 2.0)
+
+
+class TestBurnInValidation:
+    def test_burn_in_equal_to_rounds_rejected(self, stable_demand, sigmoid):
+        sim = CountingSimulator(AntAlgorithm(gamma=0.025), stable_demand, sigmoid, seed=0)
+        with pytest.raises(ConfigurationError, match="burn_in"):
+            sim.run(100, burn_in=100)
+
+    def test_burn_in_exceeding_rounds_rejected(self, stable_demand, sigmoid):
+        sim = CountingSimulator(AntAlgorithm(gamma=0.025), stable_demand, sigmoid, seed=0)
+        with pytest.raises(ConfigurationError, match="burn_in"):
+            sim.run(100, burn_in=150)
+
+    def test_negative_burn_in_rejected(self, stable_demand, sigmoid):
+        sim = CountingSimulator(AntAlgorithm(gamma=0.025), stable_demand, sigmoid, seed=0)
+        with pytest.raises(ConfigurationError, match="burn_in"):
+            sim.run(100, burn_in=-1)
+
+
+class TestPopulationReporting:
+    """After a shrink the result must describe the living colony, not
+    pad dead ants as IDLE up to capacity."""
+
+    def _shrunk_run(self):
+        demand = uniform_demands(n=8000, k=4)
+        lam = lambda_for_critical_value(demand, gamma_star=0.01)
+        pop = StepPopulation(steps=((0, 8000), (100, 5600)))
+        sim = CountingSimulator(
+            AntAlgorithm(gamma=0.025),
+            demand,
+            SigmoidFeedback(lam),
+            seed=0,
+            population=pop,
+        )
+        return sim, sim.run(400)
+
+    def test_n_current_reports_living_count(self):
+        _, out = self._shrunk_run()
+        assert out.n == 8000  # capacity is still reported as n
+        assert out.n_current == 5600
+
+    def test_final_assignment_sized_by_living_colony(self):
+        _, out = self._shrunk_run()
+        assert out.final_assignment.shape == (5600,)
+        working = int((out.final_assignment >= 0).sum())
+        idle = int((out.final_assignment == -1).sum())
+        assert working == int(out.final_loads.sum())
+        assert working + idle == out.n_current
+
+    def test_static_population_n_current_equals_n(self, stable_demand, sigmoid):
+        out = CountingSimulator(
+            AntAlgorithm(gamma=0.025), stable_demand, sigmoid, seed=0
+        ).run(50)
+        assert out.n_current == out.n == stable_demand.n
+        assert out.final_assignment.shape == (stable_demand.n,)
+
+    def test_rerun_starts_from_initial_population(self):
+        sim, first = self._shrunk_run()
+        again = sim.run(50)  # shorter than the shrink round
+        assert again.n_current == 8000
+        assert again.final_assignment.shape == (8000,)
 
 
 class TestTrivialCounting:

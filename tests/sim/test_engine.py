@@ -90,6 +90,19 @@ class TestSimulatorBasics:
         out = sim.run(20, burn_in=10)
         assert out.metrics.rounds == 10
 
+    def test_burn_in_must_be_below_rounds(self, small_demand):
+        from repro.exceptions import ConfigurationError
+
+        sim = Simulator(AntAlgorithm(gamma=0.05), small_demand, SigmoidFeedback(1.0), seed=0)
+        for burn_in in (20, 25, -1):
+            with pytest.raises(ConfigurationError, match="burn_in"):
+                sim.run(20, burn_in=burn_in)
+
+    def test_n_current_defaults_to_n(self, small_demand):
+        sim = Simulator(AntAlgorithm(gamma=0.05), small_demand, SigmoidFeedback(1.0), seed=0)
+        out = sim.run(5)
+        assert out.n_current == out.n == small_demand.n
+
 
 class TestSimulatorConvergence:
     def test_ant_converges_and_stays(self, stable_demand, sigmoid, ant, gamma_star):

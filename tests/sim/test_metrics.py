@@ -138,6 +138,26 @@ class TestRegretTracker:
         with pytest.raises(AnalysisError):
             RegretTracker().finalize()
 
+    def test_finalize_rejects_burn_in_swallowing_all_rounds(self):
+        # Regression: this used to return average_regret == 0.0 over one
+        # phantom "effective" round, silently reading as perfection.
+        d = np.array([10.0])
+        for burn_in in (2, 5):
+            tr = RegretTracker(burn_in=burn_in)
+            tr.observe(1, d, np.array([0.0]))
+            tr.observe(2, d, np.array([0.0]))
+            with pytest.raises(AnalysisError, match="burn_in"):
+                tr.finalize()
+
+    def test_finalize_ok_with_one_effective_round(self):
+        tr = RegretTracker(burn_in=1)
+        d = np.array([10.0])
+        tr.observe(1, d, np.array([0.0]))
+        tr.observe(2, d, np.array([4.0]))
+        m = tr.finalize()
+        assert m.rounds == 1
+        assert m.average_regret == pytest.approx(6.0)
+
     def test_split_components_sum(self):
         tr = RegretTracker(gamma=0.05, c_plus=3.0, c_minus=4.0)
         d = np.array([100.0, 100.0])

@@ -97,6 +97,29 @@ class TestSweep:
         with pytest.raises(ConfigurationError):
             sweep("x", [], _factory_for_gamma, rounds=10, trials=1)
 
+    def test_sweep_reproducible(self):
+        kwargs = dict(rounds=60, trials=2, seed=7)
+        a = sweep("gamma", [0.03, 0.0625], _factory_for_gamma, **kwargs)
+        b = sweep("gamma", [0.03, 0.0625], _factory_for_gamma, **kwargs)
+        np.testing.assert_array_equal(a.series(), b.series())
+
+    def test_no_seed_aliasing_across_sweep_roots(self):
+        # Regression: with the old ``seed + i`` derivation, point i of a
+        # seed-s sweep shared every trial seed with point i-1 of a
+        # seed-(s+1) sweep, so the same swept value produced identical
+        # trials in supposedly independent sweeps.
+        value = [0.0625, 0.0625]  # same config at every point
+        s0 = sweep("gamma", value, _factory_for_gamma, rounds=60, trials=2, seed=0)
+        s1 = sweep("gamma", value, _factory_for_gamma, rounds=60, trials=2, seed=1)
+        # Old scheme: s1 point 0 == s0 point 1 exactly.  Now independent.
+        assert not np.array_equal(
+            s1.summaries[0].average_regrets, s0.summaries[1].average_regrets
+        )
+        # And distinct points within one sweep stay distinct too.
+        assert not np.array_equal(
+            s0.summaries[0].average_regrets, s0.summaries[1].average_regrets
+        )
+
 
 class TestTrialRunner:
     def test_run_with_overrides(self):

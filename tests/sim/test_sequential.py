@@ -62,3 +62,13 @@ class TestSequentialSimulator:
         )
         out = sim.run(100, burn_in=50)
         assert out.metrics.rounds == 50
+
+    def test_burn_in_must_be_below_rounds(self, single_task):
+        from repro.exceptions import ConfigurationError
+
+        lam = lambda_for_critical_value(single_task, gamma_star=0.1)
+        sim = SequentialSimulator(
+            TrivialAlgorithm(), single_task, SigmoidFeedback(lam), seed=0
+        )
+        with pytest.raises(ConfigurationError, match="burn_in"):
+            sim.run(100, burn_in=100)

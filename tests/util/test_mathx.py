@@ -9,10 +9,13 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ConfigurationError
 from repro.util.mathx import (
+    ENUMERATION_K_LIMIT,
     enumerate_subset_join_probabilities,
+    exact_join_probabilities,
     inverse_logistic,
     log1pexp,
     logistic,
+    poisson_binomial_pmf,
     sigmoid_lack_probability,
 )
 
@@ -123,6 +126,13 @@ class TestSubsetJoinProbabilities:
         with pytest.raises(ConfigurationError):
             enumerate_subset_join_probabilities(np.full(25, 0.5))
 
+    def test_limit_is_the_shared_constant(self):
+        # k == limit enumerates; k == limit + 1 refuses, naming the kernel.
+        pi = enumerate_subset_join_probabilities(np.full(ENUMERATION_K_LIMIT, 0.01))
+        assert pi.shape == (ENUMERATION_K_LIMIT + 1,)
+        with pytest.raises(ConfigurationError, match="exact_join_probabilities"):
+            enumerate_subset_join_probabilities(np.full(ENUMERATION_K_LIMIT + 1, 0.01))
+
     @settings(max_examples=50, deadline=None)
     @given(
         st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6)
@@ -150,3 +160,121 @@ class TestSubsetJoinProbabilities:
         chosen = np.argmax(csum > r[:, None], axis=1)
         counts[:3] = np.bincount(chosen, minlength=3)
         np.testing.assert_allclose(counts / trials, pi, atol=5e-3)
+
+
+def _per_ant_monte_carlo(u: np.ndarray, trials: int, rng: np.random.Generator) -> np.ndarray:
+    """Empirical action distribution by simulating each ant's marks."""
+    k = u.shape[0]
+    counts = np.zeros(k + 1)
+    marks = rng.random((trials, k)) < u
+    rows_any = marks.any(axis=1)
+    counts[k] = (~rows_any).sum()
+    idx = np.nonzero(rows_any)[0]
+    if idx.size:
+        row_counts = marks[idx].sum(axis=1)
+        r = rng.integers(0, row_counts)
+        csum = np.cumsum(marks[idx], axis=1)
+        chosen = np.argmax(csum > r[:, None], axis=1)
+        counts[:k] = np.bincount(chosen, minlength=k)
+    return counts / trials
+
+
+class TestPoissonBinomialPmf:
+    def test_bernoulli(self):
+        np.testing.assert_allclose(poisson_binomial_pmf(np.array([0.3])), [0.7, 0.3])
+
+    def test_matches_binomial_for_equal_probs(self):
+        from scipy import stats
+
+        k, p = 12, 0.37
+        pmf = poisson_binomial_pmf(np.full(k, p))
+        np.testing.assert_allclose(pmf, stats.binom.pmf(np.arange(k + 1), k, p), atol=1e-12)
+
+    def test_degenerate_endpoints(self):
+        pmf = poisson_binomial_pmf(np.array([0.0, 1.0, 1.0]))
+        np.testing.assert_allclose(pmf, [0.0, 0.0, 1.0, 0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=20))
+    def test_valid_pmf_with_right_mean(self, u):
+        u = np.array(u)
+        pmf = poisson_binomial_pmf(u)
+        assert pmf.shape == (u.size + 1,)
+        assert np.all(pmf >= 0.0)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf @ np.arange(u.size + 1) == pytest.approx(u.sum(), abs=1e-9)
+
+
+class TestExactJoinProbabilities:
+    """The O(k^2) kernel must be exact in law: identical to the subset
+    enumerator wherever the enumerator is feasible, and identical to
+    per-ant sampling beyond it."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                 max_size=ENUMERATION_K_LIMIT)
+    )
+    def test_matches_enumerator_distribution(self, u):
+        u = np.array(u)
+        np.testing.assert_allclose(
+            exact_join_probabilities(u),
+            enumerate_subset_join_probabilities(u),
+            atol=1e-12,
+        )
+
+    def test_matches_enumerator_at_the_limit(self, rng):
+        u = rng.random(ENUMERATION_K_LIMIT)
+        np.testing.assert_allclose(
+            exact_join_probabilities(u),
+            enumerate_subset_join_probabilities(u),
+            atol=1e-12,
+        )
+
+    def test_hard_mixture_of_extremes(self):
+        # Exact zeros, exact ones, and values on both sides of the
+        # forward/backward deconvolution switch at 1/2.
+        u = np.array([0.0, 1.0, 0.5, 0.499, 0.501, 1e-12, 1.0 - 1e-12, 0.25])
+        np.testing.assert_allclose(
+            exact_join_probabilities(u),
+            enumerate_subset_join_probabilities(u),
+            atol=1e-12,
+        )
+
+    @pytest.mark.slow
+    def test_matches_per_ant_sampling_large_k(self, rng):
+        # Beyond the enumerator's reach the oracle is Monte Carlo.
+        k = 64
+        u = rng.random(k)
+        pi = exact_join_probabilities(u)
+        mc = _per_ant_monte_carlo(u, trials=200_000, rng=rng)
+        np.testing.assert_allclose(mc, pi, atol=5e-3)
+
+    def test_large_k_valid_distribution(self):
+        for k in (64, 128, 256):
+            u = np.random.default_rng(k).random(k)
+            pi = exact_join_probabilities(u)
+            assert pi.shape == (k + 1,)
+            assert np.all(pi >= 0.0)
+            assert pi.sum() == pytest.approx(1.0)
+            assert pi[k] == pytest.approx(float(np.prod(1.0 - u)))
+
+    def test_uniform_split_when_all_marked(self):
+        pi = exact_join_probabilities(np.ones(100))
+        np.testing.assert_allclose(pi[:-1], 0.01)
+        assert pi[-1] == 0.0
+
+    def test_all_zero_stays_idle(self):
+        pi = exact_join_probabilities(np.zeros(50))
+        assert pi[-1] == pytest.approx(1.0)
+        assert np.all(pi[:-1] == 0.0)
+
+    def test_symmetry(self):
+        pi = exact_join_probabilities(np.full(30, 0.3))
+        np.testing.assert_allclose(pi[:-1], pi[0])
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            exact_join_probabilities(np.array([1.5]))
+        with pytest.raises(ConfigurationError):
+            exact_join_probabilities(np.array([[0.5, 0.5]]))
