@@ -9,10 +9,12 @@ Two entry points:
   records kernel + counting-engine throughput to a JSON file, which CI
   uploads so the performance trajectory of the hot path is tracked.
 
-Both modes assert the PR's acceptance criteria: the O(k^2) exact kernel
-is >= 10x faster than subset enumeration at k = 12, and an exact
-counting run at k = 64 (impossible under the old ``2^k`` enumerator)
-completes.
+Both modes assert the PR acceptance criteria accumulated so far: the
+O(k^2) exact kernel is >= 10x faster than subset enumeration at k = 12;
+an exact counting run at k = 64 (impossible under the old ``2^k``
+enumerator) completes; the FFT Poisson-binomial PMF beats the O(k^2) DP
+PMF at k = 1024; and a heterogeneous k = 1024 counting scenario runs
+faster on the FFT + pi-cache path than on plain DP with the cache off.
 """
 
 from __future__ import annotations
@@ -25,19 +27,25 @@ import numpy as np
 
 from repro.core.ant import AntAlgorithm
 from repro.env.critical import lambda_for_critical_value
-from repro.env.demands import uniform_demands
-from repro.env.feedback import SigmoidFeedback
+from repro.env.demands import powerlaw_demands, uniform_demands
+from repro.env.feedback import ExactBinaryFeedback, SigmoidFeedback
 from repro.sim.counting import CountingSimulator
 from repro.util.mathx import (
     enumerate_subset_join_probabilities,
     exact_join_probabilities,
+    fft_poisson_binomial_pmf,
+    poisson_binomial_pmf,
 )
 
 SPEEDUP_FLOOR = 10.0  # required kernel speedup over enumeration at k = 12
+FFT_PMF_SPEEDUP_FLOOR = 2.0  # required FFT-over-DP PMF speedup at k = 1024
 ENUM_K = 12
-KERNEL_KS = (12, 64, 256)
+KERNEL_KS = (12, 64, 256, 1024)
+FFT_K = 1024
 ENGINE_KS = (4, 64, 256)
 ENGINE_ROUNDS = 500
+HET_ENGINE_K = 1024
+HET_ENGINE_ROUNDS = 300
 
 
 def _kernel_inputs(k: int) -> np.ndarray:
@@ -59,6 +67,21 @@ def _engine_for(k: int) -> CountingSimulator:
     lam = lambda_for_critical_value(demand, gamma_star=0.01)
     return CountingSimulator(
         AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=0
+    )
+
+
+def _het_engine(*, join_kernel_method: str, pi_cache: bool) -> CountingSimulator:
+    """Heterogeneous k = 1024 scenario: power-law demand spectrum under
+    exact-binary feedback (integer deficits -> repeating mark signatures,
+    the workload the pi cache exists for)."""
+    demand = powerlaw_demands(n=1000 * HET_ENGINE_K, k=HET_ENGINE_K, alpha=1.0)
+    return CountingSimulator(
+        AntAlgorithm(gamma=0.025),
+        demand,
+        ExactBinaryFeedback(),
+        seed=0,
+        join_kernel_method=join_kernel_method,
+        pi_cache=pi_cache,
     )
 
 
@@ -108,6 +131,68 @@ def test_counting_engine_k64_exact_run(benchmark):
     assert out.k == 64 and out.rounds == ENGINE_ROUNDS
 
 
+def test_fft_pmf_beats_dp_at_k1024():
+    _fft_pmf_comparison()
+
+
+def _time_het_engine(join_kernel_method: str, pi_cache: bool) -> tuple[float, CountingSimulator]:
+    """Best-of-2 wall time of a fresh (cold-cache) heterogeneous run."""
+    best, last_sim = float("inf"), None
+    for _ in range(2):
+        sim = _het_engine(join_kernel_method=join_kernel_method, pi_cache=pi_cache)
+        t0 = time.perf_counter()
+        out = sim.run(HET_ENGINE_ROUNDS)
+        best = min(best, time.perf_counter() - t0)
+        assert out.k == HET_ENGINE_K and out.rounds == HET_ENGINE_ROUNDS
+        last_sim = sim
+    return best, last_sim
+
+
+def _fft_pmf_comparison() -> dict:
+    """Time FFT vs DP PMF at k = 1024; assert agreement and the speedup
+    floor.  Single source of truth for the pytest case and collect()."""
+    u = _kernel_inputs(FFT_K)
+    np.testing.assert_allclose(
+        fft_poisson_binomial_pmf(u), poisson_binomial_pmf(u), atol=1e-10
+    )
+    t_dp = _time(lambda: poisson_binomial_pmf(u), repeats=5)
+    t_fft = _time(lambda: fft_poisson_binomial_pmf(u), repeats=5)
+    assert t_dp / t_fft >= FFT_PMF_SPEEDUP_FLOOR, (
+        f"FFT PMF only {t_dp / t_fft:.1f}x faster than DP at k={FFT_K}"
+    )
+    return {
+        "dp_seconds_per_call": t_dp,
+        "fft_seconds_per_call": t_fft,
+        "speedup": t_dp / t_fft,
+    }
+
+
+def _het_engine_comparison() -> dict:
+    """Run the heterogeneous k = 1024 scenario on both paths; assert the
+    FFT + pi-cache path wins.  Shared by the pytest case and collect()."""
+    t_dp, _ = _time_het_engine("dp", False)
+    t_fft, sim = _time_het_engine("fft", True)
+    assert sim.pi_cache_hits > 0
+    assert t_fft < t_dp, (
+        f"FFT+cache ({t_fft:.2f}s) did not beat plain DP ({t_dp:.2f}s) at k={HET_ENGINE_K}"
+    )
+    return {
+        "n": sim.n,
+        "rounds": HET_ENGINE_ROUNDS,
+        "dp_nocache_seconds": t_dp,
+        "fft_cache_seconds": t_fft,
+        "speedup": t_dp / t_fft,
+        "pi_cache_hits": sim.pi_cache_hits,
+        "pi_cache_misses": sim.pi_cache_misses,
+    }
+
+
+def test_counting_engine_k1024_fft_cache_beats_dp():
+    """The heterogeneous k = 1024 scenario must complete, and the FFT +
+    pi-cache path must beat plain DP with the cache off."""
+    _het_engine_comparison()
+
+
 # ----------------------------------------------------------------------
 # Standalone recorder (CI writes BENCH_counting.json with this)
 
@@ -140,6 +225,15 @@ def collect() -> dict:
             "seconds": elapsed,
             "rounds_per_second": ENGINE_ROUNDS / elapsed,
         }
+
+    # FFT Poisson-binomial PMF vs the O(k^2) DP at k = 1024, and the
+    # heterogeneous k = 1024 scenario end to end (FFT + pi cache vs plain
+    # DP, best-of-2 fresh runs each so one descheduled run on a noisy CI
+    # machine cannot flip the comparison).
+    record["fft_pmf"] = {f"k={FFT_K}": _fft_pmf_comparison()}
+    record["counting_engine_heterogeneous"] = {
+        f"k={HET_ENGINE_K}": _het_engine_comparison()
+    }
     return record
 
 
@@ -154,6 +248,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"speedup over enumeration at k={ENUM_K}: {record['speedup_at_k12']:.0f}x")
     for key, row in record["counting_engine"].items():
         print(f"counting engine {key}: {row['rounds_per_second']:.0f} rounds/s")
+    fft_row = record["fft_pmf"][f"k={FFT_K}"]
+    print(f"FFT PMF speedup over DP at k={FFT_K}: {fft_row['speedup']:.1f}x")
+    het = record["counting_engine_heterogeneous"][f"k={HET_ENGINE_K}"]
+    print(
+        f"heterogeneous k={HET_ENGINE_K} engine: FFT+cache {het['speedup']:.2f}x over "
+        f"plain DP ({het['pi_cache_hits']} cache hits / {het['pi_cache_misses']} misses)"
+    )
     print(f"wrote {args.json}")
     return 0
 

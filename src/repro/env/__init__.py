@@ -15,6 +15,8 @@ from repro.env.demands import (
     PeriodicDemandSchedule,
     uniform_demands,
     proportional_demands,
+    powerlaw_demands,
+    lognormal_demands,
 )
 from repro.env.population import (
     PopulationSchedule,
@@ -67,6 +69,8 @@ __all__ = [
     "PeriodicDemandSchedule",
     "uniform_demands",
     "proportional_demands",
+    "powerlaw_demands",
+    "lognormal_demands",
     "PopulationSchedule",
     "StaticPopulation",
     "StepPopulation",

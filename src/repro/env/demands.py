@@ -35,6 +35,8 @@ __all__ = [
     "PeriodicDemandSchedule",
     "uniform_demands",
     "proportional_demands",
+    "powerlaw_demands",
+    "lognormal_demands",
 ]
 
 
@@ -193,6 +195,55 @@ def proportional_demands(
     if excess > 0:
         base[np.argmax(base)] -= excess
     return DemandVector(base, n=n, strict=strict)
+
+
+def powerlaw_demands(
+    n: int,
+    k: int,
+    *,
+    alpha: float = 1.0,
+    load_fraction: float = 0.5,
+    strict: bool = False,
+) -> DemandVector:
+    """Zipf-like demand spectrum: task ``j`` gets weight ``(j+1)^-alpha``.
+
+    Heterogeneous many-task scenarios (k in the hundreds) need demand
+    *spectra*, not uniform splits: a few heavy tasks and a long tail of
+    light ones, the shape observed in real division-of-labor data.
+    ``alpha = 0`` degenerates to the uniform split; larger ``alpha``
+    steepens the head.  Light-tail demands are clipped to 1 ant, so
+    ``strict`` defaults to False — at large ``k`` the tail necessarily
+    violates the ``d(j) = Omega(log n)`` floor of Assumptions 2.1.
+    """
+    k = check_integer("k", k, minimum=1)
+    check_positive("alpha", alpha, allow_zero=True)
+    weights = np.arange(1, k + 1, dtype=np.float64) ** (-float(alpha))
+    return proportional_demands(n, weights, load_fraction=load_fraction, strict=strict)
+
+
+def lognormal_demands(
+    n: int,
+    k: int,
+    *,
+    sigma: float = 1.0,
+    seed: int = 0,
+    load_fraction: float = 0.5,
+    strict: bool = False,
+) -> DemandVector:
+    """Log-normal demand spectrum, sorted heaviest-first.
+
+    Weights are ``exp(sigma * Z)`` for standard-normal ``Z`` drawn from
+    ``default_rng(seed)`` — deterministic given ``(k, sigma, seed)``, so
+    specs serialize and round-trip.  ``sigma`` controls dispersion
+    (``sigma -> 0`` degenerates to uniform); sorting makes the spectrum
+    comparable across seeds.  As with :func:`powerlaw_demands`, ``strict``
+    defaults to False because the tail undercuts the log-floor at scale.
+    """
+    k = check_integer("k", k, minimum=1)
+    check_positive("sigma", sigma, allow_zero=True)
+    seed = check_integer("seed", seed, minimum=0)
+    weights = np.exp(float(sigma) * np.sort(np.random.default_rng(seed).standard_normal(k))[::-1])
+    return proportional_demands(n, weights, load_fraction=load_fraction, strict=strict)
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,7 @@ from repro.util.validation import check_in_range, check_positive, check_probabil
 
 __all__ = [
     "FeedbackModel",
+    "check_lam_task_count",
     "SigmoidFeedback",
     "AdversarialFeedback",
     "ExactBinaryFeedback",
@@ -86,6 +87,48 @@ class FeedbackModel(abc.ABC):
         """Clear any per-run state (adversary memory).  Default: no-op."""
 
 
+def _coerce_lam(lam) -> float | np.ndarray:
+    """Validate a scalar-or-vector sigmoid steepness ``lambda``.
+
+    Scalars go through :func:`check_positive`; sequences become a 1-d
+    float64 vector of per-task steepnesses, every entry positive.  The
+    vector's length is checked against the deficit vector at query time
+    (the model does not know ``k`` at construction).
+    """
+    if np.ndim(lam) == 0:
+        return check_positive("lam", lam)
+    arr = np.asarray(lam, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError(
+            f"per-task lam must be a scalar or non-empty 1-d vector, "
+            f"got shape {arr.shape}"
+        )
+    if np.any(np.isnan(arr)) or np.any(arr <= 0.0):
+        raise ConfigurationError(f"every per-task lam must be > 0, got {arr}")
+    return arr
+
+
+def _format_lam(lam) -> str:
+    if np.ndim(lam) == 0:
+        return f"{lam:g}"
+    return f"per-task[{lam.size}]"
+
+
+def check_lam_task_count(lam, k: int) -> None:
+    """Reject a per-task ``lam`` whose length differs from the task count.
+
+    Broadcasting would silently accept e.g. a length-1 vector against any
+    ``k``, so the check is explicit.  Shared by the models (at query time)
+    and the registry factories (at spec build time)."""
+    if np.ndim(lam) == 0:
+        return
+    if lam.size != k:
+        raise ConfigurationError(
+            f"per-task lam has {lam.size} entries but the scenario "
+            f"has k={k} tasks"
+        )
+
+
 class SigmoidFeedback(FeedbackModel):
     """The paper's stochastic sigmoid noise (Section 2.2).
 
@@ -94,19 +137,25 @@ class SigmoidFeedback(FeedbackModel):
     lam:
         Sigmoid steepness ``lambda > 0``.  Larger values sharpen the
         transition, shrinking the grey zone (and the critical value).
+        Either a scalar (every task equally noisy, the paper's model) or
+        a length-``k`` vector of per-task steepnesses (heterogeneous
+        sensing: e.g. foraging deficits are easier to perceive than
+        brood-care deficits).  A vector is validated against the deficit
+        vector's length on every query.
     """
 
     kind = NoiseKind.SIGMOID
     iid_across_ants = True
 
-    def __init__(self, lam: float) -> None:
-        self.lam = check_positive("lam", lam)
+    def __init__(self, lam) -> None:
+        self.lam = _coerce_lam(lam)
 
     def lack_probabilities(self, deficits: np.ndarray) -> TaskVector:
+        check_lam_task_count(self.lam, np.asarray(deficits).shape[-1])
         return sigmoid_lack_probability(deficits, self.lam)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SigmoidFeedback(lam={self.lam:g})"
+        return f"SigmoidFeedback(lam={_format_lam(self.lam)})"
 
 
 class ExactBinaryFeedback(FeedbackModel):
@@ -266,11 +315,12 @@ class CorrelatedSigmoidFeedback(FeedbackModel):
     kind = NoiseKind.SIGMOID
     iid_across_ants = False  # correlated draws: counting engine not exact
 
-    def __init__(self, lam: float, rho: float) -> None:
-        self.lam = check_positive("lam", lam)
+    def __init__(self, lam, rho: float) -> None:
+        self.lam = _coerce_lam(lam)
         self.rho = check_probability("rho", rho)
 
     def lack_probabilities(self, deficits: np.ndarray) -> TaskVector:
+        check_lam_task_count(self.lam, np.asarray(deficits).shape[-1])
         return sigmoid_lack_probability(deficits, self.lam)
 
     def sample_lack_matrix(
@@ -291,4 +341,4 @@ class CorrelatedSigmoidFeedback(FeedbackModel):
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"CorrelatedSigmoidFeedback(lam={self.lam:g}, rho={self.rho:g})"
+        return f"CorrelatedSigmoidFeedback(lam={_format_lam(self.lam)}, rho={self.rho:g})"

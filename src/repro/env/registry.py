@@ -16,6 +16,9 @@ Two feedback factories are *demand-aware*: ``calibrated_sigmoid``
 ``threshold`` (per-task load thresholds need the demand scale).  They
 declare a ``demand`` parameter which :class:`repro.scenario.FeedbackSpec`
 injects automatically from the scenario's demand vector at build time.
+``sigmoid`` is *k-aware*: it declares a ``k`` parameter (likewise
+injected) so a per-task ``lam`` vector of the wrong length fails at spec
+build time with a clear message.
 """
 
 from __future__ import annotations
@@ -30,6 +33,8 @@ from repro.env.demands import (
     DemandVector,
     PeriodicDemandSchedule,
     StepDemandSchedule,
+    lognormal_demands,
+    powerlaw_demands,
     proportional_demands,
     uniform_demands,
 )
@@ -39,6 +44,7 @@ from repro.env.feedback import (
     ExactBinaryFeedback,
     SigmoidFeedback,
     ThresholdFeedback,
+    check_lam_task_count,
 )
 from repro.env.population import StaticPopulation, StepPopulation
 from repro.exceptions import ConfigurationError
@@ -116,10 +122,28 @@ def _threshold_feedback(
     )
 
 
-FEEDBACKS.register("sigmoid", SigmoidFeedback)
+def _check_lam_vector_k(model, k: int | None):
+    """Fail at spec build time when a per-task ``lam`` mismatches ``k``
+    (the scenario layer injects ``k`` from the scenario's demand)."""
+    if k is not None:
+        check_lam_task_count(model.lam, k)
+    return model
+
+
+def _sigmoid(lam, k: int | None = None) -> SigmoidFeedback:
+    """Sigmoid noise with scalar or per-task steepness ``lam``."""
+    return _check_lam_vector_k(SigmoidFeedback(lam), k)
+
+
+def _correlated_sigmoid(lam, rho: float, k: int | None = None) -> CorrelatedSigmoidFeedback:
+    """Correlated sigmoid noise, same scalar-or-vector ``lam`` contract."""
+    return _check_lam_vector_k(CorrelatedSigmoidFeedback(lam, rho), k)
+
+
+FEEDBACKS.register("sigmoid", _sigmoid)
 FEEDBACKS.register("calibrated_sigmoid", _calibrated_sigmoid)
 FEEDBACKS.register("exact", ExactBinaryFeedback)
-FEEDBACKS.register("correlated_sigmoid", CorrelatedSigmoidFeedback)
+FEEDBACKS.register("correlated_sigmoid", _correlated_sigmoid)
 FEEDBACKS.register("adversarial", _adversarial_feedback)
 FEEDBACKS.register("threshold", _threshold_feedback)
 
@@ -179,6 +203,8 @@ def _periodic_proportional(
 
 DEMANDS.register("uniform", uniform_demands)
 DEMANDS.register("proportional", proportional_demands)
+DEMANDS.register("powerlaw", powerlaw_demands)
+DEMANDS.register("lognormal", lognormal_demands)
 DEMANDS.register("explicit", _explicit_demands)
 DEMANDS.register("step", _step_demands)
 DEMANDS.register("periodic", _periodic_demands)

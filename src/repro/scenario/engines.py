@@ -79,9 +79,12 @@ def _build_counting(
     population=None,
     initial_loads=None,
     join_strategy: str = "exact",
+    join_kernel_method: str = "auto",
+    pi_cache: bool = True,
 ) -> CountingSimulator:
-    # No task-count cap here: the O(k^2) exact join kernel makes counting
-    # scenarios with k in the hundreds declarable and runnable (the old
+    # No task-count cap here: the exact join kernel (O(k^2) DP, FFT PMF
+    # past FFT_K_THRESHOLD) plus the join-distribution cache make counting
+    # scenarios with k in the thousands declarable and runnable (the old
     # subset enumerator's k <= 14 cliff survives only as a test oracle).
     if initial_loads is not None:
         initial_loads = np.asarray(initial_loads, dtype=np.int64)
@@ -93,6 +96,8 @@ def _build_counting(
         seed=seed,
         population=population,
         join_strategy=join_strategy,
+        join_kernel_method=join_kernel_method,
+        pi_cache=pi_cache,
     )
 
 

@@ -165,10 +165,17 @@ class FeedbackSpec(ComponentSpec):
     registry: ClassVar[Registry] = FEEDBACKS
 
     def build(self, **extra: Any) -> Any:
-        """Instantiate the model, injecting the scenario demand when the
-        factory is demand-aware (``calibrated_sigmoid``, ``threshold``)."""
+        """Instantiate the model, injecting scenario context the factory
+        declares it wants: ``demand`` for demand-aware factories
+        (``calibrated_sigmoid``, ``threshold``) and the task count ``k``
+        for k-aware ones (``sigmoid`` validates per-task ``lam`` vectors
+        against it at build time)."""
         kwargs = {**self.params, **extra}
-        if "demand" in kwargs and not _accepts_param(self.registry.get(self.name), "demand"):
+        factory = self.registry.get(self.name)
+        demand = kwargs.get("demand")
+        if demand is not None and "k" not in kwargs and _accepts_param(factory, "k"):
+            kwargs["k"] = demand.k
+        if "demand" in kwargs and not _accepts_param(factory, "demand"):
             kwargs.pop("demand")
         return self.registry.make(self.name, **kwargs)
 

@@ -13,10 +13,14 @@ exchangeable.  The engine therefore simulates loads directly:
   independently across tasks and joins uniformly among its marked tasks —
   the exact marginal action distribution ``pi[j] = u_j E[1/(1+B_j)]``
   (``B_j`` the Poisson-binomial count of *other* marked tasks) is
-  computed by the O(k^2) leave-one-out deconvolution kernel
-  (:func:`repro.util.mathx.exact_join_probabilities`) and the joint join
-  counts drawn as one ``Multinomial(idle, pi)``.  This keeps the engine
-  genuinely polynomial in ``k`` — many-task scenarios (k = 64..256) run
+  computed by the leave-one-out deconvolution kernel
+  (:func:`repro.util.mathx.exact_join_probabilities`, O(k^2) DP below
+  :data:`~repro.util.mathx.FFT_K_THRESHOLD` tasks, O(k log^2 k) FFT
+  Poisson-binomial PMF above) and the joint join counts drawn as one
+  ``Multinomial(idle, pi)``.  A content-addressed cache keyed on the
+  mark-probability vector lets rounds whose deficit/feedback signature
+  repeats skip the deconvolution entirely.  This keeps the engine
+  genuinely polynomial in ``k`` — many-task scenarios (k = 64..2048) run
   exactly; the old ``O(2^k k)`` subset enumerator survives only as the
   test oracle, and per-idle-ant sampling (``join_strategy="per_ant"``)
   only as a distributional cross-check.
@@ -45,11 +49,11 @@ from repro.sim.engine import SimulationResult, _coerce_schedule
 from repro.sim.metrics import RegretTracker
 from repro.sim.trace import Trace
 from repro.types import IDLE
-from repro.util.mathx import exact_join_probabilities
+from repro.util.mathx import JOIN_KERNEL_METHODS, exact_join_probabilities
 from repro.util.rng import RngFactory
 from repro.util.validation import check_integer
 
-__all__ = ["CountingSimulator", "JOIN_STRATEGIES"]
+__all__ = ["CountingSimulator", "JOIN_STRATEGIES", "PI_CACHE_MAX_ENTRIES"]
 
 #: How the joint join counts of the idle pool are drawn each decision
 #: round.  Both are exact in distribution: ``"exact"`` (default) is one
@@ -57,6 +61,14 @@ __all__ = ["CountingSimulator", "JOIN_STRATEGIES"]
 #: distribution; ``"per_ant"`` simulates every idle ant's marks
 #: (O(idle * k)) and exists as a cross-check of the kernel.
 JOIN_STRATEGIES = ("exact", "per_ant")
+
+#: Capacity of the per-simulator join-distribution cache.  Entries are
+#: content-addressed by the mark-probability vector ``u`` (the
+#: deficit/feedback signature), so the cache can never serve a stale
+#: distribution — a demand, load, or population change alters ``u`` and
+#: therefore the key.  Eviction is FIFO once the capacity is reached;
+#: each entry holds one ``(k + 1,)`` float64 array.
+PI_CACHE_MAX_ENTRIES = 512
 
 
 class CountingSimulator:
@@ -67,6 +79,17 @@ class CountingSimulator:
     per-ant assignments.  ``join_strategy`` selects how the idle pool's
     joint join counts are drawn (see :data:`JOIN_STRATEGIES`); both
     choices are exact in distribution.
+
+    ``join_kernel_method`` selects the Poisson-binomial PMF construction
+    inside the exact join kernel (``"auto"``/``"dp"``/``"fft"``, see
+    :func:`repro.util.mathx.exact_join_probabilities`); ``pi_cache``
+    enables the content-addressed join-distribution cache, which makes
+    rounds whose mark probabilities repeat (unchanged deficits, or
+    saturated feedback) skip the deconvolution entirely.  Both knobs are
+    pure performance choices: every combination draws from the identical
+    action distribution, and cached runs are bit-identical to uncached
+    ones.  Cache effectiveness is reported by :attr:`pi_cache_hits` /
+    :attr:`pi_cache_misses` (reset at each :meth:`run`).
 
     Raises
     ------
@@ -85,12 +108,24 @@ class CountingSimulator:
         seed: int | np.random.Generator | None = None,
         population: PopulationSchedule | None = None,
         join_strategy: str = "exact",
+        join_kernel_method: str = "auto",
+        pi_cache: bool = True,
     ) -> None:
         if join_strategy not in JOIN_STRATEGIES:
             raise ConfigurationError(
                 f"join_strategy must be one of {JOIN_STRATEGIES}, got {join_strategy!r}"
             )
         self.join_strategy = join_strategy
+        if join_kernel_method not in JOIN_KERNEL_METHODS:
+            raise ConfigurationError(
+                f"join_kernel_method must be one of {JOIN_KERNEL_METHODS}, "
+                f"got {join_kernel_method!r}"
+            )
+        self.join_kernel_method = join_kernel_method
+        self.pi_cache_enabled = bool(pi_cache)
+        self._pi_cache: dict[bytes, np.ndarray] = {}
+        self.pi_cache_hits = 0
+        self.pi_cache_misses = 0
         if not isinstance(algorithm, (AntAlgorithm, TrivialAlgorithm, PreciseSigmoidAlgorithm)):
             raise ConfigurationError(
                 "CountingSimulator supports AntAlgorithm, TrivialAlgorithm and "
@@ -152,6 +187,8 @@ class CountingSimulator:
         self.feedback.reset()
         # Rewind colony-size state so repeated run() calls start identically.
         self._n_current = int(self.population.population_at(0))
+        self.pi_cache_hits = 0
+        self.pi_cache_misses = 0
 
         if isinstance(self.algorithm, AntAlgorithm):
             loads_iter = self._run_ant(rounds, rng)
@@ -293,7 +330,8 @@ class CountingSimulator:
 
         Each ant marks task ``j`` w.p. ``underload_probs[j]`` independently
         and joins a uniform marked task (idle if none).  The default draws
-        one multinomial over the O(k^2) exact action distribution for any
+        one multinomial over the exact action distribution (cached by
+        signature, DP or FFT PMF per ``join_kernel_method``) for any
         ``k``; ``join_strategy="per_ant"`` samples every ant (identical
         law, kept as a cross-check).
         """
@@ -302,9 +340,33 @@ class CountingSimulator:
         u = np.clip(underload_probs, 0.0, 1.0)
         if self.join_strategy == "per_ant":
             return self._sample_joins_per_ant(idle, u, rng)
-        pi = exact_join_probabilities(u)
+        pi = self._join_distribution(u)
         counts = rng.multinomial(idle, pi)
         return counts[: self.k].astype(np.int64)
+
+    def _join_distribution(self, u: np.ndarray) -> np.ndarray:
+        """The exact action distribution for mark probabilities ``u``.
+
+        Content-addressed cache: the key is the byte image of ``u``, so a
+        round whose deficits (and hence feedback signature) did not change
+        reuses the previously deconvolved distribution, while any demand,
+        load, or population change produces a new key — stale reuse is
+        structurally impossible.  FIFO eviction above
+        :data:`PI_CACHE_MAX_ENTRIES` bounds memory.
+        """
+        if not self.pi_cache_enabled:
+            return exact_join_probabilities(u, method=self.join_kernel_method)
+        key = u.tobytes()
+        pi = self._pi_cache.get(key)
+        if pi is not None:
+            self.pi_cache_hits += 1
+            return pi
+        self.pi_cache_misses += 1
+        pi = exact_join_probabilities(u, method=self.join_kernel_method)
+        if len(self._pi_cache) >= PI_CACHE_MAX_ENTRIES:
+            self._pi_cache.pop(next(iter(self._pi_cache)))
+        self._pi_cache[key] = pi
+        return pi
 
     def _sample_joins_per_ant(
         self, idle: int, u: np.ndarray, rng: np.random.Generator

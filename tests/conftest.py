@@ -5,6 +5,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    # addopts applies '-m "not slow"' so the default tier stays fast, but
+    # a test explicitly selected by node id (path::test) should always
+    # run: drop the addopts default when every positional arg names one
+    # and the user gave no -m/--markexpr of their own on the command line.
+    explicit_m = any(
+        a.startswith("--markexpr") or (a.startswith("-m") and not a.startswith("--"))
+        for a in config.invocation_params.args
+    )
+    args = config.args
+    if not explicit_m and args and all("::" in a for a in args):
+        config.option.markexpr = ""
+
 from repro.core.ant import AntAlgorithm
 from repro.env.critical import lambda_for_critical_value
 from repro.env.demands import DemandVector, uniform_demands

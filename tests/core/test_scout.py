@@ -72,6 +72,7 @@ class TestScoutMechanics:
 
 
 class TestScoutBehaviour:
+    @pytest.mark.slow
     def test_same_steady_closeness_as_full_ant(self):
         """Remark 3.4: only the initial cost changes, not the steady state."""
         demand = uniform_demands(n=8000, k=4)

@@ -12,6 +12,8 @@ from repro.env.demands import (
     PeriodicDemandSchedule,
     StaticDemandSchedule,
     StepDemandSchedule,
+    lognormal_demands,
+    powerlaw_demands,
     proportional_demands,
     uniform_demands,
 )
@@ -108,6 +110,56 @@ class TestConstructors:
         d = proportional_demands(n, weights=weights, strict=False)
         assert d.total == int(0.5 * n)
         assert d.min_demand >= 1
+
+
+class TestDemandSpectra:
+    """Power-law and log-normal spectrum generators (heterogeneous k)."""
+
+    def test_powerlaw_decreasing_with_full_budget(self):
+        d = powerlaw_demands(n=100_000, k=256, alpha=1.1)
+        arr = d.as_array()
+        assert d.k == 256
+        assert d.total == 50_000
+        assert np.all(arr[:-1] >= arr[1:])  # monotone spectrum
+        assert arr[0] > 10 * arr[-1]  # genuinely skewed head/tail
+
+    def test_powerlaw_alpha_zero_is_uniform(self):
+        d = powerlaw_demands(n=8000, k=4, alpha=0.0)
+        np.testing.assert_array_equal(
+            d.as_array(), uniform_demands(n=8000, k=4, strict=False).as_array()
+        )
+
+    def test_powerlaw_rejects_negative_alpha(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_demands(n=1000, k=4, alpha=-0.5)
+
+    def test_lognormal_deterministic_given_seed(self):
+        a = lognormal_demands(n=50_000, k=64, sigma=1.0, seed=9)
+        b = lognormal_demands(n=50_000, k=64, sigma=1.0, seed=9)
+        np.testing.assert_array_equal(a.as_array(), b.as_array())
+        c = lognormal_demands(n=50_000, k=64, sigma=1.0, seed=10)
+        assert not np.array_equal(a.as_array(), c.as_array())
+
+    def test_lognormal_sorted_and_budgeted(self):
+        d = lognormal_demands(n=50_000, k=64, sigma=1.5, seed=0)
+        arr = d.as_array()
+        assert np.all(arr[:-1] >= arr[1:])
+        assert d.total == 25_000
+        assert d.min_demand >= 1
+
+    def test_lognormal_sigma_zero_is_uniform(self):
+        d = lognormal_demands(n=8000, k=4, sigma=0.0, seed=0)
+        np.testing.assert_array_equal(
+            d.as_array(), uniform_demands(n=8000, k=4, strict=False).as_array()
+        )
+
+    def test_spectra_reachable_from_registry(self):
+        from repro.env.registry import make_demand
+
+        d = make_demand("powerlaw", n=10_000, k=16, alpha=1.0)
+        assert d.k == 16
+        d = make_demand("lognormal", n=10_000, k=16, sigma=0.5, seed=2)
+        assert d.k == 16
 
 
 class TestSchedules:

@@ -59,6 +59,74 @@ class TestSigmoidFeedback:
         assert fb.kind is NoiseKind.SIGMOID and fb.iid_across_ants
 
 
+class TestPerTaskLambda:
+    """Scalar-or-vector steepness on the sigmoid models."""
+
+    def test_vector_lambda_each_task_its_own_steepness(self):
+        fb = SigmoidFeedback([0.5, 1.0, 4.0])
+        p = fb.lack_probabilities(np.array([1.0, 1.0, 1.0]))
+        assert p[0] < p[1] < p[2]
+        np.testing.assert_allclose(
+            fb.lack_probabilities(np.zeros(3)), 0.5
+        )
+
+    def test_vector_lambda_matches_scalar_models_per_task(self):
+        lam = np.array([0.3, 2.0, 0.9, 5.0])
+        deficits = np.array([-2.0, 0.5, 3.0, -0.25])
+        vec = SigmoidFeedback(lam).lack_probabilities(deficits)
+        scal = [
+            SigmoidFeedback(float(la)).lack_probabilities(np.array([d]))[0]
+            for la, d in zip(lam, deficits)
+        ]
+        np.testing.assert_allclose(vec, scal)
+
+    def test_vector_lambda_sample_matrix_shape(self, rng):
+        fb = SigmoidFeedback([1.0, 2.0, 3.0])
+        m = fb.sample_lack_matrix(np.array([0.0, 5.0, -5.0]), 40, rng)
+        assert m.shape == (40, 3) and m.dtype == bool
+
+    def test_length_mismatch_raises_at_query(self):
+        fb = SigmoidFeedback([1.0, 2.0])
+        with pytest.raises(ConfigurationError, match="k=3"):
+            fb.lack_probabilities(np.zeros(3))
+
+    def test_rejects_bad_vectors(self):
+        with pytest.raises(ConfigurationError):
+            SigmoidFeedback([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            SigmoidFeedback([1.0, -2.0])
+        with pytest.raises(ConfigurationError):
+            SigmoidFeedback([])
+        with pytest.raises(ConfigurationError):
+            SigmoidFeedback([[1.0, 2.0]])
+
+    def test_correlated_sigmoid_accepts_vector(self, rng):
+        fb = CorrelatedSigmoidFeedback([1.0, 2.0, 3.0], rho=0.5)
+        p = fb.lack_probabilities(np.zeros(3))
+        np.testing.assert_allclose(p, 0.5)
+        m = fb.sample_lack_matrix(np.zeros(3), 20, rng)
+        assert m.shape == (20, 3)
+
+    def test_correlated_sigmoid_length_mismatch_raises_at_query(self):
+        # Even a length-1 vector must not silently broadcast as a scalar.
+        fb = CorrelatedSigmoidFeedback([2.0], rho=0.3)
+        with pytest.raises(ConfigurationError, match="k=4"):
+            fb.lack_probabilities(np.zeros(4))
+
+    def test_registry_checks_lam_length_against_k(self):
+        from repro.env.registry import make_feedback
+
+        for name, params in (
+            ("sigmoid", {"lam": [1.0, 2.0]}),
+            ("correlated_sigmoid", {"lam": [1.0, 2.0], "rho": 0.2}),
+        ):
+            with pytest.raises(ConfigurationError, match="k=6"):
+                make_feedback(name, k=6, **params)
+
+    def test_vector_repr_is_compact(self):
+        assert "per-task[3]" in repr(SigmoidFeedback([1.0, 2.0, 3.0]))
+
+
 class TestExactBinaryFeedback:
     def test_lack_iff_deficit_nonnegative(self):
         fb = ExactBinaryFeedback()

@@ -49,6 +49,8 @@ FEEDBACK_PARAMS = {
 DEMAND_PARAMS = {
     "uniform": {"n": N, "k": K},
     "proportional": {"n": N, "weights": [1, 2, 1, 1]},
+    "powerlaw": {"n": N, "k": K, "alpha": 1.0},
+    "lognormal": {"n": N, "k": K, "sigma": 0.8, "seed": 3},
     "explicit": {"demands": [250, 250, 250, 250], "n": N},
     "step": {"steps": [[0, [250, 250, 250, 250]], [500, [300, 200, 250, 250]]], "n": N},
     "periodic": {
@@ -203,6 +205,38 @@ class TestScenarioSpec:
     def test_pickle_round_trip(self):
         spec = base_spec(engine={"name": "counting"})
         assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_heterogeneous_spec_builds_and_runs(self):
+        # Per-task lambda + power-law demands + FFT/cache engine knobs:
+        # the whole PR 3 surface, declaratively.
+        spec = base_spec(
+            demand={"name": "powerlaw", "params": {"n": N, "k": K, "alpha": 1.0}},
+            feedback={"name": "sigmoid", "params": {"lam": [0.5, 1.0, 1.5, 2.0]}},
+            engine={
+                "name": "counting",
+                "params": {"join_kernel_method": "fft", "pi_cache": True},
+            },
+            rounds=20,
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        sim = spec.build()
+        assert sim.join_kernel_method == "fft" and sim.pi_cache_enabled
+        out = sim.run(spec.rounds)
+        assert out.k == K
+
+    def test_per_task_lambda_length_checked_at_build(self):
+        spec = base_spec(
+            feedback={"name": "sigmoid", "params": {"lam": [0.5, 1.0]}},  # k=4 scenario
+        )
+        with pytest.raises(ConfigurationError, match="k=4"):
+            spec.build()
+
+    def test_engine_rejects_unknown_kernel_method_at_build(self):
+        spec = base_spec(
+            engine={"name": "counting", "params": {"join_kernel_method": "warp"}}
+        )
+        with pytest.raises(ConfigurationError, match="join_kernel_method"):
+            spec.build()
 
     def test_population_requires_counting_engine(self):
         with pytest.raises(ConfigurationError, match="population-aware"):

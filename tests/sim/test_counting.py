@@ -115,6 +115,46 @@ class TestManyTasks:
         assert out.k == 256
         assert int(out.final_loads.sum()) <= demand.n
 
+    def test_k1024_heterogeneous_run_completes(self):
+        """k past the FFT dispatch threshold, power-law demands, per-task
+        lambda — the PR 3 scenario surface end to end."""
+        from repro.env.demands import powerlaw_demands
+
+        demand = powerlaw_demands(n=102400, k=1024, alpha=1.0)
+        # Equal relative grey zone: steeper lambda for lighter tasks.
+        lam = 10.0 / demand.as_array().astype(float)
+        sim = CountingSimulator(
+            AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=2
+        )
+        out = sim.run(30)
+        assert out.k == 1024
+        assert np.all(out.final_loads >= 0)
+        assert int(out.final_loads.sum()) <= demand.n
+
+    def test_kernel_methods_agree_on_engine_signatures(self, monkeypatch):
+        """DP and FFT kernels agree (<=1e-12) on every mark-probability
+        vector an actual run encounters — not just synthetic inputs."""
+        import repro.sim.counting as counting_mod
+        from repro.util.mathx import exact_join_probabilities as kernel
+
+        seen: list[np.ndarray] = []
+
+        def capturing(u, **kwargs):
+            seen.append(np.array(u))
+            return kernel(u, **kwargs)
+
+        monkeypatch.setattr(counting_mod, "exact_join_probabilities", capturing)
+        demand = uniform_demands(n=2000, k=4)
+        lam = lambda_for_critical_value(demand, gamma_star=0.02)
+        CountingSimulator(
+            AntAlgorithm(gamma=0.05), demand, SigmoidFeedback(lam), seed=9
+        ).run(60)
+        assert seen, "run produced no join rounds"
+        for u in seen:
+            np.testing.assert_allclose(
+                kernel(u, method="dp"), kernel(u, method="fft"), atol=1e-12
+            )
+
     @pytest.mark.slow
     def test_exact_matches_per_ant_cross_check(self):
         """Same law for the multinomial-over-kernel and per-ant join

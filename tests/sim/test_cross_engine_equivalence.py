@@ -1,0 +1,198 @@
+"""Cross-engine equivalence at k = 64: distribution-level agreement.
+
+PR 2 made exact joins available at large k; this suite pins down the
+claim that the counting engine's per-round *action distribution* is the
+same law the per-ant engines realize, in the spirit of
+distribution-based bisimulation for labelled Markov processes: two
+engines are equivalent when, from matched states, they induce the same
+distribution over the next observable (here, the joint join action of
+the idle pool).  Concretely, at k = 64:
+
+* the exact kernel's action distribution matches per-ant Monte Carlo in
+  total-variation distance (the MC error bound scales as
+  ``~0.4 * sqrt((k+1)/M)``, and thresholds leave 2x headroom);
+* the agent-level ``Simulator``'s first join wave — n real simulated
+  ants — pools to the same distribution;
+* full trajectories of the ``exact`` and ``per_ant`` join strategies
+  agree in their first two moments (heavy, marked ``slow``).
+
+All comparisons run under matched seeds (trial i of every engine uses
+the same root seed) across sigmoid and exact-binary feedback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import uniform_demands
+from repro.env.feedback import ExactBinaryFeedback, SigmoidFeedback
+from repro.sim.counting import CountingSimulator
+from repro.sim.engine import Simulator
+from repro.util.mathx import exact_join_probabilities
+
+K = 64
+
+
+def tv_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance between two distributions on the same support."""
+    return 0.5 * float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+def per_ant_action_distribution(
+    u: np.ndarray, trials: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Empirical action distribution of ``trials`` independent idle ants."""
+    k = u.shape[0]
+    counts = np.zeros(k + 1)
+    marks = rng.random((trials, k)) < u
+    rows_any = marks.any(axis=1)
+    counts[k] = (~rows_any).sum()
+    idx = np.nonzero(rows_any)[0]
+    if idx.size:
+        row_counts = marks[idx].sum(axis=1)
+        r = rng.integers(0, row_counts)
+        csum = np.cumsum(marks[idx], axis=1)
+        chosen = np.argmax(csum > r[:, None], axis=1)
+        counts[:k] = np.bincount(chosen, minlength=k)
+    return counts / trials
+
+
+def _sigmoid_signature() -> np.ndarray:
+    """A representative mid-run mark-probability vector at k = 64."""
+    demand = uniform_demands(n=1000 * K, k=K)
+    lam = lambda_for_critical_value(demand, gamma_star=0.05)
+    loads = demand.as_array() + np.linspace(-40, 40, K).astype(np.int64)
+    p = SigmoidFeedback(lam).lack_probabilities(demand.as_array() - loads)
+    return p * p  # two-sample conjunction, as in an Ant phase
+
+
+def _binary_signature() -> np.ndarray:
+    """A mixed over/underloaded exact-binary signature at k = 64."""
+    demand = uniform_demands(n=1000 * K, k=K)
+    loads = demand.as_array().copy()
+    loads[::2] += 1  # every second task overloaded by one ant
+    p = ExactBinaryFeedback().lack_probabilities(demand.as_array() - loads)
+    return p * p
+
+
+class TestKernelVsPerAntMonteCarlo:
+    """The kernel's pi against brute-force per-ant sampling, in TV."""
+
+    M = 400_000  # MC error ~0.4*sqrt(65/M) ~ 0.005; threshold leaves 2x
+
+    @pytest.mark.parametrize(
+        "signature", [_sigmoid_signature, _binary_signature],
+        ids=["sigmoid", "exact_binary"],
+    )
+    def test_tv_within_mc_error(self, signature):
+        u = signature()
+        pi = exact_join_probabilities(u)
+        mc = per_ant_action_distribution(u, self.M, np.random.default_rng(1234))
+        assert tv_distance(pi, mc) <= 0.01
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "signature", [_sigmoid_signature, _binary_signature],
+        ids=["sigmoid", "exact_binary"],
+    )
+    def test_tv_tight_with_large_sample(self, signature):
+        u = signature()
+        pi = exact_join_probabilities(u)
+        mc = per_ant_action_distribution(u, 4_000_000, np.random.default_rng(99))
+        assert tv_distance(pi, mc) <= 0.003
+
+
+class TestCountingVsAgentJoinWave:
+    """First-phase join wave: n real agent-engine ants vs the kernel.
+
+    From the all-idle start the whole idle pool decides in round 2 with a
+    known signature ``u = s(lambda * d)^2`` (no pauses can thin empty
+    loads), so the agent engine's round-2 loads pooled over trials are
+    M = trials * n i.i.d. samples from the action distribution — directly
+    comparable, in TV, to the counting engine's pooled multinomial and to
+    the exact pi.
+    """
+
+    TRIALS = 30
+    N = 2000
+
+    def _pooled(self, engine_factory) -> np.ndarray:
+        counts = np.zeros(K + 1)
+        for trial in range(self.TRIALS):
+            out = engine_factory(trial).run(2, trace_stride=1)
+            loads = out.trace.loads[1]
+            counts[:K] += loads
+            counts[K] += self.N - loads.sum()
+        return counts / (self.TRIALS * self.N)
+
+    @pytest.mark.parametrize("feedback_name", ["sigmoid", "exact_binary"])
+    def test_pooled_join_wave_matches_kernel(self, feedback_name):
+        demand = uniform_demands(n=self.N, k=K)
+        if feedback_name == "sigmoid":
+            lam = lambda_for_critical_value(demand, gamma_star=0.05)
+            feedback = lambda: SigmoidFeedback(lam)  # noqa: E731
+            p = SigmoidFeedback(lam).lack_probabilities(demand.as_array())
+        else:
+            feedback = ExactBinaryFeedback
+            p = ExactBinaryFeedback().lack_probabilities(demand.as_array())
+        pi = exact_join_probabilities(p * p)
+
+        agent = self._pooled(
+            lambda s: Simulator(
+                AntAlgorithm(gamma=0.05), demand, feedback(), seed=s
+            )
+        )
+        counting = self._pooled(
+            lambda s: CountingSimulator(
+                AntAlgorithm(gamma=0.05), demand, feedback(), seed=s
+            )
+        )
+        # M = 60_000 pooled samples -> MC error ~0.013; threshold 2x.
+        assert tv_distance(agent, pi) <= 0.026
+        assert tv_distance(counting, pi) <= 0.026
+        assert tv_distance(agent, counting) <= 0.04
+
+
+@pytest.mark.slow
+class TestExactVsPerAntStrategyTrajectories:
+    """Whole-trajectory agreement of the two counting join strategies.
+
+    Both are exact in distribution, so per-round load means must agree
+    within Monte-Carlo error at every probe; run across sigmoid and
+    exact-binary feedback under matched seeds.
+    """
+
+    TRIALS = 40
+    ROUNDS = 40
+    PROBES = (2, 6, 20, 40)
+
+    def _stats(self, join_strategy: str, feedback_factory, demand):
+        samples = []
+        for trial in range(self.TRIALS):
+            sim = CountingSimulator(
+                AntAlgorithm(gamma=0.05),
+                demand,
+                feedback_factory(),
+                seed=5000 + trial,
+                join_strategy=join_strategy,
+            )
+            loads = sim.run(self.ROUNDS, trace_stride=1).trace.loads
+            samples.append([loads[t - 1] for t in self.PROBES])
+        arr = np.asarray(samples, dtype=float)
+        return arr.mean(axis=0), arr.std(axis=0)
+
+    @pytest.mark.parametrize("feedback_name", ["sigmoid", "exact_binary"])
+    def test_moments_match(self, feedback_name):
+        demand = uniform_demands(n=1000 * K, k=K)
+        if feedback_name == "sigmoid":
+            lam = lambda_for_critical_value(demand, gamma_star=0.05)
+            feedback_factory = lambda: SigmoidFeedback(lam)  # noqa: E731
+        else:
+            feedback_factory = ExactBinaryFeedback
+        mean_e, std_e = self._stats("exact", feedback_factory, demand)
+        mean_p, std_p = self._stats("per_ant", feedback_factory, demand)
+        sem = (std_e + std_p) / np.sqrt(self.TRIALS) + 1e-9
+        assert np.all(np.abs(mean_e - mean_p) <= 4.0 * sem + 2.0)

@@ -105,12 +105,14 @@ class TestSimulatorBasics:
 
 
 class TestSimulatorConvergence:
+    @pytest.mark.slow
     def test_ant_converges_and_stays(self, stable_demand, sigmoid, ant, gamma_star):
         sim = Simulator(ant, stable_demand, sigmoid, seed=0)
         out = sim.run(8000, burn_in=4000)
         c = out.metrics.closeness(gamma_star, stable_demand.total)
         assert c <= 5.0 * ant.gamma / gamma_star
 
+    @pytest.mark.slow
     def test_deficit_band_theorem_3_1(self, stable_demand, sigmoid, ant, gamma_star):
         """Theorem 3.1's second claim: |deficit| <= 5*gamma*d + 3 in all
         but O(k log n / gamma) rounds."""
@@ -121,6 +123,7 @@ class TestSimulatorConvergence:
         budget = 40.0 * k * np.log(n) / gamma  # generous constant
         assert out.metrics.rounds_outside_band <= budget
 
+    @pytest.mark.slow
     def test_dynamic_demands(self, stable_demand, sigmoid):
         shifted = stable_demand.with_demands(stable_demand.as_array() + [200, -200, 0, 0])
         schedule = StepDemandSchedule(steps=((0, stable_demand), (2000, shifted)))

@@ -1,0 +1,200 @@
+"""Regression tests for the counting engine's join-distribution cache.
+
+The cache is content-addressed by the mark-probability vector ``u`` (the
+deficit/feedback signature), so correctness splits into three claims:
+
+* a round whose signature repeats reuses the cached distribution (the
+  kernel is *not* called again);
+* a demand or population change alters the signature and forces a
+  recompute — no stale reuse;
+* caching is observationally invisible: cached and uncached runs of the
+  same scenario produce bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sim.counting as counting_mod
+from repro.core.ant import AntAlgorithm
+from repro.env.critical import lambda_for_critical_value
+from repro.env.demands import DemandVector, StepDemandSchedule, uniform_demands
+from repro.env.feedback import ExactBinaryFeedback, SigmoidFeedback
+from repro.env.population import StepPopulation
+from repro.sim.counting import PI_CACHE_MAX_ENTRIES, CountingSimulator
+
+
+class KernelCallCounter:
+    """Monkeypatch wrapper counting exact_join_probabilities calls."""
+
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        self.keys: list[bytes] = []
+        real = counting_mod.exact_join_probabilities
+
+        def counted(u, **kwargs):
+            self.calls += 1
+            self.keys.append(np.asarray(u).tobytes())
+            return real(u, **kwargs)
+
+        monkeypatch.setattr(counting_mod, "exact_join_probabilities", counted)
+
+
+def _binary_sim(**kwargs) -> CountingSimulator:
+    # Exact-binary feedback on integer deficits: the signature repeats as
+    # soon as the load vector does, which it reliably does mid-run.
+    return CountingSimulator(
+        AntAlgorithm(gamma=0.025),
+        uniform_demands(n=2000, k=4),
+        ExactBinaryFeedback(),
+        seed=11,
+        **kwargs,
+    )
+
+
+class TestCacheReuse:
+    def test_repeated_signature_skips_the_kernel(self, monkeypatch):
+        counter = KernelCallCounter(monkeypatch)
+        sim = _binary_sim()
+        sim.run(200)
+        join_rounds = sim.pi_cache_hits + sim.pi_cache_misses
+        assert sim.pi_cache_hits > 0, "scenario never repeated a signature"
+        # The kernel ran once per *distinct* signature, not once per round.
+        assert counter.calls == sim.pi_cache_misses
+        assert counter.calls < join_rounds
+        assert counter.calls == len(set(counter.keys))
+
+    def test_cache_disabled_calls_kernel_every_round(self, monkeypatch):
+        counter = KernelCallCounter(monkeypatch)
+        sim = _binary_sim(pi_cache=False)
+        sim.run(200)
+        assert sim.pi_cache_hits == 0 and sim.pi_cache_misses == 0
+        # One kernel call per join round (every second round has joins,
+        # minus rounds with an empty idle pool).
+        assert counter.calls > len(set(counter.keys))
+
+    def test_counters_reset_between_runs(self):
+        sim = _binary_sim()
+        sim.run(100)
+        first_total = sim.pi_cache_hits + sim.pi_cache_misses
+        sim.run(100)
+        # Counters cover only the second run (the cache itself stays warm,
+        # so at most the first run's count of join rounds can accumulate).
+        second_total = sim.pi_cache_hits + sim.pi_cache_misses
+        assert 0 < second_total <= first_total
+
+    def test_capacity_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(counting_mod, "PI_CACHE_MAX_ENTRIES", 3)
+        sim = _binary_sim()
+        sim.run(400)
+        assert len(sim._pi_cache) <= 3
+
+
+class TestCacheInvalidation:
+    """The cache key IS the mark-probability vector, so 'invalidation'
+    means: any demand/population change that alters the deficits alters
+    the signature and forces a recompute, and a change that happens to
+    reproduce an already-seen signature is *correct* to serve from cache
+    (the join distribution depends on the signature alone)."""
+
+    def test_changed_signature_recomputes_unchanged_reuses(self, monkeypatch):
+        counter = KernelCallCounter(monkeypatch)
+        sim = _binary_sim()
+        feedback = ExactBinaryFeedback()
+        d1 = uniform_demands(n=2000, k=4).as_array()
+        d2 = np.array([400, 300, 200, 100])
+        loads = np.array([260, 260, 240, 240])
+        u1 = feedback.lack_probabilities(d1 - loads)
+        sim._join_distribution(u1)
+        sim._join_distribution(u1)  # unchanged deficits: served from cache
+        assert counter.calls == 1
+        u2 = feedback.lack_probabilities(d2 - loads)  # demand changed
+        assert not np.array_equal(u1, u2)
+        sim._join_distribution(u2)
+        assert counter.calls == 2
+
+    def test_demand_step_never_served_stale(self):
+        # The deterministic staleness check: a run across a demand change
+        # must be bit-identical with and without the cache.
+        d1 = uniform_demands(n=2000, k=4)
+        d2 = DemandVector(np.array([400, 300, 200, 100]), n=2000)
+        schedule = StepDemandSchedule(((0, d1), (101, d2)))
+
+        def run(pi_cache):
+            sim = CountingSimulator(
+                AntAlgorithm(gamma=0.025),
+                schedule,
+                SigmoidFeedback(lambda_for_critical_value(d1, gamma_star=0.05)),
+                seed=11,
+                pi_cache=pi_cache,
+            )
+            out = sim.run(300, trace_stride=1)
+            return sim, out.trace.loads
+
+        cached_sim, cached = run(True)
+        _, uncached = run(False)
+        assert np.array_equal(cached, uncached)
+        assert cached_sim.pi_cache_misses > 0
+
+    def test_population_step_never_served_stale(self, monkeypatch):
+        counter = KernelCallCounter(monkeypatch)
+
+        def run(pi_cache):
+            sim = CountingSimulator(
+                AntAlgorithm(gamma=0.025),
+                uniform_demands(n=2000, k=4),
+                ExactBinaryFeedback(),
+                seed=11,
+                population=StepPopulation(((0, 2000), (101, 1200))),
+                pi_cache=pi_cache,
+            )
+            return sim, sim.run(400, trace_stride=1).trace.loads
+
+        cached_sim, cached = run(True)
+        _, uncached = run(False)
+        assert np.array_equal(cached, uncached)
+        # The die-off perturbs the loads, so several distinct signatures
+        # (not just the all-LACK start vector) must have been computed.
+        assert cached_sim.pi_cache_misses == len(
+            {k for k in counter.keys}
+        ) > 1
+
+
+class TestCacheTransparency:
+    @pytest.mark.parametrize("feedback_factory", [
+        lambda d: ExactBinaryFeedback(),
+        lambda d: SigmoidFeedback(lambda_for_critical_value(d, gamma_star=0.02)),
+    ])
+    def test_traces_bit_identical_with_and_without_cache(self, feedback_factory):
+        demand = uniform_demands(n=2000, k=4)
+
+        def run(pi_cache: bool, method: str):
+            sim = CountingSimulator(
+                AntAlgorithm(gamma=0.05),
+                demand,
+                feedback_factory(demand),
+                seed=77,
+                pi_cache=pi_cache,
+                join_kernel_method=method,
+            )
+            return sim.run(150, trace_stride=1).trace.loads
+
+        baseline = run(False, "dp")
+        assert np.array_equal(baseline, run(True, "dp"))
+        # Same-method determinism holds for the FFT kernel too.
+        assert np.array_equal(run(False, "fft"), run(True, "fft"))
+
+    def test_prewarmed_cache_does_not_perturb_the_run(self):
+        # Manually priming cache entries must not change the trajectory:
+        # the rng stream is consumed only by the draws, never the kernel.
+        fresh = _binary_sim().run(120, trace_stride=1).trace.loads
+        warmed_sim = _binary_sim()
+        for p in (0.1, 0.5, 0.9):
+            warmed_sim._join_distribution(np.full(4, p))
+        warmed = warmed_sim.run(120, trace_stride=1).trace.loads
+        assert np.array_equal(fresh, warmed)
+
+    def test_rejects_unknown_kernel_method(self):
+        with pytest.raises(Exception, match="join_kernel_method"):
+            _binary_sim(join_kernel_method="nope")

@@ -36,6 +36,7 @@ class TestSequentialSimulator:
         diffs = np.abs(np.diff(np.concatenate([[0], loads])))
         assert np.all(diffs <= 1)
 
+    @pytest.mark.slow
     def test_converges_to_small_regret(self, single_task):
         lam = lambda_for_critical_value(single_task, gamma_star=0.1)
         sim = SequentialSimulator(

@@ -68,6 +68,7 @@ class TestTrajectoryInvariants:
         assert np.all(loads >= 0)
         assert np.all(loads.sum(axis=1) <= demand.n)
 
+    @pytest.mark.slow
     def test_ant_loads_never_negative_long_run(self):
         demand = uniform_demands(n=1000, k=2)
         lam = lambda_for_critical_value(demand, gamma_star=0.05)
@@ -96,6 +97,7 @@ class TestTrajectoryInvariants:
 
 
 class TestCrossNoiseModels:
+    @pytest.mark.slow
     def test_ant_bounded_under_every_adversary(self):
         demand = uniform_demands(n=4000, k=2)
         gamma_ad = 0.01
@@ -106,6 +108,7 @@ class TestCrossNoiseModels:
             c = out.metrics.closeness(gamma_ad, demand.total)
             assert c <= 12.5, f"strategy {strat} broke the Theorem 3.1 bound: {c}"
 
+    @pytest.mark.slow
     def test_precise_adversarial_beats_ant_on_switches(self):
         demand = uniform_demands(n=4000, k=2)
         fb = lambda: AdversarialFeedback(gamma_ad=0.01, strategy=make_adversary("random"))  # noqa: E731
@@ -164,6 +167,7 @@ class TestSelfStabilization:
     @pytest.mark.parametrize(
         "start", ["all_idle", "all_on_first_task", "random", "demand_matched"]
     )
+    @pytest.mark.slow
     def test_ant_converges_from_any_start(self, start):
         demand = uniform_demands(n=8000, k=4)
         lam = lambda_for_critical_value(demand, gamma_star=0.01)

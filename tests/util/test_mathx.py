@@ -10,8 +10,11 @@ from hypothesis import strategies as st
 from repro.exceptions import ConfigurationError
 from repro.util.mathx import (
     ENUMERATION_K_LIMIT,
+    FFT_K_THRESHOLD,
     enumerate_subset_join_probabilities,
     exact_join_probabilities,
+    fft_join_probabilities,
+    fft_poisson_binomial_pmf,
     inverse_logistic,
     log1pexp,
     logistic,
@@ -80,6 +83,34 @@ class TestSigmoidLackProbability:
     def test_rejects_nonpositive_lambda(self):
         with pytest.raises(ConfigurationError):
             sigmoid_lack_probability(np.zeros(3), 0.0)
+
+    def test_per_task_lambda_vector(self):
+        # Each task gets its own steepness; at deficit 0 all read 1/2.
+        lam = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(
+            sigmoid_lack_probability(np.zeros(3), lam), 0.5
+        )
+        p = sigmoid_lack_probability(np.array([1.0, 1.0, 1.0]), lam)
+        assert p[0] < p[1] < p[2]  # steeper lambda, sharper response
+
+    def test_per_task_lambda_rejects_nonpositive_entry(self):
+        with pytest.raises(ConfigurationError):
+            sigmoid_lack_probability(np.zeros(3), np.array([1.0, 0.0, 2.0]))
+
+    def test_per_task_lambda_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            sigmoid_lack_probability(np.zeros(3), np.array([1.0, 2.0]))
+
+    def test_per_task_lambda_matches_scalar_per_entry(self):
+        deficits = np.array([-3.0, 0.5, 7.0])
+        lam = np.array([0.3, 1.7, 0.9])
+        expected = [
+            sigmoid_lack_probability(np.array([d]), float(la))[0]
+            for d, la in zip(deficits, lam)
+        ]
+        np.testing.assert_allclose(
+            sigmoid_lack_probability(deficits, lam), expected
+        )
 
     def test_half_at_zero_deficit(self):
         assert sigmoid_lack_probability(np.array([0.0]), 2.0)[0] == pytest.approx(0.5)
@@ -203,6 +234,142 @@ class TestPoissonBinomialPmf:
         assert np.all(pmf >= 0.0)
         assert pmf.sum() == pytest.approx(1.0)
         assert pmf @ np.arange(u.size + 1) == pytest.approx(u.sum(), abs=1e-9)
+
+
+class TestFftPoissonBinomialPmf:
+    """The FFT divide-and-conquer PMF must agree with the O(k^2) DP to
+    well under the 1e-10 acceptance bar, including at the numerically
+    nasty points (u near 0/1 and exactly 1/2) and at k past 10^3."""
+
+    PROPERTY_KS = (16, 128, 512, 1024)
+
+    @pytest.mark.parametrize("k", PROPERTY_KS)
+    def test_matches_dp_random_u(self, k):
+        u = np.random.default_rng(k).random(k)
+        np.testing.assert_allclose(
+            fft_poisson_binomial_pmf(u), poisson_binomial_pmf(u), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("k", PROPERTY_KS)
+    def test_matches_dp_extreme_u(self, k):
+        # Entries near 0, near 1, exactly 0/1, and exactly 1/2 — the
+        # regimes where the deconvolution downstream is most sensitive.
+        rng = np.random.default_rng(1000 + k)
+        pool = np.array([0.0, 1.0, 0.5, 1e-14, 1.0 - 1e-14, 1e-3, 1.0 - 1e-3])
+        u = rng.choice(pool, size=k)
+        np.testing.assert_allclose(
+            fft_poisson_binomial_pmf(u), poisson_binomial_pmf(u), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("k", PROPERTY_KS)
+    def test_matches_dp_all_half(self, k):
+        u = np.full(k, 0.5)
+        np.testing.assert_allclose(
+            fft_poisson_binomial_pmf(u), poisson_binomial_pmf(u), atol=1e-10
+        )
+
+    def test_matches_binomial_for_equal_probs(self):
+        from scipy import stats
+
+        k, p = 1024, 0.37
+        pmf = fft_poisson_binomial_pmf(np.full(k, p))
+        np.testing.assert_allclose(
+            pmf, stats.binom.pmf(np.arange(k + 1), k, p), atol=1e-12
+        )
+
+    def test_non_power_of_two_k(self):
+        # Leaf padding must be invisible: odd and just-past-a-power sizes.
+        for k in (1, 3, 5, 17, 100, 129, 1000):
+            u = np.random.default_rng(k).random(k)
+            pmf = fft_poisson_binomial_pmf(u)
+            assert pmf.shape == (k + 1,)
+            np.testing.assert_allclose(pmf, poisson_binomial_pmf(u), atol=1e-10)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=24))
+    def test_valid_pmf_with_right_mean(self, u):
+        u = np.array(u)
+        pmf = fft_poisson_binomial_pmf(u)
+        assert pmf.shape == (u.size + 1,)
+        assert np.all(pmf >= 0.0)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf @ np.arange(u.size + 1) == pytest.approx(u.sum(), abs=1e-9)
+
+    def test_empty_input(self):
+        np.testing.assert_allclose(fft_poisson_binomial_pmf(np.zeros(0)), [1.0])
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            fft_poisson_binomial_pmf(np.array([1.5]))
+
+
+class TestFftJoinProbabilities:
+    """fft_join_probabilities and the DP/FFT dispatch of
+    exact_join_probabilities must all produce the same distribution."""
+
+    @pytest.mark.parametrize("k", (16, 128, 512, 1024))
+    def test_matches_dp_kernel(self, k):
+        u = np.random.default_rng(k).random(k)
+        np.testing.assert_allclose(
+            fft_join_probabilities(u),
+            exact_join_probabilities(u, method="dp"),
+            atol=1e-10,
+        )
+
+    @pytest.mark.parametrize("k", (16, 512))
+    def test_matches_dp_kernel_extreme_u(self, k):
+        pool = np.array([0.0, 1.0, 0.5, 1e-14, 1.0 - 1e-14, 0.25, 0.75])
+        u = np.random.default_rng(k).choice(pool, size=k)
+        np.testing.assert_allclose(
+            fft_join_probabilities(u),
+            exact_join_probabilities(u, method="dp"),
+            atol=1e-10,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                 max_size=ENUMERATION_K_LIMIT)
+    )
+    def test_fft_path_matches_enumerator(self, u):
+        # The subset enumerator covers the FFT path too, not just the DP.
+        u = np.array(u)
+        np.testing.assert_allclose(
+            exact_join_probabilities(u, method="fft"),
+            enumerate_subset_join_probabilities(u),
+            atol=1e-10,
+        )
+
+    def test_fft_path_matches_enumerator_at_the_limit(self, rng):
+        u = rng.random(ENUMERATION_K_LIMIT)
+        np.testing.assert_allclose(
+            exact_join_probabilities(u, method="fft"),
+            enumerate_subset_join_probabilities(u),
+            atol=1e-10,
+        )
+
+    def test_auto_dispatch_agrees_with_both_methods(self):
+        for k in (FFT_K_THRESHOLD // 2, FFT_K_THRESHOLD, FFT_K_THRESHOLD + 1):
+            u = np.random.default_rng(k).random(k)
+            auto = exact_join_probabilities(u)
+            np.testing.assert_allclose(
+                auto, exact_join_probabilities(u, method="dp"), atol=1e-10
+            )
+            np.testing.assert_allclose(
+                auto, exact_join_probabilities(u, method="fft"), atol=1e-10
+            )
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ConfigurationError, match="method"):
+            exact_join_probabilities(np.array([0.5]), method="magic")
+
+    def test_valid_distribution_large_k(self):
+        u = np.random.default_rng(2048).random(2048)
+        pi = fft_join_probabilities(u)
+        assert pi.shape == (2049,)
+        assert np.all(pi >= 0.0)
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi[-1] == pytest.approx(float(np.prod(1.0 - u)))
 
 
 class TestExactJoinProbabilities:
