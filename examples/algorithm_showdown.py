@@ -30,7 +30,6 @@ from repro import (
 from repro.analysis import format_table
 from repro.baselines import BackoffBinaryAlgorithm
 from repro.env import ExactBinaryFeedback
-from repro.types import assignment_from_loads
 
 
 def main() -> None:

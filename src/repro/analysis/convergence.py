@@ -24,7 +24,9 @@ __all__ = [
 ]
 
 
-def deficit_band(demands: np.ndarray, gamma: float, *, coefficient: float = 5.0, slack: float = 3.0) -> np.ndarray:
+def deficit_band(
+    demands: np.ndarray, gamma: float, *, coefficient: float = 5.0, slack: float = 3.0
+) -> np.ndarray:
     """Per-task half-width of the Theorem 3.1 band: ``coeff*gamma*d + slack``."""
     demands = np.asarray(demands, dtype=np.float64)
     if np.any(demands <= 0) or gamma <= 0:

@@ -184,7 +184,10 @@ class AntAlgorithm(ColonyAlgorithm):
         return float(2.0 * np.log2(k + 1) + k)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"AntAlgorithm(gamma={self.gamma:g}, c_s={self.constants.c_s}, c_d={self.constants.c_d})"
+        return (
+            f"AntAlgorithm(gamma={self.gamma:g}, "
+            f"c_s={self.constants.c_s}, c_d={self.constants.c_d})"
+        )
 
 
 class OneSampleAntAlgorithm(ColonyAlgorithm):

@@ -148,7 +148,9 @@ class DemandVector:
 # Convenience constructors
 
 
-def uniform_demands(n: int, k: int, *, load_fraction: float = 0.5, strict: bool = True) -> DemandVector:
+def uniform_demands(
+    n: int, k: int, *, load_fraction: float = 0.5, strict: bool = True
+) -> DemandVector:
     """Build ``k`` equal demands consuming ``load_fraction`` of ``n`` ants.
 
     ``load_fraction=0.5`` saturates the Assumptions 2.1 slack exactly.

@@ -9,6 +9,13 @@ scales of all of them under pytest-benchmark.
 """
 
 from repro.experiments.base import Claim, ExperimentResult, get_experiment, list_experiments
-from repro.experiments import figures, closeness, bounds, adversarial, trivial, extensions  # noqa: F401 (registration side effects)
+from repro.experiments import (  # noqa: F401 (registration side effects)
+    adversarial,
+    bounds,
+    closeness,
+    extensions,
+    figures,
+    trivial,
+)
 
 __all__ = ["Claim", "ExperimentResult", "get_experiment", "list_experiments"]

@@ -70,7 +70,9 @@ def run_e6_memory_tradeoff(scale: str = "full", seed: int = 0) -> ExperimentResu
     # per extra bit once in the Precise-Sigmoid regime.
     cl = np.array(closenesses)
     res.claims.append(
-        Claim.shape("closeness monotone non-increasing in memory", bool(np.all(np.diff(cl) <= 1e-9)))
+        Claim.shape(
+            "closeness monotone non-increasing in memory", bool(np.all(np.diff(cl) <= 1e-9))
+        )
     )
     ps = cl[1:]  # the Precise-Sigmoid members (bits >= 5)
     halving = ps[:-1] / ps[1:]

@@ -177,7 +177,9 @@ def run_e5_precise_sigmoid(scale: str = "full", seed: int = 0) -> ExperimentResu
     res.series["eps"] = np.array(eps_values)
     res.series["measured_rate"] = np.array(rates)
     res.series["theory_rate"] = np.array(theory)
-    rows.append(["(Algorithm Ant)", ant_c, float("nan"), ant_out.metrics.closeness(gs, demand.total)])
+    rows.append(
+        ["(Algorithm Ant)", ant_c, float("nan"), ant_out.metrics.closeness(gs, demand.total)]
+    )
     res.tables.append(
         format_table(
             ["eps", "measured R(t)/t", "theory eps*g*sum_d", "closeness"],

@@ -170,7 +170,12 @@ def run_e14_one_sample_ablation(scale: str = "full", seed: int = 0) -> Experimen
         format_table(
             ["variant", "closeness", "switches/round", "max|deficit|"],
             [
-                ["two spaced samples (Algorithm Ant)", c_two, s_two, out_two.metrics.max_abs_deficit],
+                [
+                    "two spaced samples (Algorithm Ant)",
+                    c_two,
+                    s_two,
+                    out_two.metrics.max_abs_deficit,
+                ],
                 ["one sample (ablation)", c_one, s_one, out_one.metrics.max_abs_deficit],
             ],
             title=f"Sample-spacing ablation, gamma={gamma}, n={n}",

@@ -58,7 +58,10 @@ def run_e1_feedback_curve(scale: str = "full", seed: int = 0) -> ExperimentResul
         line_plot(
             overloads,
             p_overload,
-            title=f"Figure 1: P[OVERLOAD feedback] vs overload (grey zone +/- {gamma_star * d:.0f})",
+            title=(
+                f"Figure 1: P[OVERLOAD feedback] vs overload "
+                f"(grey zone +/- {gamma_star * d:.0f})"
+            ),
             xlabel="overload (-Delta)",
             ylabel="P[overload]",
         )
@@ -78,8 +81,12 @@ def run_e1_feedback_curve(scale: str = "full", seed: int = 0) -> ExperimentResul
     )
     res.claims += [
         Claim.upper("P[overload]=1/2 at deficit 0 (|p-1/2|)", abs(at_zero - 0.5), 1e-9),
-        Claim.upper("wrong-feedback prob at +boundary <= p_fail", wrong_left_of_grey, p_fail * 1.001),
-        Claim.upper("wrong-feedback prob at -boundary <= p_fail", wrong_right_of_grey, p_fail * 1.001),
+        Claim.upper(
+            "wrong-feedback prob at +boundary <= p_fail", wrong_left_of_grey, p_fail * 1.001
+        ),
+        Claim.upper(
+            "wrong-feedback prob at -boundary <= p_fail", wrong_right_of_grey, p_fail * 1.001
+        ),
         Claim.shape("curve monotone in overload", monotone),
         Claim.upper("gamma* inversion consistent", abs(gs_check - gamma_star), 1e-9),
     ]
@@ -147,7 +154,10 @@ def run_e2_phase_anatomy(scale: str = "full", seed: int = 0) -> ExperimentResult
         line_plot(
             np.arange(min(300, phase_start_loads.size)),
             phase_start_loads[: min(300, phase_start_loads.size)],
-            title=f"Figure 2: phase-start load decaying into stable zone [{lo:.0f}, {hi:.0f}] (d={d})",
+            title=(
+                f"Figure 2: phase-start load decaying into stable zone "
+                f"[{lo:.0f}, {hi:.0f}] (d={d})"
+            ),
             xlabel="phase",
             ylabel="load",
         )

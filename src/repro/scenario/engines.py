@@ -77,15 +77,19 @@ def _build_counting(
     *,
     seed=None,
     population=None,
+    shared_pi_cache=None,
     initial_loads=None,
     join_strategy: str = "exact",
     join_kernel_method: str = "auto",
     pi_cache: bool = True,
 ) -> CountingSimulator:
     # No task-count cap here: the exact join kernel (O(k^2) DP, FFT PMF
-    # past FFT_K_THRESHOLD) plus the join-distribution cache make counting
-    # scenarios with k in the thousands declarable and runnable (the old
-    # subset enumerator's k <= 14 cliff survives only as a test oracle).
+    # past FFT_K_THRESHOLD, Gauss-Legendre quadrature past
+    # QUADRATURE_K_THRESHOLD) plus the join-distribution caches make
+    # counting scenarios with k in the thousands declarable and runnable
+    # (the old subset enumerator's k <= 14 cliff survives only as a test
+    # oracle).  ``shared_pi_cache`` is runtime context injected by
+    # run_scenario/sweep_scenario, never spec data.
     if initial_loads is not None:
         initial_loads = np.asarray(initial_loads, dtype=np.int64)
     return CountingSimulator(
@@ -98,6 +102,7 @@ def _build_counting(
         join_strategy=join_strategy,
         join_kernel_method=join_kernel_method,
         pi_cache=pi_cache,
+        shared_pi_cache=shared_pi_cache,
     )
 
 

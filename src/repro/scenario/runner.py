@@ -13,6 +13,14 @@ seeds are derived from the root seed either way).
 is applied to the spec via :meth:`ScenarioSpec.with_param` dotted paths
 (``"algorithm.gamma"``, ``"feedback.lam"``, ...), so the entire sweep
 stays declarative and process-parallel.
+
+Both entry points accept a ``shared_pi_cache``: one
+:class:`~repro.sim.pi_cache.SharedPiCache` threaded through every trial
+(and, for sweeps, every sweep point) so counting-engine trials whose
+deficit signatures repeat reuse each other's join-kernel work.  The
+cache is runtime context, never spec data; results are bit-identical
+with or without it, serial or process-parallel (workers amortize
+per-process — see :mod:`repro.sim.pi_cache`).
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from typing import Any, Iterable
 
 from repro.exceptions import ConfigurationError
 from repro.sim.engine import SimulationResult
+from repro.sim.pi_cache import SharedPiCache
 from repro.sim.runner import SweepResult, TrialSummary, run_trials, sweep
 from repro.util.validation import check_integer
 
@@ -36,13 +45,16 @@ class ScenarioFactory:
 
     Specs are plain data, so instances survive ``pickle`` and can be
     shipped to ``ProcessPoolExecutor`` workers — unlike closures over
-    live simulator components.
+    live simulator components.  An attached shared pi cache survives the
+    trip too: it pickles as an identity token that resolves to one live
+    cache per worker process.
     """
 
     spec: ScenarioSpec
+    shared_pi_cache: SharedPiCache | None = None
 
     def __call__(self, seed: int) -> Any:
-        return self.spec.build(seed=seed)
+        return self.spec.build(seed=seed, shared_pi_cache=self.shared_pi_cache)
 
 
 def _closeness_inputs(spec: ScenarioSpec) -> tuple[float | None, float | None]:
@@ -61,6 +73,7 @@ def run_scenario(
     seed: int | None = None,
     label: str | None = None,
     keep_results: bool = True,
+    shared_pi_cache: SharedPiCache | None = None,
     **run_overrides: Any,
 ) -> SimulationResult | TrialSummary:
     """Run a declarative scenario end to end.
@@ -83,6 +96,10 @@ def run_scenario(
         Root seed override; defaults to ``spec.seed``.
     label:
         Summary label override; defaults to ``spec.describe()``.
+    shared_pi_cache:
+        Optional cross-trial join-distribution cache shared by every
+        trial (counting engine; see :mod:`repro.sim.pi_cache`).  Purely
+        a performance knob — results are bit-identical without it.
     run_overrides:
         Extra ``run()`` kwargs, overriding ``spec.run_params`` (e.g.
         ``burn_in``, ``trace_stride``).
@@ -99,12 +116,12 @@ def run_scenario(
                 "parallel workers only apply to multi-trial runs; pass trials > 1 "
                 f"(got trials=1, parallel={parallel})"
             )
-        simulator = spec.build(seed=root_seed)
+        simulator = spec.build(seed=root_seed, shared_pi_cache=shared_pi_cache)
         return simulator.run(rounds, **run_kwargs)
 
     gamma_star, total_demand = _closeness_inputs(spec)
     return run_trials(
-        ScenarioFactory(spec),
+        ScenarioFactory(spec, shared_pi_cache),
         rounds,
         trials,
         seed=root_seed,
@@ -126,6 +143,7 @@ def sweep_scenario(
     trials: int = 5,
     parallel: int = 0,
     keep_results: bool = False,
+    shared_pi_cache: SharedPiCache | bool | None = None,
     **run_overrides: Any,
 ) -> SweepResult:
     """Sweep one spec parameter (dotted path) over ``values``.
@@ -134,6 +152,13 @@ def sweep_scenario(
     value)`` and runs ``trials`` trials; closeness uses the *base*
     spec's ``gamma_star`` and total demand (sweeping the demand size
     itself therefore reports closeness against the base demand).
+
+    ``shared_pi_cache=True`` creates one cross-trial join-distribution
+    cache spanning *all* sweep points (sweep points with repeating
+    deficit signatures amortize the kernel across trials); passing a
+    :class:`~repro.sim.pi_cache.SharedPiCache` instance instead lets the
+    caller inspect its hit statistics afterwards.  Either way the sweep
+    statistics are bit-identical to an uncached sweep.
 
     Only component params (``"component.param"`` paths) are sweepable:
     the trial runner controls the horizon and seed derivation itself,
@@ -147,11 +172,15 @@ def sweep_scenario(
             "supplies rounds and per-trial seeds) — pass it as a keyword instead"
         )
     rounds = check_integer("rounds", spec.rounds if rounds is None else rounds, minimum=1)
+    if shared_pi_cache is True:
+        shared_pi_cache = SharedPiCache()
+    elif shared_pi_cache is False:
+        shared_pi_cache = None
     gamma_star, total_demand = _closeness_inputs(spec)
     return sweep(
         parameter,
         values,
-        lambda value: ScenarioFactory(spec.with_param(parameter, value)),
+        lambda value: ScenarioFactory(spec.with_param(parameter, value), shared_pi_cache),
         rounds,
         trials,
         seed=spec.seed,

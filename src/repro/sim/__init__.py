@@ -22,6 +22,7 @@ from repro.sim.metrics import (
 from repro.sim.trace import Trace
 from repro.sim.engine import Simulator, SimulationResult
 from repro.sim.counting import CountingSimulator
+from repro.sim.pi_cache import SharedPiCache
 from repro.sim.sequential import SequentialSimulator
 from repro.sim.runner import TrialRunner, TrialSummary, SweepResult, run_trials, sweep
 
@@ -36,6 +37,7 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "CountingSimulator",
+    "SharedPiCache",
     "SequentialSimulator",
     "TrialRunner",
     "TrialSummary",

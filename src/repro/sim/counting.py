@@ -13,17 +13,20 @@ exchangeable.  The engine therefore simulates loads directly:
   independently across tasks and joins uniformly among its marked tasks —
   the exact marginal action distribution ``pi[j] = u_j E[1/(1+B_j)]``
   (``B_j`` the Poisson-binomial count of *other* marked tasks) is
-  computed by the leave-one-out deconvolution kernel
-  (:func:`repro.util.mathx.exact_join_probabilities`, O(k^2) DP below
-  :data:`~repro.util.mathx.FFT_K_THRESHOLD` tasks, O(k log^2 k) FFT
-  Poisson-binomial PMF above) and the joint join counts drawn as one
-  ``Multinomial(idle, pi)``.  A content-addressed cache keyed on the
-  mark-probability vector lets rounds whose deficit/feedback signature
-  repeats skip the deconvolution entirely.  This keeps the engine
-  genuinely polynomial in ``k`` — many-task scenarios (k = 64..2048) run
-  exactly; the old ``O(2^k k)`` subset enumerator survives only as the
-  test oracle, and per-idle-ant sampling (``join_strategy="per_ant"``)
-  only as a distributional cross-check.
+  computed by the exact join kernel
+  (:func:`repro.util.mathx.exact_join_probabilities`: O(k^2) DP below
+  :data:`~repro.util.mathx.FFT_K_THRESHOLD` tasks, FFT Poisson-binomial
+  PMF up to :data:`~repro.util.mathx.QUADRATURE_K_THRESHOLD`, and the
+  loop-free Gauss-Legendre quadrature beyond) and the joint join counts
+  drawn as one ``Multinomial(idle, pi)``.  A content-addressed cache
+  keyed on the mark-probability vector lets rounds whose
+  deficit/feedback signature repeats skip the kernel entirely, and an
+  optional :class:`~repro.sim.pi_cache.SharedPiCache` extends that reuse
+  across the trials of a sweep.  This keeps the engine genuinely
+  polynomial in ``k`` — many-task scenarios (k = 64..16384) run exactly;
+  the old ``O(2^k k)`` subset enumerator survives only as the test
+  oracle, and per-idle-ant sampling (``join_strategy="per_ant"``) only
+  as a distributional cross-check.
 
 This is the guides' "algorithmic optimization first": identical law to
 the agent engine (property-tested in
@@ -47,9 +50,10 @@ from repro.env.population import PopulationSchedule, StaticPopulation, apply_pop
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.sim.engine import SimulationResult, _coerce_schedule
 from repro.sim.metrics import RegretTracker
+from repro.sim.pi_cache import SharedPiCache
 from repro.sim.trace import Trace
 from repro.types import IDLE
-from repro.util.mathx import JOIN_KERNEL_METHODS, exact_join_probabilities
+from repro.util.mathx import exact_join_probabilities, resolve_join_kernel_method
 from repro.util.rng import RngFactory
 from repro.util.validation import check_integer
 
@@ -80,16 +84,24 @@ class CountingSimulator:
     joint join counts are drawn (see :data:`JOIN_STRATEGIES`); both
     choices are exact in distribution.
 
-    ``join_kernel_method`` selects the Poisson-binomial PMF construction
-    inside the exact join kernel (``"auto"``/``"dp"``/``"fft"``, see
+    ``join_kernel_method`` selects the exact join kernel's back end
+    (``"auto"``/``"dp"``/``"fft"``/``"quadrature"``, see
     :func:`repro.util.mathx.exact_join_probabilities`); ``pi_cache``
     enables the content-addressed join-distribution cache, which makes
     rounds whose mark probabilities repeat (unchanged deficits, or
-    saturated feedback) skip the deconvolution entirely.  Both knobs are
-    pure performance choices: every combination draws from the identical
-    action distribution, and cached runs are bit-identical to uncached
-    ones.  Cache effectiveness is reported by :attr:`pi_cache_hits` /
-    :attr:`pi_cache_misses` (reset at each :meth:`run`).
+    saturated feedback) skip the kernel entirely.  ``shared_pi_cache``
+    additionally plugs the simulator into a cross-trial
+    :class:`~repro.sim.pi_cache.SharedPiCache`, so *other* trials'
+    kernel work is reused too (keyed by the resolved back end plus the
+    signature — see that module for why stale or cross-method reuse is
+    structurally impossible).  All three knobs are pure performance
+    choices: every combination draws from the identical action
+    distribution, and cached runs are bit-identical to uncached ones.
+    Cache effectiveness is reported by :attr:`pi_cache_local_hits`
+    (this simulator's own cache), :attr:`pi_cache_shared_hits` (served
+    by the shared cache) and :attr:`pi_cache_misses` (kernel actually
+    ran); :attr:`pi_cache_hits` is their hit total (all reset at each
+    :meth:`run`).  ``pi_cache=False`` disables both layers.
 
     Raises
     ------
@@ -110,21 +122,28 @@ class CountingSimulator:
         join_strategy: str = "exact",
         join_kernel_method: str = "auto",
         pi_cache: bool = True,
+        shared_pi_cache: SharedPiCache | None = None,
     ) -> None:
         if join_strategy not in JOIN_STRATEGIES:
             raise ConfigurationError(
                 f"join_strategy must be one of {JOIN_STRATEGIES}, got {join_strategy!r}"
             )
         self.join_strategy = join_strategy
-        if join_kernel_method not in JOIN_KERNEL_METHODS:
-            raise ConfigurationError(
-                f"join_kernel_method must be one of {JOIN_KERNEL_METHODS}, "
-                f"got {join_kernel_method!r}"
-            )
+        try:
+            resolve_join_kernel_method(0, join_kernel_method)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"join_kernel_method: {exc}") from exc
         self.join_kernel_method = join_kernel_method
+        if shared_pi_cache is not None and not isinstance(shared_pi_cache, SharedPiCache):
+            raise ConfigurationError(
+                "shared_pi_cache must be a repro.sim.pi_cache.SharedPiCache, "
+                f"got {type(shared_pi_cache).__name__}"
+            )
         self.pi_cache_enabled = bool(pi_cache)
+        self.shared_pi_cache = shared_pi_cache if self.pi_cache_enabled else None
         self._pi_cache: dict[bytes, np.ndarray] = {}
-        self.pi_cache_hits = 0
+        self.pi_cache_local_hits = 0
+        self.pi_cache_shared_hits = 0
         self.pi_cache_misses = 0
         if not isinstance(algorithm, (AntAlgorithm, TrivialAlgorithm, PreciseSigmoidAlgorithm)):
             raise ConfigurationError(
@@ -151,6 +170,11 @@ class CountingSimulator:
             )
         self._n_current = int(self.population.population_at(0))
         self.k = self.schedule.k
+        # The concrete back end "auto" resolves to for this k: shared-cache
+        # keys embed it so only identically-computed entries are reused.
+        self._resolved_kernel_method = resolve_join_kernel_method(
+            self.k, self.join_kernel_method
+        )
         if initial_loads is None:
             initial_loads = np.zeros(self.k, dtype=np.int64)
         self.initial_loads = np.asarray(initial_loads, dtype=np.int64).copy()
@@ -159,6 +183,12 @@ class CountingSimulator:
         if np.any(self.initial_loads < 0) or int(self.initial_loads.sum()) > self.n:
             raise ConfigurationError("initial loads must be non-negative and sum to <= n")
         self._rng_factory = RngFactory(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def pi_cache_hits(self) -> int:
+        """Total cache hits (local + shared) since the last :meth:`run`."""
+        return self.pi_cache_local_hits + self.pi_cache_shared_hits
 
     # ------------------------------------------------------------------
     def run(
@@ -187,7 +217,8 @@ class CountingSimulator:
         self.feedback.reset()
         # Rewind colony-size state so repeated run() calls start identically.
         self._n_current = int(self.population.population_at(0))
-        self.pi_cache_hits = 0
+        self.pi_cache_local_hits = 0
+        self.pi_cache_shared_hits = 0
         self.pi_cache_misses = 0
 
         if isinstance(self.algorithm, AntAlgorithm):
@@ -347,26 +378,43 @@ class CountingSimulator:
     def _join_distribution(self, u: np.ndarray) -> np.ndarray:
         """The exact action distribution for mark probabilities ``u``.
 
-        Content-addressed cache: the key is the byte image of ``u``, so a
-        round whose deficits (and hence feedback signature) did not change
-        reuses the previously deconvolved distribution, while any demand,
-        load, or population change produces a new key — stale reuse is
-        structurally impossible.  FIFO eviction above
-        :data:`PI_CACHE_MAX_ENTRIES` bounds memory.
+        Content-addressed caching: the key is the byte image of ``u``, so
+        a round whose deficits (and hence feedback signature) did not
+        change reuses the previously computed distribution, while any
+        demand, load, or population change produces a new key — stale
+        reuse is structurally impossible.  Lookup order is the
+        simulator's own cache (FIFO-bounded by
+        :data:`PI_CACHE_MAX_ENTRIES`), then the optional cross-trial
+        :class:`~repro.sim.pi_cache.SharedPiCache` (whose key also pins
+        the resolved kernel back end), then the kernel itself; fresh
+        results are published to both layers.
         """
         if not self.pi_cache_enabled:
             return exact_join_probabilities(u, method=self.join_kernel_method)
         key = u.tobytes()
         pi = self._pi_cache.get(key)
         if pi is not None:
-            self.pi_cache_hits += 1
+            self.pi_cache_local_hits += 1
             return pi
+        shared_key = None
+        if self.shared_pi_cache is not None:
+            shared_key = SharedPiCache.key(self._resolved_kernel_method, u)
+            pi = self.shared_pi_cache.get(shared_key)
+            if pi is not None:
+                self.pi_cache_shared_hits += 1
+                self._store_local(key, pi)
+                return pi
         self.pi_cache_misses += 1
         pi = exact_join_probabilities(u, method=self.join_kernel_method)
+        if shared_key is not None:
+            pi = self.shared_pi_cache.put(shared_key, pi)
+        self._store_local(key, pi)
+        return pi
+
+    def _store_local(self, key: bytes, pi: np.ndarray) -> None:
         if len(self._pi_cache) >= PI_CACHE_MAX_ENTRIES:
             self._pi_cache.pop(next(iter(self._pi_cache)))
         self._pi_cache[key] = pi
-        return pi
 
     def _sample_joins_per_ant(
         self, idle: int, u: np.ndarray, rng: np.random.Generator

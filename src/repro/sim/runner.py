@@ -75,7 +75,9 @@ class TrialSummary:
         return "  ".join(parts)
 
 
-def _run_one(factory: SimulatorFactory, seed: int, rounds: int, run_kwargs: dict) -> SimulationResult:
+def _run_one(
+    factory: SimulatorFactory, seed: int, rounds: int, run_kwargs: dict
+) -> SimulationResult:
     sim = factory(seed)
     return sim.run(rounds, **run_kwargs)
 
@@ -252,7 +254,9 @@ class TrialRunner:
         self.total_demand = total_demand
         self.run_kwargs = run_kwargs
 
-    def run(self, *, rounds: int | None = None, trials: int | None = None, label: str = "run") -> TrialSummary:
+    def run(
+        self, *, rounds: int | None = None, trials: int | None = None, label: str = "run"
+    ) -> TrialSummary:
         return run_trials(
             self.factory,
             rounds if rounds is not None else self.rounds,

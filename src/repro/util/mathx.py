@@ -8,6 +8,7 @@ in both tails (HPC guide: vectorize and avoid per-element Python loops).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations
 
 import numpy as np
@@ -18,6 +19,7 @@ from repro.exceptions import ConfigurationError
 __all__ = [
     "ENUMERATION_K_LIMIT",
     "FFT_K_THRESHOLD",
+    "QUADRATURE_K_THRESHOLD",
     "JOIN_KERNEL_METHODS",
     "log1pexp",
     "logistic",
@@ -26,7 +28,9 @@ __all__ = [
     "poisson_binomial_pmf",
     "fft_poisson_binomial_pmf",
     "fft_join_probabilities",
+    "quadrature_join_probabilities",
     "exact_join_probabilities",
+    "resolve_join_kernel_method",
     "enumerate_subset_join_probabilities",
 ]
 
@@ -43,8 +47,28 @@ ENUMERATION_K_LIMIT = 14
 #: 512 is a conservative choice validated by ``benchmarks/bench_join_kernel``.
 FFT_K_THRESHOLD = 512
 
+#: Task count at which :func:`exact_join_probabilities` auto-dispatches
+#: from the FFT-PMF + leave-one-out deconvolution to the loop-free
+#: Gauss-Legendre quadrature kernel.  The deconvolution back end is a
+#: ``k``-step Python recurrence (O(k) numpy work per step but ~10 us of
+#: interpreter overhead each), while the quadrature evaluates one batched
+#: ``(nodes x k)`` log/exp/matvec with no per-``k`` Python loop at all;
+#: past a few thousand tasks the recurrence overhead dominates
+#: (``benchmarks/bench_join_kernel.py`` records the crossover).
+QUADRATURE_K_THRESHOLD = 2048
+
 #: Accepted ``method`` values for :func:`exact_join_probabilities`.
-JOIN_KERNEL_METHODS = ("auto", "dp", "fft")
+JOIN_KERNEL_METHODS = ("auto", "dp", "fft", "quadrature")
+
+#: Nodes whose log-polynomial value falls below this contribute less than
+#: ``exp(-200) * k^2 ~ 1e-78`` to any join probability (see
+#: :func:`_quadrature_join`); they are skipped without touching the
+#: 1e-10 agreement bar.
+_QUADRATURE_LOG_PRUNE = -200.0
+
+#: Quadrature nodes processed per batched block.  Caps peak memory at
+#: ``block * k`` float64s (~128 MiB at k = 8192) independent of ``k``.
+_QUADRATURE_NODE_BLOCK = 1024
 
 
 def log1pexp(x: npt.ArrayLike) -> np.ndarray:
@@ -269,6 +293,134 @@ def _leave_one_out_join(u: np.ndarray, pmf: np.ndarray) -> np.ndarray:
     return pi
 
 
+@lru_cache(maxsize=16)
+def _gauss_legendre_unit(m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss-Legendre nodes and weights mapped from [-1, 1] to [0, 1].
+
+    Nodes come back sorted ascending; both arrays are marked read-only so
+    the cache can hand the same objects to every caller.
+    """
+    x, w = np.polynomial.legendre.leggauss(m)
+    t = 0.5 * (x + 1.0)
+    w = 0.5 * w
+    t.setflags(write=False)
+    w.setflags(write=False)
+    return t, w
+
+
+def _quadrature_join(u: np.ndarray) -> np.ndarray:
+    """Join distribution by Gauss-Legendre quadrature, no k-step recurrence.
+
+    Writing ``P(t) = prod_i (q_i + u_i t)`` for the Poisson-binomial
+    probability generating function, ``E[1/(1+B_j)] = integral over [0,1]
+    of E[t^{B_j}] dt`` gives
+
+    ``pi_j = u_j * integral_0^1 P(t) / (q_j + u_j t) dt``.
+
+    The integrand is the degree-(a-1) leave-one-out polynomial (``a`` the
+    number of active tasks), so Gauss-Legendre with ``ceil(a/2)`` nodes
+    integrates it *exactly* — this is the same distribution as the DP/FFT
+    deconvolution, not an approximation.  Per node ``t_s`` the integrand
+    values for all ``j`` are recovered from one shared product:
+    ``log P(t_s) - log(q_j + u_j t_s)``, evaluated as a batched
+    ``(nodes x tasks)`` ``log1p``/``exp``/matvec — loop-free in ``k``
+    (the only Python loop is over constant-size node blocks).
+
+    Working in log space keeps ``P(t_s)`` (which underflows float64 for
+    thousands of tasks) exact, and because every factor lies in (0, 1]
+    the log-sum has no cancellation: the absolute error of ``log P`` is
+    ~``eps * log2(k) * |log P|``, far inside the 1e-10 bar.  Nodes with
+    ``log P(t_s) < -200`` are skipped: each of their terms is bounded by
+    ``exp(log P(t_s)) / (q_j + u_j t_1) <= exp(-200) * O(k^2)`` (the
+    smallest node ``t_1`` is Theta(1/m^2)), i.e. ~1e-78 — and since
+    ``log P`` is increasing in ``t``, one binary search finds the cutoff
+    without evaluating the pruned nodes.
+    """
+    k = u.shape[0]
+    pi = np.zeros(k + 1, dtype=np.float64)
+    # Stay idle iff no task is marked: prod q_i, in log space so a
+    # genuinely subnormal idle probability underflows to 0 instead of
+    # poisoning the product.
+    if not np.any(u >= 1.0):
+        pi[k] = np.exp(np.sum(np.log1p(-u)))
+    active = np.nonzero(u > 0.0)[0]
+    if active.size == 0:
+        return pi
+    ua = u[active]
+    m = (active.size + 1) // 2  # 2m - 1 >= a - 1: exact for the integrand
+    t, w = _gauss_legendre_unit(m)
+    tm1 = t - 1.0  # q_j + u_j t = 1 + u_j (t - 1), stable via log1p
+
+    def log_poly(ts: float) -> float:
+        return float(np.sum(np.log1p(ts * ua)))
+
+    # Binary search the first node whose log-polynomial clears the prune
+    # threshold (log P is increasing in t).
+    lo, hi = 0, m - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if log_poly(tm1[mid]) > _QUADRATURE_LOG_PRUNE:
+            hi = mid
+        else:
+            lo = mid + 1
+    acc = np.zeros(active.size, dtype=np.float64)
+    for start in range(lo, m, _QUADRATURE_NODE_BLOCK):
+        stop = min(start + _QUADRATURE_NODE_BLOCK, m)
+        # F[s, i] = log(q_i + u_i t_s); the row sum is log P(t_s).
+        F = np.log1p(np.multiply.outer(tm1[start:stop], ua))
+        L = F.sum(axis=1)
+        # Integrand values exp(log P - log factor_j), already weighted.
+        acc += w[start:stop] @ np.exp(L[:, np.newaxis] - F)
+    pi[active] = ua * acc
+    return pi
+
+
+def quadrature_join_probabilities(u: npt.ArrayLike) -> np.ndarray:
+    """Exact join probabilities via the Gauss-Legendre quadrature kernel.
+
+    Identical distribution to :func:`exact_join_probabilities` with
+    ``method="dp"``/``"fft"`` (property-tested to 1e-10 up to k = 4096);
+    unlike those it never builds the count PMF or runs the k-step
+    deconvolution recurrence — see :func:`_quadrature_join`.  This is the
+    fastest back end past :data:`QUADRATURE_K_THRESHOLD` tasks and what
+    makes exact k = 8192..16384 counting scenarios practical.
+
+    Returns
+    -------
+    Array of shape ``(k + 1,)``: entries ``0..k-1`` are join probabilities,
+    entry ``k`` is the stay-idle probability.  Sums to 1.
+    """
+    return exact_join_probabilities(u, method="quadrature")
+
+
+def resolve_join_kernel_method(k: int, method: str = "auto") -> str:
+    """The concrete kernel back end used for ``k`` tasks under ``method``.
+
+    ``"auto"`` resolves to ``"dp"`` below :data:`FFT_K_THRESHOLD`,
+    ``"fft"`` from there up to :data:`QUADRATURE_K_THRESHOLD`, and
+    ``"quadrature"`` at or above it; concrete names resolve to
+    themselves.  Exposed so callers (e.g. the cross-trial join cache) can
+    key results by the back end that actually ran.
+
+    Raises
+    ------
+    ConfigurationError
+        (a :class:`ValueError`) if ``method`` is not one of
+        :data:`JOIN_KERNEL_METHODS`.
+    """
+    if method not in JOIN_KERNEL_METHODS:
+        raise ConfigurationError(
+            f"join kernel method must be one of {JOIN_KERNEL_METHODS}, got {method!r}"
+        )
+    if method != "auto":
+        return method
+    if k >= QUADRATURE_K_THRESHOLD:
+        return "quadrature"
+    if k >= FFT_K_THRESHOLD:
+        return "fft"
+    return "dp"
+
+
 def fft_join_probabilities(u: npt.ArrayLike) -> np.ndarray:
     """Exact join probabilities with the FFT-built full-count PMF.
 
@@ -297,39 +449,41 @@ def exact_join_probabilities(u: npt.ArrayLike, *, method: str = "auto") -> np.nd
     ``pi[j] = u[j] * E[1 / (1 + B_j)]``
 
     where ``B_j`` is the Poisson-binomial count of *other* marked tasks.
-    The full-count PMF is built either by the O(k^2) DP
-    (:func:`poisson_binomial_pmf`) or the O(k log^2 k) divide-and-conquer
-    FFT (:func:`fft_poisson_binomial_pmf`); every leave-one-out PMF is
-    then recovered by the shared stable deconvolution
-    (:func:`_leave_one_out_join`).
+    Three interchangeable back ends compute this: ``"dp"`` and ``"fft"``
+    build the full-count PMF (O(k^2) DP :func:`poisson_binomial_pmf` vs
+    O(k log^2 k) :func:`fft_poisson_binomial_pmf`) and deconvolve one
+    Bernoulli factor per task (:func:`_leave_one_out_join`, a k-step
+    recurrence); ``"quadrature"`` evaluates the equivalent Gauss-Legendre
+    integral ``pi_j = u_j * integral P(t)/(q_j + u_j t) dt`` in batched
+    matrix ops with no k-step loop (:func:`_quadrature_join`).  All three
+    are exact in law and agree to ~1e-12.
 
     Parameters
     ----------
     u:
         Per-task mark probabilities in ``[0, 1]``, shape ``(k,)``.
     method:
-        ``"dp"`` forces the DP PMF, ``"fft"`` the FFT PMF, and ``"auto"``
-        (default) picks DP below :data:`FFT_K_THRESHOLD` tasks and FFT at
-        or above it.
+        A concrete back end (``"dp"``, ``"fft"``, ``"quadrature"``) or
+        ``"auto"`` (default), which picks DP below
+        :data:`FFT_K_THRESHOLD` tasks, FFT up to
+        :data:`QUADRATURE_K_THRESHOLD`, and quadrature beyond — see
+        :func:`resolve_join_kernel_method`.
 
     Returns
     -------
     Array of shape ``(k + 1,)``: entries ``0..k-1`` are join probabilities,
     entry ``k`` is the stay-idle probability.  Sums to 1.
     """
-    if method not in JOIN_KERNEL_METHODS:
-        raise ConfigurationError(
-            f"join kernel method must be one of {JOIN_KERNEL_METHODS}, got {method!r}"
-        )
     u = _check_probability_vector(u)
     k = u.shape[0]
+    resolved = resolve_join_kernel_method(k, method)
     if k == 0:
         return np.ones(1, dtype=np.float64)
-    if method == "fft" or (method == "auto" and k >= FFT_K_THRESHOLD):
-        pmf = _fft_pmf(u)
+    if resolved == "quadrature":
+        pi = _quadrature_join(u)
     else:
-        pmf = _dp_pmf(u)
-    pi = _leave_one_out_join(u, pmf)
+        pmf = _fft_pmf(u) if resolved == "fft" else _dp_pmf(u)
+        pi = _leave_one_out_join(u, pmf)
     return _normalize_join_distribution(pi, k)
 
 

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.convergence import (
-    ConvergenceSummary,
     band_residence,
     deficit_band,
     rounds_to_band,

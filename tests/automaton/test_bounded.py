@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.automaton.bounded import BoundedMemorySpec, bounded_memory_family
+from repro.automaton.bounded import bounded_memory_family
 from repro.core.ant import AntAlgorithm
 from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
 

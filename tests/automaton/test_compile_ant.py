@@ -9,11 +9,10 @@ from repro.automaton.compile_ant import compile_ant_automaton
 from repro.automaton.fsm import FSMColonyAlgorithm
 from repro.core.ant import AntAlgorithm
 from repro.env.critical import lambda_for_critical_value
-from repro.env.demands import DemandVector, uniform_demands
+from repro.env.demands import DemandVector
 from repro.env.feedback import SigmoidFeedback
 from repro.exceptions import ConfigurationError
 from repro.sim.engine import Simulator
-from repro.types import IDLE
 
 
 class TestCompilation:

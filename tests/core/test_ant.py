@@ -30,7 +30,9 @@ class TestConstruction:
             AntAlgorithm(gamma=0.07)
 
     def test_gamma_max_override(self):
-        alg = AntAlgorithm(gamma=0.1, gamma_max=0.125, constants=AlgorithmConstants(c_s=2.5, c_d=19.0))
+        alg = AntAlgorithm(
+            gamma=0.1, gamma_max=0.125, constants=AlgorithmConstants(c_s=2.5, c_d=19.0)
+        )
         assert alg.gamma == 0.1
 
     def test_probabilities(self):

@@ -89,7 +89,11 @@ class TestUniformRowChoice:
         np.testing.assert_allclose(counts / 60_000, 1 / 3, atol=0.01)
 
     @settings(max_examples=40, deadline=None)
-    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=6), st.integers(0, 2**32 - 1))
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=6),
+        st.integers(0, 2**32 - 1),
+    )
     def test_property_valid_choice(self, rows, cols, seed):
         gen = np.random.default_rng(seed)
         mask = gen.random((rows, cols)) < 0.5

@@ -180,3 +180,100 @@ class TestScenarioCli:
         bad.write_text('{"algorithm": {"name": "nope"}}', encoding="utf-8")
         with pytest.raises(ConfigurationError):
             main(["scenario", "run", str(bad)])
+
+
+class TestSharedPiCacheThreading:
+    """run_scenario / sweep_scenario threading one cross-trial cache
+    through every counting-engine trial."""
+
+    def _binary_spec(self, **overrides) -> ScenarioSpec:
+        return counting_spec(
+            feedback={"name": "exact"}, gamma_star=None, **overrides
+        )
+
+    def test_run_scenario_trials_share_the_cache(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        summary = run_scenario(self._binary_spec(), trials=3, shared_pi_cache=cache)
+        assert summary.trials == 3
+        assert len(cache) > 0
+        assert cache.hits > 0  # later trials reused earlier trials' work
+
+    def test_run_scenario_bit_identical_with_and_without_cache(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        spec = self._binary_spec()
+        plain = run_scenario(spec, trials=3)
+        shared = run_scenario(spec, trials=3, shared_pi_cache=SharedPiCache())
+        assert np.array_equal(plain.average_regrets, shared.average_regrets)
+        assert np.array_equal(plain.max_abs_deficits, shared.max_abs_deficits)
+        assert np.array_equal(plain.switches_per_round, shared.switches_per_round)
+
+    def test_parallel_trials_bit_identical_with_cache(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        spec = self._binary_spec()
+        serial = run_scenario(spec, trials=4)
+        # The cache ships to workers as a token; each worker amortizes
+        # its own trials, and the statistics stay bit-identical.
+        parallel = run_scenario(
+            spec, trials=4, parallel=2, shared_pi_cache=SharedPiCache()
+        )
+        assert np.array_equal(serial.average_regrets, parallel.average_regrets)
+
+    def test_single_trial_accepts_cache(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        result = run_scenario(self._binary_spec(), shared_pi_cache=cache)
+        assert isinstance(result, SimulationResult)
+        assert len(cache) > 0
+
+    def test_sweep_scenario_true_builds_and_threads_a_cache(self):
+        spec = self._binary_spec()
+        plain = sweep_scenario(
+            spec, "algorithm.gamma", [0.02, 0.025], trials=2, rounds=150
+        )
+        shared = sweep_scenario(
+            spec,
+            "algorithm.gamma",
+            [0.02, 0.025],
+            trials=2,
+            rounds=150,
+            shared_pi_cache=True,
+        )
+        for a, b in zip(plain.summaries, shared.summaries):
+            assert np.array_equal(a.average_regrets, b.average_regrets)
+
+    def test_sweep_scenario_exposes_callers_cache_stats(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        sweep_scenario(
+            self._binary_spec(),
+            "algorithm.gamma",
+            [0.02, 0.025],
+            trials=2,
+            rounds=150,
+            shared_pi_cache=cache,
+        )
+        assert cache.hits + cache.misses > 0
+        assert cache.hits > 0  # signatures repeat across points/trials
+
+    def test_factory_carries_the_cache_through_pickle(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        factory = ScenarioFactory(self._binary_spec(), cache)
+        revived = pickle.loads(pickle.dumps(factory))
+        assert revived.shared_pi_cache is cache  # same process: same object
+        sim = revived(7)
+        assert sim.shared_pi_cache is cache
+
+    def test_non_counting_engine_rejects_cache(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        spec = counting_spec(engine={"name": "agent"}, gamma_star=None)
+        with pytest.raises(ConfigurationError, match="shared_pi_cache"):
+            run_scenario(spec, shared_pi_cache=SharedPiCache())

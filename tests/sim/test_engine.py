@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.ant import AntAlgorithm
 from repro.core.trivial import TrivialAlgorithm
-from repro.env.demands import StepDemandSchedule, uniform_demands
+from repro.env.demands import StepDemandSchedule
 from repro.env.feedback import ExactBinaryFeedback, SigmoidFeedback
 from repro.env.critical import lambda_for_critical_value
 from repro.exceptions import ConfigurationError

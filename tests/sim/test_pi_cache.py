@@ -198,3 +198,188 @@ class TestCacheTransparency:
     def test_rejects_unknown_kernel_method(self):
         with pytest.raises(Exception, match="join_kernel_method"):
             _binary_sim(join_kernel_method="nope")
+
+
+class TestSharedPiCacheObject:
+    """Unit behaviour of the cross-trial cache store itself."""
+
+    def test_put_get_roundtrip_readonly(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        pi = np.array([0.25, 0.25, 0.5])
+        key = SharedPiCache.key("dp", np.array([0.1, 0.2]))
+        stored = cache.put(key, pi)
+        assert not stored.flags.writeable
+        assert cache.get(key) is stored
+        np.testing.assert_array_equal(stored, pi)
+        # The stored entry is a copy: mutating the source cannot reach it.
+        pi[0] = 99.0
+        np.testing.assert_array_equal(cache.get(key), [0.25, 0.25, 0.5])
+
+    def test_hit_miss_counters(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        key = SharedPiCache.key("fft", np.array([0.5]))
+        assert cache.get(key) is None
+        cache.put(key, np.array([0.5, 0.5]))
+        assert cache.get(key) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses) == (0, 0) and len(cache) == 0
+
+    def test_fifo_eviction_bounds_capacity(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache(max_entries=2)
+        keys = [SharedPiCache.key("dp", np.array([p])) for p in (0.1, 0.2, 0.3)]
+        for key in keys:
+            cache.put(key, np.array([0.5, 0.5]))
+        assert len(cache) == 2
+        assert cache.get(keys[0]) is None  # oldest evicted
+        assert cache.get(keys[2]) is not None
+
+    def test_key_embeds_method_and_signature(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        u = np.array([0.3, 0.7])
+        assert SharedPiCache.key("dp", u) != SharedPiCache.key("fft", u)
+        assert SharedPiCache.key("dp", u) != SharedPiCache.key("dp", u + 1e-16)
+        assert SharedPiCache.key("dp", u) == SharedPiCache.key("dp", u.copy())
+
+    def test_pickle_resolves_to_same_instance_in_process(self):
+        import pickle
+
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        key = SharedPiCache.key("dp", np.array([0.4]))
+        cache.put(key, np.array([0.4, 0.6]))
+        revived = pickle.loads(pickle.dumps(cache))
+        assert revived is cache  # same live object, contents intact
+
+    def test_unknown_token_builds_fresh_process_local_cache(self):
+        # What a ProcessPoolExecutor worker does on first unpickle: no
+        # registered instance for the token, so a fresh empty cache is
+        # created and registered under it for the *next* trial.
+        from repro.sim import pi_cache as pc
+
+        first = pc._resolve_token("feedbeef" * 4, 128)
+        again = pc._resolve_token("feedbeef" * 4, 128)
+        assert first is again
+        assert len(first) == 0 and first.max_entries == 128
+
+    def test_worker_side_cache_survives_between_trials(self):
+        # Regression: between two pool.map trials a worker holds NO
+        # strong reference to the cache (the executor drops the factory
+        # once the trial returns).  A cache materialized from a token
+        # must therefore be pinned for the process lifetime, or every
+        # trial would start cold and amortization would silently vanish.
+        import gc
+
+        from repro.sim import pi_cache as pc
+        from repro.sim.pi_cache import SharedPiCache
+
+        token = "cafef00d" * 4
+        first = pc._resolve_token(token, 64)  # trial 1 unpickles
+        key = SharedPiCache.key("dp", np.array([0.3]))
+        first.put(key, np.array([0.3, 0.7]))
+        del first  # trial 1 finished; worker drops everything
+        gc.collect()
+        again = pc._resolve_token(token, 64)  # trial 2 unpickles
+        assert again.get(key) is not None, "worker cache was garbage-collected between trials"
+
+    def test_home_process_cache_is_not_leaked_by_the_registry(self):
+        # In the constructing process the registry must stay weak: once
+        # the owner drops the cache, its entries are freed.
+        import gc
+        import weakref
+
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        ref = weakref.ref(cache)
+        del cache
+        gc.collect()
+        assert ref() is None
+
+    def test_rejects_bad_capacity(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        with pytest.raises(Exception, match="max_entries"):
+            SharedPiCache(max_entries=0)
+
+
+class TestSharedPiCacheInSimulator:
+    """The counting engine reading through a cross-trial cache."""
+
+    def _shared_pair(self, **kwargs):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        make = lambda: _binary_sim(shared_pi_cache=cache, **kwargs)  # noqa: E731
+        return cache, make
+
+    def test_second_simulator_reuses_first_ones_kernel_work(self, monkeypatch):
+        counter = KernelCallCounter(monkeypatch)
+        cache, make = self._shared_pair()
+        make().run(200)
+        first_calls = counter.calls
+        assert first_calls > 0
+        sim2 = make()
+        sim2.run(200)
+        # Identical seed -> identical signatures -> every lookup that the
+        # local cache misses is served by the shared cache, zero recompute.
+        assert counter.calls == first_calls
+        assert sim2.pi_cache_misses == 0
+        assert sim2.pi_cache_shared_hits > 0
+
+    def test_stats_distinguish_shared_from_local_hits(self):
+        cache, make = self._shared_pair()
+        sim1 = make()
+        sim1.run(200)
+        assert sim1.pi_cache_shared_hits == 0  # nothing to share yet
+        assert sim1.pi_cache_local_hits > 0
+        assert sim1.pi_cache_hits == sim1.pi_cache_local_hits
+        sim2 = make()
+        sim2.run(200)
+        assert sim2.pi_cache_shared_hits > 0
+        assert sim2.pi_cache_hits == (
+            sim2.pi_cache_local_hits + sim2.pi_cache_shared_hits
+        )
+
+    def test_shared_cache_run_bit_identical_to_unshared(self):
+        cache, make = self._shared_pair()
+        make().run(150)  # warm the shared cache
+        warmed = make().run(150, trace_stride=1).trace.loads
+        plain = _binary_sim().run(150, trace_stride=1).trace.loads
+        assert np.array_equal(warmed, plain)
+
+    def test_pi_cache_false_disables_shared_layer_too(self, monkeypatch):
+        counter = KernelCallCounter(monkeypatch)
+        cache, make = self._shared_pair(pi_cache=False)
+        make().run(100)
+        make().run(100)
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+        assert counter.calls > 0
+
+    def test_methods_do_not_share_entries(self, monkeypatch):
+        from repro.sim.pi_cache import SharedPiCache
+
+        counter = KernelCallCounter(monkeypatch)
+        cache = SharedPiCache()
+        _binary_sim(shared_pi_cache=cache, join_kernel_method="dp").run(100)
+        dp_calls = counter.calls
+        _binary_sim(shared_pi_cache=cache, join_kernel_method="fft").run(100)
+        # The fft simulator saw the same signatures but must not consume
+        # dp-computed entries: its misses recompute under its own keys.
+        assert counter.calls > dp_calls
+
+    def test_quadrature_method_accepted_end_to_end(self):
+        out = _binary_sim(join_kernel_method="quadrature").run(80)
+        assert out.rounds == 80
+
+    def test_rejects_non_cache_object(self):
+        with pytest.raises(Exception, match="shared_pi_cache"):
+            _binary_sim(shared_pi_cache={"not": "a cache"})

@@ -17,16 +17,14 @@ from repro import (
     AntAlgorithm,
     CountingSimulator,
     PreciseAdversarialAlgorithm,
-    PreciseSigmoidAlgorithm,
     SigmoidFeedback,
     Simulator,
-    TrivialAlgorithm,
     lambda_for_critical_value,
     make_adversary,
     make_algorithm,
     uniform_demands,
 )
-from repro.types import IDLE, loads_from_assignment
+from repro.types import IDLE
 
 
 class TestPublicApi:
@@ -101,7 +99,10 @@ class TestCrossNoiseModels:
     def test_ant_bounded_under_every_adversary(self):
         demand = uniform_demands(n=4000, k=2)
         gamma_ad = 0.01
-        for strat in ("correct", "random", "inverted", "always_lack", "always_overload", "push_away"):
+        strategies = (
+            "correct", "random", "inverted", "always_lack", "always_overload", "push_away"
+        )
+        for strat in strategies:
             fb = AdversarialFeedback(gamma_ad=gamma_ad, strategy=make_adversary(strat))
             sim = Simulator(AntAlgorithm(gamma=0.025), demand, fb, seed=0)
             out = sim.run(6000, burn_in=3000)
@@ -111,7 +112,8 @@ class TestCrossNoiseModels:
     @pytest.mark.slow
     def test_precise_adversarial_beats_ant_on_switches(self):
         demand = uniform_demands(n=4000, k=2)
-        fb = lambda: AdversarialFeedback(gamma_ad=0.01, strategy=make_adversary("random"))  # noqa: E731
+        def fb():
+            return AdversarialFeedback(gamma_ad=0.01, strategy=make_adversary("random"))
         pa = PreciseAdversarialAlgorithm(gamma=0.025, eps=0.5)
         out_pa = Simulator(pa, demand, fb(), seed=0).run(6000, burn_in=3000)
         out_ant = Simulator(AntAlgorithm(gamma=0.025), demand, fb(), seed=0).run(

@@ -7,10 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.util.mathx as mathx
 from repro.exceptions import ConfigurationError
 from repro.util.mathx import (
     ENUMERATION_K_LIMIT,
     FFT_K_THRESHOLD,
+    QUADRATURE_K_THRESHOLD,
     enumerate_subset_join_probabilities,
     exact_join_probabilities,
     fft_join_probabilities,
@@ -19,6 +21,8 @@ from repro.util.mathx import (
     log1pexp,
     logistic,
     poisson_binomial_pmf,
+    quadrature_join_probabilities,
+    resolve_join_kernel_method,
     sigmoid_lack_probability,
 )
 
@@ -445,3 +449,147 @@ class TestExactJoinProbabilities:
             exact_join_probabilities(np.array([1.5]))
         with pytest.raises(ConfigurationError):
             exact_join_probabilities(np.array([[0.5, 0.5]]))
+
+
+class TestQuadratureJoinProbabilities:
+    """The loop-free Gauss-Legendre kernel computes the *same* law as the
+    DP/FFT deconvolution (it integrates the exact degree-(k-1) leave-one-
+    out polynomial), so all three back ends must agree to well under the
+    1e-10 acceptance bar up to k = 4096."""
+
+    PROPERTY_KS = (16, 128, 512, 1024, 4096)
+
+    @pytest.mark.parametrize("k", PROPERTY_KS)
+    def test_matches_dp_and_fft_random_u(self, k):
+        u = np.random.default_rng(k).random(k)
+        quad = exact_join_probabilities(u, method="quadrature")
+        np.testing.assert_allclose(quad, exact_join_probabilities(u, method="dp"), atol=1e-10)
+        np.testing.assert_allclose(quad, exact_join_probabilities(u, method="fft"), atol=1e-10)
+
+    @pytest.mark.parametrize("k", (16, 512, 2048))
+    def test_matches_dp_extreme_u(self, k):
+        # Exact 0/1 entries, saturated sigmoids, and the 1/2 switch point
+        # of the deconvolution — the regimes that stress log1p/exp.
+        pool = np.array([0.0, 1.0, 0.5, 1e-14, 1.0 - 1e-14, 1e-3, 1.0 - 1e-3, 0.25])
+        u = np.random.default_rng(1000 + k).choice(pool, size=k)
+        np.testing.assert_allclose(
+            exact_join_probabilities(u, method="quadrature"),
+            exact_join_probabilities(u, method="dp"),
+            atol=1e-10,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                 max_size=ENUMERATION_K_LIMIT)
+    )
+    def test_matches_enumerator(self, u):
+        # The brute-force subset oracle covers the quadrature path too.
+        u = np.array(u)
+        np.testing.assert_allclose(
+            exact_join_probabilities(u, method="quadrature"),
+            enumerate_subset_join_probabilities(u),
+            atol=1e-10,
+        )
+
+    def test_uniform_split_when_all_marked(self):
+        # All u_j = 1: B_j = k - 1 deterministically, pi_j = 1/k; the
+        # integrand degenerates to t^{k-1}, which Gauss-Legendre must
+        # integrate exactly to 1/k.
+        pi = exact_join_probabilities(np.ones(101), method="quadrature")
+        np.testing.assert_allclose(pi[:-1], 1.0 / 101, atol=1e-14)
+        assert pi[-1] == 0.0
+
+    def test_all_zero_stays_idle(self):
+        pi = exact_join_probabilities(np.zeros(50), method="quadrature")
+        assert pi[-1] == pytest.approx(1.0)
+        assert np.all(pi[:-1] == 0.0)
+
+    def test_idle_probability_is_product(self):
+        u = np.random.default_rng(3).random(64) * 0.1
+        pi = exact_join_probabilities(u, method="quadrature")
+        assert pi[-1] == pytest.approx(float(np.prod(1.0 - u)), rel=1e-12)
+
+    def test_valid_distribution_at_k8192(self):
+        u = np.random.default_rng(8192).random(8192)
+        pi = exact_join_probabilities(u, method="quadrature")
+        assert pi.shape == (8193,)
+        assert np.all(pi >= 0.0)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_wrapper_equals_explicit_method(self):
+        u = np.random.default_rng(9).random(37)
+        np.testing.assert_array_equal(
+            quadrature_join_probabilities(u),
+            exact_join_probabilities(u, method="quadrature"),
+        )
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            exact_join_probabilities(np.array([1.5]), method="quadrature")
+
+
+class TestJoinKernelMethodDispatch:
+    """Explicit selection, the auto-threshold crossovers, and the error
+    path of exact_join_probabilities' method dispatch."""
+
+    def test_resolve_concrete_names_ignore_k(self):
+        for method in ("dp", "fft", "quadrature"):
+            assert resolve_join_kernel_method(1, method) == method
+            assert resolve_join_kernel_method(10**6, method) == method
+
+    def test_resolve_auto_thresholds(self):
+        assert resolve_join_kernel_method(FFT_K_THRESHOLD - 1, "auto") == "dp"
+        assert resolve_join_kernel_method(FFT_K_THRESHOLD, "auto") == "fft"
+        assert resolve_join_kernel_method(QUADRATURE_K_THRESHOLD - 1, "auto") == "fft"
+        assert resolve_join_kernel_method(QUADRATURE_K_THRESHOLD, "auto") == "quadrature"
+
+    def test_auto_agrees_with_every_back_end_at_the_crossovers(self):
+        for k in (FFT_K_THRESHOLD - 1, FFT_K_THRESHOLD, QUADRATURE_K_THRESHOLD):
+            u = np.random.default_rng(k).random(k)
+            auto = exact_join_probabilities(u)
+            for method in ("dp", "fft", "quadrature"):
+                np.testing.assert_allclose(
+                    auto, exact_join_probabilities(u, method=method), atol=1e-10
+                )
+
+    def test_explicit_quadrature_runs_the_quadrature_core(self, monkeypatch):
+        calls = []
+        real = mathx._quadrature_join
+
+        def spy(u):
+            calls.append(u.shape[0])
+            return real(u)
+
+        monkeypatch.setattr(mathx, "_quadrature_join", spy)
+        exact_join_probabilities(np.full(8, 0.3), method="quadrature")
+        assert calls == [8]
+        exact_join_probabilities(np.full(8, 0.3), method="dp")
+        assert calls == [8]  # dp must not touch the quadrature core
+
+    def test_auto_crossover_routes_to_quadrature(self, monkeypatch):
+        # Shrink the thresholds so the crossover is observable cheaply.
+        monkeypatch.setattr(mathx, "FFT_K_THRESHOLD", 4)
+        monkeypatch.setattr(mathx, "QUADRATURE_K_THRESHOLD", 8)
+        calls = []
+        real = mathx._quadrature_join
+
+        def spy(u):
+            calls.append(u.shape[0])
+            return real(u)
+
+        monkeypatch.setattr(mathx, "_quadrature_join", spy)
+        exact_join_probabilities(np.full(7, 0.3))  # auto -> fft
+        assert calls == []
+        exact_join_probabilities(np.full(8, 0.3))  # auto -> quadrature
+        assert calls == [8]
+
+    def test_unknown_method_raises_clear_value_error(self):
+        u = np.array([0.5])
+        with pytest.raises(ValueError, match=r"join kernel method.*'magic'"):
+            exact_join_probabilities(u, method="magic")
+        # The message names every accepted method.
+        with pytest.raises(ValueError, match="auto.*dp.*fft.*quadrature"):
+            exact_join_probabilities(u, method="magic")
+        with pytest.raises(ValueError, match="join kernel method"):
+            resolve_join_kernel_method(16, "nope")

@@ -42,7 +42,9 @@ class TestSpawnGenerators:
 
     def test_independent_streams(self):
         a, b = spawn_generators(0, 2)
-        assert a.integers(1 << 30) != b.integers(1 << 30) or a.integers(1 << 30) != b.integers(1 << 30)
+        assert a.integers(1 << 30) != b.integers(1 << 30) or a.integers(1 << 30) != b.integers(
+            1 << 30
+        )
 
     def test_reproducible(self):
         xs = [g.integers(1 << 30) for g in spawn_generators(9, 3)]
