@@ -17,8 +17,11 @@ PMF at k = 1024; a heterogeneous k = 1024 counting scenario runs faster
 on the FFT + pi-cache path than on plain DP with the cache off; the
 loop-free Gauss-Legendre quadrature kernel beats both the DP and the
 FFT deconvolution end to end at k = 8192 (and powers an exact k = 8192
-counting run); and a shared cross-trial pi cache amortizes kernel work
-across the trials of a multi-trial scenario run.
+counting run); a shared cross-trial pi cache amortizes kernel work
+across the trials of a multi-trial scenario run; and a persistent
+:class:`~repro.store.DiskPiCache` tier lets a *second session* on the
+same machine replace kernel calls with memory-mapped reads of the first
+session's distributions (``cross_session_amortization``).
 
 The JSON record also carries a ``floors`` table mapping dotted record
 paths to the minimum acceptable value of each speedup ratio; the CI
@@ -31,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 
 import numpy as np
@@ -42,6 +46,7 @@ from repro.env.feedback import ExactBinaryFeedback, SigmoidFeedback
 from repro.scenario import ScenarioSpec, run_scenario
 from repro.sim.counting import CountingSimulator
 from repro.sim.pi_cache import SharedPiCache
+from repro.store import DiskPiCache
 from repro.util.mathx import (
     enumerate_subset_join_probabilities,
     exact_join_probabilities,
@@ -65,6 +70,15 @@ SHARED_CACHE_SPEEDUP_FLOOR = 0.8
 #: work.  Unlike the wall-time ratio this is structural (it depends only
 #: on the trajectories, not the machine), so the regression gate pins it.
 SHARED_CACHE_AMORTIZATION_FLOOR = 0.05
+#: In a *second session* against the same DiskPiCache, every signature
+#: the first session computed is on disk, so the fraction of
+#: memory-missing lookups served from disk is structurally ~1.0 — the
+#: floor leaves room only for pathological cache interleavings.
+CROSS_SESSION_AMORTIZATION_FLOOR = 0.9
+#: The second session replaces kernel calls with mmap'd file reads, so
+#: it must at minimum not be slower (wall-time floors stay conservative
+#: on noisy CI machines; the structural guarantee is the amortization).
+CROSS_SESSION_SPEEDUP_FLOOR = 0.8
 ENUM_K = 12
 KERNEL_KS = (12, 64, 256, 1024)
 FFT_K = 1024
@@ -324,8 +338,61 @@ def _shared_cache_comparison() -> dict:
     }
 
 
+def _cross_session_comparison() -> dict:
+    """Run the same multi-trial scenario in two simulated *sessions*
+    sharing one on-disk pi cache (fresh in-memory tiers each, as two
+    processes on one machine would have); assert bit-identical results
+    and that the second session is served from disk instead of paying
+    the kernel again."""
+    spec = _shared_sweep_spec()
+    with tempfile.TemporaryDirectory() as tmp:
+        first_cache = SharedPiCache(disk=DiskPiCache(tmp))
+        t0 = time.perf_counter()
+        first = run_scenario(
+            spec, trials=SHARED_SWEEP_TRIALS, keep_results=False, shared_pi_cache=first_cache
+        )
+        t_first = time.perf_counter() - t0
+        assert first_cache.disk.writes > 0
+
+        second_cache = SharedPiCache(disk=DiskPiCache(tmp))
+        t0 = time.perf_counter()
+        second = run_scenario(
+            spec, trials=SHARED_SWEEP_TRIALS, keep_results=False, shared_pi_cache=second_cache
+        )
+        t_second = time.perf_counter() - t0
+
+    assert np.array_equal(first.average_regrets, second.average_regrets), (
+        "disk-cache-served session is not bit-identical to the cold session"
+    )
+    assert second_cache.disk_hits > 0, "second session never hit the disk cache"
+    amortized = second_cache.disk_hits / (second_cache.disk_hits + second_cache.misses)
+    assert amortized >= CROSS_SESSION_AMORTIZATION_FLOOR, (
+        f"disk pi cache amortized only {amortized:.1%} of second-session lookups"
+    )
+    speedup = t_first / t_second
+    assert speedup >= CROSS_SESSION_SPEEDUP_FLOOR, (
+        f"disk pi cache slowed the second session down ({speedup:.2f}x)"
+    )
+    return {
+        "k": SHARED_SWEEP_K,
+        "trials": SHARED_SWEEP_TRIALS,
+        "rounds": SHARED_SWEEP_ROUNDS,
+        "first_session_seconds": t_first,
+        "second_session_seconds": t_second,
+        "second_session_speedup": speedup,
+        "disk_entries_written": first_cache.disk.writes,
+        "second_session_disk_hits": second_cache.disk_hits,
+        "second_session_kernel_misses": second_cache.misses,
+        "cross_session_amortization": amortized,
+    }
+
+
 def test_quadrature_beats_deconvolution_at_k8192():
     _quadrature_comparison()
+
+
+def test_disk_pi_cache_amortizes_across_sessions():
+    _cross_session_comparison()
 
 
 def test_counting_engine_k8192_exact_run():
@@ -386,6 +453,13 @@ def collect() -> dict:
     record["counting_engine_xl"] = {f"k={XL_ENGINE_K}": _xl_engine_run()}
     record["shared_pi_cache_sweep"] = {f"k={SHARED_SWEEP_K}": _shared_cache_comparison()}
 
+    # Cross-session amortization: a second "session" (fresh in-memory
+    # caches, same DiskPiCache root) replaces kernel work with mmap'd
+    # reads of the distributions the first session persisted.
+    record["disk_pi_cache_cross_session"] = {
+        f"k={SHARED_SWEEP_K}": _cross_session_comparison()
+    }
+
     # Floors consumed by benchmarks/check_regression.py: dotted record
     # paths -> minimum acceptable value in a fresh CI run.
     record["floors"] = {
@@ -397,6 +471,12 @@ def collect() -> dict:
         f"shared_pi_cache_sweep.k={SHARED_SWEEP_K}.speedup": SHARED_CACHE_SPEEDUP_FLOOR,
         f"shared_pi_cache_sweep.k={SHARED_SWEEP_K}.cross_trial_amortization": (
             SHARED_CACHE_AMORTIZATION_FLOOR
+        ),
+        f"disk_pi_cache_cross_session.k={SHARED_SWEEP_K}.cross_session_amortization": (
+            CROSS_SESSION_AMORTIZATION_FLOOR
+        ),
+        f"disk_pi_cache_cross_session.k={SHARED_SWEEP_K}.second_session_speedup": (
+            CROSS_SESSION_SPEEDUP_FLOOR
         ),
     }
     return record
@@ -436,6 +516,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{sh['speedup']:.2f}x, {sh['shared_cache_hits']} shared hits / "
         f"{sh['shared_cache_misses']} misses "
         f"({100 * sh['cross_trial_amortization']:.0f}% amortized)"
+    )
+    cs = record["disk_pi_cache_cross_session"][f"k={SHARED_SWEEP_K}"]
+    print(
+        f"disk pi cache second session at k={SHARED_SWEEP_K}: "
+        f"{cs['second_session_speedup']:.2f}x end to end, "
+        f"{cs['second_session_disk_hits']} disk hits / "
+        f"{cs['second_session_kernel_misses']} kernel misses "
+        f"({100 * cs['cross_session_amortization']:.0f}% amortized across sessions)"
     )
     print(f"wrote {args.json}")
     return 0

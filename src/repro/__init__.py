@@ -50,6 +50,8 @@ Layout
                       Precise Adversarial, trivial baseline)
 ``repro.sim``         simulation engines, metrics, multi-trial runner
 ``repro.scenario``    declarative specs, registries, ``run_scenario``
+``repro.store``       disk-backed result store: resumable sweeps,
+                      persistent join-kernel caches
 ``repro.automaton``   finite-state-machine substrate (Assumption 2.2,
                       Theorem 3.3 memory-bounded algorithm family)
 ``repro.analysis``    statistics, oscillation detection, theorem bounds
@@ -64,8 +66,10 @@ from repro.exceptions import (
     ConfigurationError,
     AssumptionViolation,
     SimulationError,
+    SweepInterrupted,
     AnalysisError,
 )
+from repro.store import DiskPiCache, ResultStore
 from repro.env import (
     make_feedback,
     make_demand,
@@ -151,7 +155,11 @@ __all__ = [
     "ConfigurationError",
     "AssumptionViolation",
     "SimulationError",
+    "SweepInterrupted",
     "AnalysisError",
+    # store
+    "ResultStore",
+    "DiskPiCache",
     # env
     "DemandVector",
     "DemandSchedule",

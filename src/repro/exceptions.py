@@ -36,6 +36,18 @@ class SimulationError(ReproError, RuntimeError):
     """
 
 
+class SweepInterrupted(ReproError, RuntimeError):
+    """A store-backed sweep stopped before computing every point.
+
+    Raised by ``sweep_scenario(..., max_new_points=N)`` once the budget
+    of newly computed points is exhausted.  Completed points are already
+    committed to the store, so re-running the same sweep with
+    ``resume=True`` continues from where it stopped — this is how the
+    interrupted-sweep CI smoke simulates (deterministically) a sweep
+    killed mid-run.
+    """
+
+
 class AnalysisError(ReproError, ValueError):
     """An analysis routine received data it cannot interpret.
 

@@ -1,6 +1,6 @@
 """Experiment harness: regenerates every figure / theorem claim.
 
-One function per experiment (E1-E15, see DESIGN.md for the index); each
+One function per experiment (E1-E16, see DESIGN.md for the index); each
 returns an :class:`~repro.experiments.base.ExperimentResult` whose
 ``report()`` prints the regenerated series/tables and the
 measured-vs-theory verdicts.  ``python -m repro.experiments run E3``

@@ -7,18 +7,39 @@ Usage::
     repro-experiments run all [--scale quick]
     repro-experiments scenario run <file.json> [--rounds N] [--trials T]
                                                [--parallel P] [--seed S]
+    repro-experiments scenario sweep <file.json> --param algorithm.gamma
+        --values 0.02,0.03 [--trials T] [--rounds N] [--parallel P]
+        [--store DIR] [--resume] [--shared-pi-cache]
+        [--max-points N] [--out results.json]
     repro-experiments scenario show <file.json>
     repro-experiments scenario components
+    repro-experiments store ls <dir>
+    repro-experiments store info <dir>
+    repro-experiments store gc <dir>
+
+``scenario sweep --store DIR`` commits every completed point to the
+store; adding ``--resume`` serves already-committed points from disk
+(bit-identical to recomputing them) and executes only the missing ones.
+``--max-points N`` deterministically simulates an interrupted sweep: the
+process stops with exit status 3 once N new points were computed — the
+committed prefix stays resumable.  ``--out`` writes the aggregate series
+as canonical JSON, byte-comparable across resumed and fresh runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
+from typing import Any
 
 from repro.experiments.base import get_experiment, list_experiments
+
+#: Exit status of a sweep stopped by ``--max-points`` (the interrupted-
+#: sweep smoke asserts it; distinct from argparse's 2 and errors' 1).
+SWEEP_INTERRUPTED_EXIT = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,9 +62,55 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--trials", type=int, default=1, help="independent trials")
     srun.add_argument("--parallel", type=int, default=0, help="worker processes")
     srun.add_argument("--seed", type=int, default=None, help="override spec.seed")
+    ssweep = ssub.add_parser(
+        "sweep", help="sweep one spec parameter (store-backed and resumable)"
+    )
+    ssweep.add_argument("file", help="path to a ScenarioSpec JSON file")
+    ssweep.add_argument(
+        "--param", required=True, help="dotted component param, e.g. algorithm.gamma"
+    )
+    ssweep.add_argument(
+        "--values",
+        required=True,
+        help="comma-separated values (each parsed as JSON, else kept as string)",
+    )
+    ssweep.add_argument("--trials", type=int, default=5, help="trials per point")
+    ssweep.add_argument("--rounds", type=int, default=None, help="override spec.rounds")
+    ssweep.add_argument("--parallel", type=int, default=0, help="worker processes")
+    ssweep.add_argument(
+        "--store", default=None, help="result-store root; completed points are committed here"
+    )
+    ssweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve points already committed to --store instead of recomputing",
+    )
+    ssweep.add_argument(
+        "--shared-pi-cache",
+        action="store_true",
+        help="share join-kernel work across trials/points (persistent with --store)",
+    )
+    ssweep.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help=f"stop with exit status {SWEEP_INTERRUPTED_EXIT} after computing N new points",
+    )
+    ssweep.add_argument(
+        "--out", default=None, help="write the aggregate series as canonical JSON"
+    )
     sshow = ssub.add_parser("show", help="validate a spec file and print it normalized")
     sshow.add_argument("file", help="path to a ScenarioSpec JSON file")
     ssub.add_parser("components", help="list registered component names")
+
+    storep = sub.add_parser("store", help="inspect / maintain a result store")
+    stsub = storep.add_subparsers(dest="store_command", required=True)
+    sls = stsub.add_parser("ls", help="list committed records")
+    sls.add_argument("root", help="store root directory")
+    sinfo = stsub.add_parser("info", help="record/cache counts and sizes")
+    sinfo.add_argument("root", help="store root directory")
+    sgc = stsub.add_parser("gc", help="sweep temp files, orphans, broken records")
+    sgc.add_argument("root", help="store root directory")
     return parser
 
 
@@ -51,6 +118,142 @@ def _load_spec(path: str):
     from repro.scenario import ScenarioSpec
 
     return ScenarioSpec.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _parse_values(text: str) -> list[Any]:
+    """Sweep values from the command line.
+
+    A string that parses as one JSON array is taken verbatim (the only
+    way to sweep list-valued params: ``--values '[[1,2],[3,4]]'``);
+    otherwise it is split on commas with each item parsed as JSON when
+    possible and kept as a string when not (``--values 0.02,0.04`` /
+    ``--values powerlaw,lognormal``).
+    """
+    try:
+        parsed = json.loads(text)
+        if isinstance(parsed, list):
+            return parsed
+    except ValueError:
+        pass
+    values: list[Any] = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        try:
+            values.append(json.loads(item))
+        except ValueError:
+            values.append(item)
+    return values
+
+
+def _sweep_out_payload(result) -> dict[str, Any]:
+    """The ``--out`` JSON: everything deterministic, nothing incidental.
+
+    Per-trial arrays and aggregate series round-trip exactly through
+    Python float repr, so a resumed run and an uninterrupted run of the
+    same sweep produce byte-identical files — which is precisely what
+    the interrupted-sweep CI smoke diffs.  Resume markers and timings
+    are deliberately excluded (they legitimately differ between runs).
+    """
+    points = []
+    for value, s in zip(result.values, result.summaries):
+        points.append(
+            {
+                "value": value,
+                "label": s.label,
+                "trials": s.trials,
+                "rounds": s.rounds,
+                "average_regrets": [float(x) for x in s.average_regrets],
+                "closenesses": (
+                    None if s.closenesses is None else [float(x) for x in s.closenesses]
+                ),
+                "max_abs_deficits": [float(x) for x in s.max_abs_deficits],
+                "switches_per_round": [float(x) for x in s.switches_per_round],
+            }
+        )
+    return {
+        "parameter": result.parameter,
+        "values": result.values,
+        "points": points,
+        "series": {
+            "mean_average_regret": [s.mean_average_regret for s in result.summaries],
+            "mean_max_abs_deficit": [s.mean_max_abs_deficit for s in result.summaries],
+            "mean_switches_per_round": [
+                s.mean_switches_per_round for s in result.summaries
+            ],
+        },
+    }
+
+
+def _scenario_sweep_main(args: argparse.Namespace) -> int:
+    from repro.exceptions import SweepInterrupted
+    from repro.scenario import sweep_scenario
+
+    spec = _load_spec(args.file)
+    values = _parse_values(args.values)
+    t0 = time.perf_counter()
+    try:
+        result = sweep_scenario(
+            spec,
+            args.param,
+            values,
+            rounds=args.rounds,
+            trials=args.trials,
+            parallel=args.parallel,
+            store=args.store,
+            resume=args.resume,
+            shared_pi_cache=args.shared_pi_cache or None,
+            max_new_points=args.max_points,
+        )
+    except SweepInterrupted as exc:
+        print(f"interrupted: {exc}")
+        return SWEEP_INTERRUPTED_EXIT
+    dt = time.perf_counter() - t0
+
+    for i, summary in enumerate(result.summaries):
+        origin = ""
+        if result.resumed is not None:
+            origin = "[cached] " if result.resumed[i] else "[ran]    "
+        print(f"{origin}{summary.describe()}")
+    print(result.table())
+    if result.resumed is not None:
+        print(
+            f"({sum(result.resumed)} of {len(result.resumed)} points served "
+            f"from {args.store})"
+        )
+    if args.out:
+        payload = json.dumps(_sweep_out_payload(result), indent=2, sort_keys=True)
+        Path(args.out).write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    print(f"(sweep took {dt:.1f}s)")
+    return 0
+
+
+def _store_main(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.root)
+    if args.store_command == "ls":
+        count = 0
+        for digest, meta in store.iter_records():
+            label = meta.get("label", "?")
+            coord = f"{meta.get('parameter', '?')}={meta.get('value', '?')}"
+            print(
+                f"{digest[:12]}  {label:<24} {coord:<28} "
+                f"trials={meta.get('trials', '?')} rounds={meta.get('rounds', '?')}"
+            )
+            count += 1
+        print(f"{count} record(s) in {store.root}")
+        return 0
+    if args.store_command == "info":
+        print(json.dumps(store.info(), indent=2, sort_keys=True))
+        return 0
+    removed = store.gc()
+    total = sum(removed.values())
+    details = ", ".join(f"{k}={v}" for k, v in sorted(removed.items()))
+    print(f"gc removed {total} file(s) ({details}) from {store.root}")
+    return 0
 
 
 def _scenario_main(args: argparse.Namespace) -> int:
@@ -73,6 +276,9 @@ def _scenario_main(args: argparse.Namespace) -> int:
         ):
             print(f"{kind:>12}: {', '.join(names)}")
         return 0
+
+    if args.scenario_command == "sweep":
+        return _scenario_sweep_main(args)
 
     spec = _load_spec(args.file)
     if args.scenario_command == "show":
@@ -110,6 +316,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "scenario":
         return _scenario_main(args)
+    if args.command == "store":
+        return _store_main(args)
     if args.command == "list":
         for eid, title in list_experiments():
             print(f"{eid:>4}  {title}")

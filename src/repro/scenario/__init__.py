@@ -36,9 +36,17 @@ from repro.scenario.spec import (
     PopulationSpec,
     ScenarioSpec,
 )
-from repro.scenario.runner import ScenarioFactory, run_scenario, sweep_scenario
+from repro.scenario.runner import (
+    SEED_MODES,
+    ScenarioFactory,
+    run_scenario,
+    sweep_point_digest,
+    sweep_scenario,
+)
 
 __all__ = [
+    "SEED_MODES",
+    "sweep_point_digest",
     "AlgorithmSpec",
     "FeedbackSpec",
     "DemandSpec",

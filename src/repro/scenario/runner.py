@@ -21,22 +21,55 @@ deficit signatures repeat reuse each other's join-kernel work.  The
 cache is runtime context, never spec data; results are bit-identical
 with or without it, serial or process-parallel (workers amortize
 per-process — see :mod:`repro.sim.pi_cache`).
+
+Sweeps are additionally *resumable*: pass ``store=`` (a
+:class:`~repro.store.ResultStore` or a directory path) and every
+completed point is committed to disk as an atomic record keyed by a
+content digest of everything that determines its result — the derived
+spec's JSON, the swept parameter and value, horizon, trial count, run
+params, and the point's seed root.  Re-invoking the same sweep skips
+committed points and returns aggregates *bit-identical* to an
+uninterrupted run (float64 arrays round-trip exactly); only missing
+points execute.  Point seed roots are themselves digest-derived by
+default (``seed_mode="digest"``): a pure function of the point's own
+identity, so inserting a value into a sweep cannot silently reshuffle
+the seeds — and therefore the results — of existing points.
+``seed_mode="index"`` restores the legacy index-based derivation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable
 
-from repro.exceptions import ConfigurationError
+import numpy as np
+
+from repro._version import __version__
+from repro.exceptions import ConfigurationError, SweepInterrupted
 from repro.sim.engine import SimulationResult
 from repro.sim.pi_cache import SharedPiCache
-from repro.sim.runner import SweepResult, TrialSummary, run_trials, sweep
+from repro.sim.runner import SweepResult, TrialSummary, run_trials
+from repro.store import STORE_FORMAT, ResultStore, digest_hex, seed_from_digest
+from repro.store.records import Record
 from repro.util.validation import check_integer
 
 from repro.scenario.spec import ScenarioSpec
 
-__all__ = ["ScenarioFactory", "run_scenario", "sweep_scenario"]
+__all__ = [
+    "ScenarioFactory",
+    "run_scenario",
+    "sweep_scenario",
+    "sweep_point_digest",
+    "SEED_MODES",
+]
+
+#: How sweep-point seed roots are derived.  ``"digest"`` (default) folds
+#: the point's content digest into the root seed — insertion-stable and
+#: required for sound resume; ``"index"`` is the legacy
+#: ``SeedSequence(seed).spawn(len(values))`` derivation kept for
+#: reproducing pre-store sweep results.
+SEED_MODES = ("digest", "index")
 
 
 @dataclass(frozen=True)
@@ -134,6 +167,109 @@ def run_scenario(
     )
 
 
+def sweep_point_digest(
+    derived_spec: ScenarioSpec,
+    parameter: str,
+    value: Any,
+    *,
+    rounds: int,
+    trials: int,
+    run_params: dict[str, Any],
+    point_seed: int,
+) -> str:
+    """Content digest keying one sweep point's persisted record.
+
+    Covers everything that determines the point's summary: the derived
+    spec (components, engine, base seed), the swept coordinate, the
+    horizon and trial count, the merged run params, and the point's seed
+    root.  Two sweep invocations that agree on all of these are
+    interchangeable — their records may be shared — and any difference
+    produces a different digest, so stale reuse is structurally
+    impossible.
+    """
+    return digest_hex(
+        {
+            "format": STORE_FORMAT,
+            "kind": "sweep_point",
+            "spec": derived_spec.to_dict(),
+            "parameter": parameter,
+            "value": value,
+            "rounds": rounds,
+            "trials": trials,
+            "run_params": run_params,
+            "point_seed": point_seed,
+        }
+    )
+
+
+def _digest_point_seed(
+    derived_spec: ScenarioSpec, parameter: str, value: Any, root_seed: int
+) -> int:
+    """Insertion-stable seed root: a function of the point, not its index.
+
+    Deliberately excludes ``rounds`` / ``trials`` / run params: like the
+    index derivation, the seed root identifies the *point*, and the
+    trial runner spawns per-trial seeds beneath it — so extending a
+    sweep's horizon or trial count later keeps the point on the same
+    stream family.
+    """
+    seed_key = {
+        "format": STORE_FORMAT,
+        "kind": "sweep_point_seed",
+        "spec": derived_spec.to_dict(),
+        "parameter": parameter,
+        "value": value,
+    }
+    return seed_from_digest(digest_hex(seed_key), root_seed)
+
+
+def _summary_record(
+    summary: TrialSummary, parameter: str, value: Any
+) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """``(arrays, meta)`` persisting a point summary (results excluded)."""
+    arrays: dict[str, np.ndarray] = {
+        "average_regrets": summary.average_regrets,
+        "max_abs_deficits": summary.max_abs_deficits,
+        "switches_per_round": summary.switches_per_round,
+    }
+    if summary.closenesses is not None:
+        arrays["closenesses"] = summary.closenesses
+    meta = {
+        "kind": "sweep_point",
+        "label": summary.label,
+        "trials": summary.trials,
+        "rounds": summary.rounds,
+        "parameter": parameter,
+        "value": value,
+        "created_unix": time.time(),
+        "repro_version": __version__,
+    }
+    return arrays, meta
+
+
+def _summary_from_record(
+    record: Record, parameter: str, value: Any
+) -> TrialSummary | None:
+    """Rebuild the point summary, or ``None`` when the record is foreign."""
+    meta, arrays = record.meta, record.arrays
+    if meta.get("kind") != "sweep_point":
+        return None
+    try:
+        return TrialSummary(
+            label=str(meta["label"]),
+            trials=int(meta["trials"]),
+            rounds=int(meta["rounds"]),
+            average_regrets=arrays["average_regrets"],
+            closenesses=arrays.get("closenesses"),
+            max_abs_deficits=arrays["max_abs_deficits"],
+            switches_per_round=arrays["switches_per_round"],
+            results=[],
+            params={parameter: value},
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
 def sweep_scenario(
     spec: ScenarioSpec,
     parameter: str,
@@ -144,6 +280,10 @@ def sweep_scenario(
     parallel: int = 0,
     keep_results: bool = False,
     shared_pi_cache: SharedPiCache | bool | None = None,
+    store: "ResultStore | str | None" = None,
+    resume: bool = True,
+    seed_mode: str = "digest",
+    max_new_points: int | None = None,
     **run_overrides: Any,
 ) -> SweepResult:
     """Sweep one spec parameter (dotted path) over ``values``.
@@ -158,7 +298,28 @@ def sweep_scenario(
     deficit signatures amortize the kernel across trials); passing a
     :class:`~repro.sim.pi_cache.SharedPiCache` instance instead lets the
     caller inspect its hit statistics afterwards.  Either way the sweep
-    statistics are bit-identical to an uncached sweep.
+    statistics are bit-identical to an uncached sweep.  When a ``store``
+    is also given, ``shared_pi_cache=True`` roots the cache's persistent
+    disk tier inside the store, so join-kernel work is amortized across
+    sweeps and sessions, not just trials.
+
+    Store-backed sweeps (``store=`` a :class:`~repro.store.ResultStore`
+    or directory path) persist every completed point as an atomic record
+    keyed by :func:`sweep_point_digest`.  With ``resume=True`` (default)
+    committed points are served from disk — bit-identical to a fresh
+    run — and only missing points execute; ``resume=False`` recomputes
+    (and overwrites) every record.  ``SweepResult.resumed`` reports, per
+    point, which path it took.  ``max_new_points`` bounds how many
+    points may be *computed* before the sweep raises
+    :class:`~repro.exceptions.SweepInterrupted` (the deterministic
+    stand-in for a killed process in the resume tests and CI smoke).
+
+    ``seed_mode`` selects the point seed-root derivation (see
+    :data:`SEED_MODES`).  The default ``"digest"`` derivation is
+    insertion-stable: adding a value to a sweep leaves every other
+    point's seeds — and records — untouched.  The legacy ``"index"``
+    derivation (``SeedSequence(seed).spawn(len(values))``) reshuffles
+    seeds when a value is inserted, so it refuses to run store-backed.
 
     Only component params (``"component.param"`` paths) are sweepable:
     the trial runner controls the horizon and seed derivation itself,
@@ -171,22 +332,106 @@ def sweep_scenario(
             f"top-level field {parameter!r} is fixed per sweep (the trial runner "
             "supplies rounds and per-trial seeds) — pass it as a keyword instead"
         )
+    if seed_mode not in SEED_MODES:
+        raise ConfigurationError(f"seed_mode must be one of {SEED_MODES}, got {seed_mode!r}")
+    values = list(values)
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
     rounds = check_integer("rounds", spec.rounds if rounds is None else rounds, minimum=1)
+    trials = check_integer("trials", trials, minimum=1)
+    if max_new_points is not None:
+        max_new_points = check_integer("max_new_points", max_new_points, minimum=0)
+
+    if store is not None:
+        store = ResultStore.coerce(store)
+        if keep_results:
+            raise ConfigurationError(
+                "store-backed sweeps persist summary records only, so resumed "
+                "points can never return full SimulationResults — pass "
+                "keep_results=False (or drop the store)"
+            )
+        if seed_mode == "index":
+            raise ConfigurationError(
+                "seed_mode='index' derives point seeds from sweep positions, so "
+                "records of one sweep would silently mismatch a reordered or "
+                "extended re-invocation; store-backed sweeps require "
+                "seed_mode='digest'"
+            )
+
     if shared_pi_cache is True:
-        shared_pi_cache = SharedPiCache()
+        disk = store.pi_cache() if store is not None else None
+        shared_pi_cache = SharedPiCache(disk=disk)
     elif shared_pi_cache is False:
         shared_pi_cache = None
+
+    run_kwargs = {**spec.run_params, **run_overrides}
     gamma_star, total_demand = _closeness_inputs(spec)
-    return sweep(
-        parameter,
-        values,
-        lambda value: ScenarioFactory(spec.with_param(parameter, value), shared_pi_cache),
-        rounds,
-        trials,
-        seed=spec.seed,
-        gamma_star_for=None if gamma_star is None else (lambda value: gamma_star),
-        total_demand=total_demand,
-        processes=parallel,
-        keep_results=keep_results,
-        **{**spec.run_params, **run_overrides},
+    derived = [spec.with_param(parameter, value) for value in values]
+
+    if seed_mode == "index":
+        root = np.random.SeedSequence(spec.seed)
+        point_seeds = [int(s.generate_state(1)[0]) for s in root.spawn(len(values))]
+    else:
+        point_seeds = [
+            _digest_point_seed(dspec, parameter, value, spec.seed)
+            for dspec, value in zip(derived, values)
+        ]
+
+    digests: list[str | None] = [None] * len(values)
+    if store is not None:
+        digests = [
+            sweep_point_digest(
+                dspec,
+                parameter,
+                value,
+                rounds=rounds,
+                trials=trials,
+                run_params=run_kwargs,
+                point_seed=point_seed,
+            )
+            for dspec, value, point_seed in zip(derived, values, point_seeds)
+        ]
+
+    summaries: list[TrialSummary] = []
+    resumed: list[bool] = []
+    new_points = 0
+    for dspec, value, point_seed, digest in zip(derived, values, point_seeds, digests):
+        if store is not None and resume:
+            record = store.read_record(digest)
+            summary = None if record is None else _summary_from_record(record, parameter, value)
+            if summary is not None:
+                summaries.append(summary)
+                resumed.append(True)
+                continue
+        if max_new_points is not None and new_points >= max_new_points:
+            raise SweepInterrupted(
+                f"sweep over {parameter!r} stopped after computing "
+                f"{new_points} new point(s) (max_new_points={max_new_points}); "
+                f"{len(summaries)} of {len(values)} points are committed — "
+                "re-run with resume=True to continue"
+            )
+        summary = run_trials(
+            ScenarioFactory(dspec, shared_pi_cache),
+            rounds,
+            trials,
+            seed=point_seed,
+            label=f"{parameter}={value}",
+            gamma_star=gamma_star,
+            total_demand=total_demand,
+            processes=parallel,
+            keep_results=keep_results,
+            params={parameter: value},
+            **run_kwargs,
+        )
+        new_points += 1
+        if store is not None:
+            arrays, meta = _summary_record(summary, parameter, value)
+            store.write_record(digest, arrays, meta)
+        summaries.append(summary)
+        resumed.append(False)
+    return SweepResult(
+        parameter=parameter,
+        values=values,
+        summaries=summaries,
+        resumed=resumed if store is not None else None,
     )

@@ -99,9 +99,12 @@ class CountingSimulator:
     distribution, and cached runs are bit-identical to uncached ones.
     Cache effectiveness is reported by :attr:`pi_cache_local_hits`
     (this simulator's own cache), :attr:`pi_cache_shared_hits` (served
-    by the shared cache) and :attr:`pi_cache_misses` (kernel actually
-    ran); :attr:`pi_cache_hits` is their hit total (all reset at each
-    :meth:`run`).  ``pi_cache=False`` disables both layers.
+    by the shared cache's memory tier), :attr:`pi_cache_disk_hits`
+    (served by its persistent :class:`~repro.store.pi_disk.DiskPiCache`
+    tier — kernel work paid for in an earlier process or session) and
+    :attr:`pi_cache_misses` (kernel actually ran); :attr:`pi_cache_hits`
+    is their hit total (all reset at each :meth:`run`).
+    ``pi_cache=False`` disables every layer.
 
     Raises
     ------
@@ -144,6 +147,7 @@ class CountingSimulator:
         self._pi_cache: dict[bytes, np.ndarray] = {}
         self.pi_cache_local_hits = 0
         self.pi_cache_shared_hits = 0
+        self.pi_cache_disk_hits = 0
         self.pi_cache_misses = 0
         if not isinstance(algorithm, (AntAlgorithm, TrivialAlgorithm, PreciseSigmoidAlgorithm)):
             raise ConfigurationError(
@@ -187,8 +191,10 @@ class CountingSimulator:
     # ------------------------------------------------------------------
     @property
     def pi_cache_hits(self) -> int:
-        """Total cache hits (local + shared) since the last :meth:`run`."""
-        return self.pi_cache_local_hits + self.pi_cache_shared_hits
+        """Total cache hits (local + shared + disk) since the last :meth:`run`."""
+        return (
+            self.pi_cache_local_hits + self.pi_cache_shared_hits + self.pi_cache_disk_hits
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -219,6 +225,7 @@ class CountingSimulator:
         self._n_current = int(self.population.population_at(0))
         self.pi_cache_local_hits = 0
         self.pi_cache_shared_hits = 0
+        self.pi_cache_disk_hits = 0
         self.pi_cache_misses = 0
 
         if isinstance(self.algorithm, AntAlgorithm):
@@ -399,9 +406,12 @@ class CountingSimulator:
         shared_key = None
         if self.shared_pi_cache is not None:
             shared_key = SharedPiCache.key(self._resolved_kernel_method, u)
-            pi = self.shared_pi_cache.get(shared_key)
+            pi, tier = self.shared_pi_cache.fetch(shared_key)
             if pi is not None:
-                self.pi_cache_shared_hits += 1
+                if tier == "disk":
+                    self.pi_cache_disk_hits += 1
+                else:
+                    self.pi_cache_shared_hits += 1
                 self._store_local(key, pi)
                 return pi
         self.pi_cache_misses += 1

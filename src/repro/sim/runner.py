@@ -155,11 +155,18 @@ def run_trials(
 
 @dataclass
 class SweepResult:
-    """Summaries of a one-dimensional parameter sweep."""
+    """Summaries of a one-dimensional parameter sweep.
+
+    ``resumed`` is populated by store-backed sweeps
+    (:func:`repro.scenario.sweep_scenario` with ``store=``): one flag
+    per point, ``True`` when the summary was served from a persisted
+    record instead of being recomputed.  Plain sweeps leave it ``None``.
+    """
 
     parameter: str
     values: list[Any]
     summaries: list[TrialSummary]
+    resumed: list[bool] | None = None
 
     def series(self, attribute: str = "mean_average_regret") -> np.ndarray:
         """Extract one summary attribute per sweep point as an array."""

@@ -1,0 +1,158 @@
+"""Minimal advisory file lock for store maintenance.
+
+Record *writes* need no lock — the digest pins the content and the
+rename publish is atomic, so concurrent writers of the same record are
+idempotent.  What must not race is *maintenance*: two ``gc`` passes
+sweeping the same directory, or a ``gc`` deleting a temp file another
+process is about to rename.  :class:`FileLock` covers that with the
+oldest portable primitive there is: ``open(O_CREAT | O_EXCL)`` on a
+lockfile.
+
+The lock is advisory (all parties must use it), reentrant-unsafe by
+design (it is a process-level mutex, not a threading one), and
+self-healing: a lockfile older than ``stale_after`` seconds is presumed
+abandoned by a killed process and broken.  The holder's pid is written
+into the file for post-mortem debugging.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+__all__ = ["FileLock", "LockTimeout"]
+
+#: A lockfile this old belongs to a process that died without releasing
+#: it; ``gc`` runs take seconds, so an hour is conservatively stale.
+DEFAULT_STALE_AFTER = 3600.0
+
+
+class LockTimeout(ReproError, TimeoutError):
+    """The lock could not be acquired within the timeout."""
+
+
+class FileLock:
+    """``with FileLock(path):`` — exclusive advisory lock via ``O_EXCL``.
+
+    Parameters
+    ----------
+    path:
+        The lockfile location (created on acquire, removed on release).
+    timeout:
+        Seconds to keep retrying before raising :class:`LockTimeout`.
+    poll:
+        Sleep between attempts.
+    stale_after:
+        Age in seconds past which an existing lockfile is treated as
+        abandoned and broken (``None`` disables takeover).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        timeout: float = 30.0,
+        poll: float = 0.05,
+        stale_after: float | None = DEFAULT_STALE_AFTER,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.poll = float(poll)
+        self.stale_after = None if stale_after is None else float(stale_after)
+        self._held = False
+
+    # ------------------------------------------------------------------
+    def _try_acquire(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        finally:
+            os.close(fd)
+        return True
+
+    def _break_if_stale(self) -> None:
+        """Remove an abandoned lockfile — at most one waiter succeeds.
+
+        A bare stat-then-unlink would race: two waiters could both judge
+        the file stale, the slower unlink then deleting the *fresh* lock
+        the faster waiter just acquired.  Breaking therefore goes
+        through an atomic rename to a unique name — only one waiter's
+        rename wins — and re-checks staleness on the renamed file: if a
+        live lock was stolen in the stat/rename window (the holder
+        re-created it in between), it is renamed straight back.
+        """
+        if self.stale_after is None:
+            return
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return  # gone already — the holder released it
+        if age <= self.stale_after:
+            return
+        stolen = self.path.with_name(f"{self.path.name}.stale-{os.getpid()}-{id(self):x}")
+        try:
+            os.rename(self.path, stolen)
+        except OSError:
+            return  # another waiter broke it first
+        try:
+            still_stale = time.time() - stolen.stat().st_mtime > self.stale_after
+        except OSError:
+            return
+        if still_stale:
+            try:
+                os.unlink(stolen)
+            except OSError:
+                pass
+        else:
+            # We stole a *live* lock created between stat and rename —
+            # restore it.  ``link`` (not ``rename``) so a lock some third
+            # waiter acquired in the meantime is never clobbered; if one
+            # exists the restore is abandoned (best-effort, advisory).
+            try:
+                os.link(stolen, self.path)
+            except OSError:
+                pass
+            try:
+                os.unlink(stolen)
+            except OSError:
+                pass
+
+    def acquire(self) -> "FileLock":
+        if self._held:
+            raise ReproError(f"lock {self.path} is already held by this object")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_acquire():
+                self._held = True
+                return self
+            self._break_if_stale()
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within {self.timeout:.1f}s "
+                    "(another maintenance operation is running, or a stale "
+                    "lockfile below the stale_after age is blocking it)"
+                )
+            time.sleep(self.poll)
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -1,0 +1,169 @@
+"""Atomic record IO: one result = one JSON manifest + one npz payload.
+
+A record is two files in one directory, named by the record's digest:
+
+* ``<digest>.npz`` — the numeric payload (float64 arrays round-trip
+  bit-exactly, which is what makes resumed sweeps *bit-identical* to
+  fresh ones);
+* ``<digest>.json`` — the manifest: format version, the full generating
+  key (for debuggability and ``store ls``), and bookkeeping metadata.
+
+Write protocol (crash- and concurrency-safe without locks):
+
+1. the payload is written to a same-directory temp file and published
+   with :func:`os.replace` (atomic on POSIX);
+2. the manifest is written the same way, *last*.
+
+The manifest is the commit point — readers key on it, so a process
+killed mid-write leaves either nothing or an orphaned payload, never a
+half-visible record.  Two concurrent writers of the same digest write
+byte-identical content (the digest pins the inputs), so last-rename-wins
+is harmless.  Reads treat every failure mode — missing manifest,
+unparsable JSON, wrong format version, missing or corrupt payload — as
+*record absent*, so callers recompute instead of crashing; ``gc`` sweeps
+the debris.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.store.digest import STORE_FORMAT
+
+__all__ = [
+    "Record",
+    "MANIFEST_SUFFIX",
+    "PAYLOAD_SUFFIX",
+    "TMP_PREFIX",
+    "atomic_write_bytes",
+    "write_record",
+    "read_record",
+    "read_manifest",
+    "delete_record",
+]
+
+MANIFEST_SUFFIX = ".json"
+PAYLOAD_SUFFIX = ".npz"
+
+#: Prefix of in-flight temp files (same directory as their target so the
+#: final :func:`os.replace` never crosses a filesystem boundary).  ``gc``
+#: removes any that outlive their writer.
+TMP_PREFIX = ".tmp-"
+
+
+@dataclass(frozen=True)
+class Record:
+    """One materialized record: its digest, manifest, and arrays."""
+
+    digest: str
+    meta: dict[str, Any]
+    arrays: dict[str, np.ndarray]
+
+
+def _check_digest(digest: str) -> str:
+    if not isinstance(digest, str) or not digest or not all(
+        c in "0123456789abcdef" for c in digest
+    ):
+        raise ConfigurationError(f"record digest must be a lowercase hex string, got {digest!r}")
+    return digest
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename."""
+    path = Path(path)
+    tmp = path.with_name(f"{TMP_PREFIX}{uuid.uuid4().hex}-{path.name}")
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_record(
+    directory: Path,
+    digest: str,
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any],
+) -> Path:
+    """Atomically persist a record; returns the manifest path.
+
+    The payload lands first, the manifest last (the commit point), each
+    through its own temp-file-plus-rename, so a reader either sees the
+    complete record or no record at all.
+    """
+    directory = Path(directory)
+    _check_digest(digest)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    buffer = io.BytesIO()
+    np.savez(buffer, **{name: np.asarray(a) for name, a in arrays.items()})
+    atomic_write_bytes(directory / f"{digest}{PAYLOAD_SUFFIX}", buffer.getvalue())
+
+    manifest = {"format": STORE_FORMAT, **dict(meta)}
+    payload = json.dumps(manifest, indent=2, sort_keys=True, allow_nan=False)
+    manifest_path = directory / f"{digest}{MANIFEST_SUFFIX}"
+    atomic_write_bytes(manifest_path, payload.encode("utf-8"))
+    return manifest_path
+
+
+def read_manifest(directory: Path, digest: str) -> dict[str, Any] | None:
+    """The parsed manifest, or ``None`` when missing/corrupt/foreign."""
+    path = Path(directory) / f"{_check_digest(digest)}{MANIFEST_SUFFIX}"
+    try:
+        meta = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(meta, dict) or meta.get("format") != STORE_FORMAT:
+        return None
+    return meta
+
+
+def read_record(directory: Path, digest: str) -> Record | None:
+    """The complete record, or ``None`` for *any* failure mode.
+
+    Missing manifest, unparsable manifest, format mismatch, missing
+    payload, and corrupt payload all read as "record absent": the caller
+    recomputes (and overwrites the debris), which is the recovery story
+    for interrupted or corrupted writes.
+    """
+    directory = Path(directory)
+    meta = read_manifest(directory, digest)
+    if meta is None:
+        return None
+    try:
+        with np.load(directory / f"{digest}{PAYLOAD_SUFFIX}") as payload:
+            arrays = {name: payload[name].copy() for name in payload.files}
+    except (OSError, ValueError, EOFError, KeyError, BadZipFile):
+        return None
+    return Record(digest=digest, meta=meta, arrays=arrays)
+
+
+def delete_record(directory: Path, digest: str) -> int:
+    """Remove both files of a record; returns how many existed."""
+    directory = Path(directory)
+    _check_digest(digest)
+    removed = 0
+    for suffix in (MANIFEST_SUFFIX, PAYLOAD_SUFFIX):
+        try:
+            os.unlink(directory / f"{digest}{suffix}")
+            removed += 1
+        except OSError:
+            pass
+    return removed

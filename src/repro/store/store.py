@@ -1,0 +1,242 @@
+""":class:`ResultStore` — the content-addressed store root on disk.
+
+Layout (everything lives under one root directory, safe to tar up or
+point multiple processes at)::
+
+    <root>/
+      results/<hh>/<digest>.json     record manifests (commit points)
+      results/<hh>/<digest>.npz      record payloads (numeric arrays)
+      pi/<backend>/<hh>/<sha>.npy    persistent join-distribution cache
+      locks/gc.lock                  maintenance mutex
+
+``<hh>`` is a 2-hex-character shard of the digest so no single directory
+grows unboundedly.  Records are read and written through
+:mod:`repro.store.records` (atomic, corruption-tolerant); the kernel
+cache is a :class:`~repro.store.pi_disk.DiskPiCache` rooted inside the
+store so one ``--store DIR`` flag provisions both.
+
+Maintenance: :meth:`gc` sweeps debris that the crash-safety protocol can
+leave behind — orphaned temp files, payloads whose manifest never landed,
+manifests whose payload is missing or unreadable — under a file lock so
+concurrent sweeps cannot race.  :meth:`info` and :meth:`iter_records`
+power the ``repro-experiments store info|ls`` CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.store.digest import STORE_FORMAT
+from repro.store.locks import FileLock
+from repro.store.pi_disk import DiskPiCache
+from repro.store.records import (
+    MANIFEST_SUFFIX,
+    PAYLOAD_SUFFIX,
+    TMP_PREFIX,
+    Record,
+    delete_record,
+    read_manifest,
+    read_record,
+    write_record,
+)
+
+__all__ = ["ResultStore"]
+
+
+def _digest_from(path: Path, suffix: str) -> str | None:
+    """The digest a record file's name encodes, or ``None`` for foreign
+    files (editor backups, OS metadata, ...) — which every walk below
+    must *skip*, never crash on and never delete."""
+    name = path.name[: -len(suffix)]
+    if name and all(c in "0123456789abcdef" for c in name):
+        return name
+    return None
+
+
+class ResultStore:
+    """Disk-backed, content-addressed store of simulation artifacts.
+
+    ``ResultStore(root)`` never eagerly creates directories — a store
+    that is only ever read from leaves the filesystem untouched until
+    the first write.  Accepts a path-like or an existing instance in
+    every public API that takes a store (see :meth:`coerce`).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        if isinstance(root, ResultStore):  # defensive: coerce() is the public path
+            root = root.root
+        self.root = Path(root)
+
+    @classmethod
+    def coerce(cls, store: "ResultStore | str | Path") -> "ResultStore":
+        """``store`` as a :class:`ResultStore` (paths are wrapped)."""
+        if isinstance(store, ResultStore):
+            return store
+        if isinstance(store, (str, Path)):
+            return cls(store)
+        raise ConfigurationError(
+            f"store must be a ResultStore or a path, got {type(store).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    @property
+    def pi_dir(self) -> Path:
+        return self.root / "pi"
+
+    def record_dir(self, digest: str) -> Path:
+        return self.results_dir / digest[:2]
+
+    def pi_cache(self, *, mmap: bool = True) -> DiskPiCache:
+        """The persistent kernel cache living under this store's root."""
+        return DiskPiCache(self.pi_dir, mmap=mmap)
+
+    # ------------------------------------------------------------------
+    # Records
+
+    def has_record(self, digest: str) -> bool:
+        """True when a committed (manifest-visible) record exists."""
+        return read_manifest(self.record_dir(digest), digest) is not None
+
+    def read_record(self, digest: str) -> Record | None:
+        """The record, or ``None`` when absent or unreadable."""
+        return read_record(self.record_dir(digest), digest)
+
+    def write_record(
+        self, digest: str, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+    ) -> Path:
+        """Atomically persist a record; returns the manifest path."""
+        return write_record(self.record_dir(digest), digest, arrays, meta)
+
+    def delete_record(self, digest: str) -> int:
+        return delete_record(self.record_dir(digest), digest)
+
+    def iter_records(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Yield ``(digest, manifest)`` for every committed record."""
+        if not self.results_dir.is_dir():
+            return
+        for manifest_path in sorted(self.results_dir.glob(f"*/*{MANIFEST_SUFFIX}")):
+            if manifest_path.name.startswith(TMP_PREFIX):
+                continue
+            digest = _digest_from(manifest_path, MANIFEST_SUFFIX)
+            if digest is None:
+                continue
+            meta = read_manifest(manifest_path.parent, digest)
+            if meta is not None:
+                yield digest, meta
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def info(self) -> dict[str, Any]:
+        """Size/count summary of the store (the ``store info`` payload)."""
+        n_records = 0
+        record_bytes = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob("*/*"):
+                if path.name.startswith(TMP_PREFIX):
+                    continue
+                if path.suffix == MANIFEST_SUFFIX:
+                    if _digest_from(path, MANIFEST_SUFFIX) is None:
+                        continue
+                    n_records += 1
+                elif path.suffix != PAYLOAD_SUFFIX or _digest_from(path, PAYLOAD_SUFFIX) is None:
+                    continue
+                try:
+                    record_bytes += path.stat().st_size
+                except OSError:
+                    pass
+        pi = self.pi_cache()
+        return {
+            "root": str(self.root),
+            "format": STORE_FORMAT,
+            "records": n_records,
+            "record_bytes": record_bytes,
+            "pi_entries": len(pi),
+            "pi_bytes": pi.nbytes(),
+        }
+
+    #: Files younger than this are presumed to belong to an in-flight
+    #: write and are left alone by :meth:`gc`: a temp file or a
+    #: payload-without-manifest is a normal transient state *during* a
+    #: write, and only becomes debris when its writer is gone.
+    GC_GRACE_SECONDS = 3600.0
+
+    @staticmethod
+    def _older_than(path: Path, cutoff: float) -> bool:
+        try:
+            return path.stat().st_mtime < cutoff
+        except OSError:
+            return False  # vanished — its writer is alive; leave it be
+
+    def gc(self, *, grace_seconds: float | None = None) -> dict[str, int]:
+        """Sweep debris; returns removal counts by category.
+
+        Removes (under the store's maintenance lock):
+
+        * ``tmp`` — temp files abandoned by killed writers;
+        * ``orphan_payloads`` — payloads whose manifest never landed
+          (a write interrupted before its commit point);
+        * ``broken_records`` — committed manifests whose payload is
+          missing or unreadable (both files are removed so the point is
+          recomputed cleanly).
+
+        Healthy records are never touched, and the first two categories
+        — which are also the *normal transient states of an in-flight
+        write* — are only swept once older than ``grace_seconds``
+        (default :data:`GC_GRACE_SECONDS`), so running ``gc`` while
+        sweeps are writing cannot yank a temp file or a just-landed
+        payload out from under its writer.  The lock excludes concurrent
+        maintenance only.  Pass ``grace_seconds=0`` to force a full
+        sweep when no writer can be alive.
+        """
+        grace = self.GC_GRACE_SECONDS if grace_seconds is None else float(grace_seconds)
+        cutoff = time.time() - grace
+        removed = {"tmp": 0, "orphan_payloads": 0, "broken_records": 0}
+        with FileLock(self.root / "locks" / "gc.lock"):
+            for base in (self.results_dir, self.pi_dir):
+                if not base.is_dir():
+                    continue
+                for tmp in base.rglob(f"{TMP_PREFIX}*"):
+                    if not self._older_than(tmp, cutoff):
+                        continue
+                    try:
+                        os.unlink(tmp)
+                        removed["tmp"] += 1
+                    except OSError:
+                        pass
+            if self.results_dir.is_dir():
+                for payload in self.results_dir.glob(f"*/*{PAYLOAD_SUFFIX}"):
+                    digest = _digest_from(payload, PAYLOAD_SUFFIX)
+                    if digest is None or not self._older_than(payload, cutoff):
+                        continue
+                    if read_manifest(payload.parent, digest) is None:
+                        try:
+                            os.unlink(payload)
+                            removed["orphan_payloads"] += 1
+                        except OSError:
+                            pass
+                for manifest in self.results_dir.glob(f"*/*{MANIFEST_SUFFIX}"):
+                    digest = _digest_from(manifest, MANIFEST_SUFFIX)
+                    if digest is None:
+                        continue
+                    if (
+                        read_manifest(manifest.parent, digest) is not None
+                        and read_record(manifest.parent, digest) is None
+                    ):
+                        delete_record(manifest.parent, digest)
+                        removed["broken_records"] += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(root={str(self.root)!r})"

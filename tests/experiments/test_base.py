@@ -54,9 +54,9 @@ class TestExperimentResult:
 
 
 class TestRegistry:
-    def test_all_fifteen_registered(self):
+    def test_all_sixteen_registered(self):
         ids = [eid for eid, _ in list_experiments()]
-        assert ids == [f"E{i}" for i in range(1, 16)]
+        assert ids == [f"E{i}" for i in range(1, 17)]
 
     def test_get_known(self):
         fn = get_experiment("E1")

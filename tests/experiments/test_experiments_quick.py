@@ -13,7 +13,7 @@ import pytest
 
 from repro.experiments.base import get_experiment
 
-FAST = ["E1", "E2", "E7", "E8", "E11"]
+FAST = ["E1", "E2", "E7", "E8", "E11", "E16"]
 HEAVY = ["E3", "E4", "E5", "E6", "E9", "E10", "E12", "E13", "E14", "E15"]
 
 

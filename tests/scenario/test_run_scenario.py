@@ -182,6 +182,109 @@ class TestScenarioCli:
             main(["scenario", "run", str(bad)])
 
 
+class TestSweepCli:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        spec = counting_spec(
+            feedback={"name": "exact"}, gamma_star=None, rounds=100
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        return str(path)
+
+    def _sweep(self, spec_file, tmp_path, *extra):
+        from repro.experiments.cli import main
+
+        return main(
+            [
+                "scenario",
+                "sweep",
+                spec_file,
+                "--param",
+                "algorithm.gamma",
+                "--values",
+                "0.02,0.04",
+                "--trials",
+                "2",
+                "--store",
+                str(tmp_path / "store"),
+                *extra,
+            ]
+        )
+
+    def test_sweep_runs_and_prints_table(self, spec_file, tmp_path, capsys):
+        assert self._sweep(spec_file, tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "algorithm.gamma" in out and "R(t)/t" in out
+        assert "[ran]" in out
+
+    def test_interrupt_resume_out_files_are_byte_identical(self, spec_file, tmp_path, capsys):
+        from repro.experiments.cli import SWEEP_INTERRUPTED_EXIT
+
+        code = self._sweep(spec_file, tmp_path, "--max-points", "1")
+        assert code == SWEEP_INTERRUPTED_EXIT
+        assert "interrupted" in capsys.readouterr().out
+        out_a = tmp_path / "a.json"
+        assert self._sweep(spec_file, tmp_path, "--resume", "--out", str(out_a)) == 0
+        assert "[cached]" in capsys.readouterr().out
+        # An uninterrupted sweep into a different store: same bytes out.
+        from repro.experiments.cli import main
+
+        out_b = tmp_path / "b.json"
+        assert (
+            main(
+                [
+                    "scenario",
+                    "sweep",
+                    spec_file,
+                    "--param",
+                    "algorithm.gamma",
+                    "--values",
+                    "0.02,0.04",
+                    "--trials",
+                    "2",
+                    "--store",
+                    str(tmp_path / "store2"),
+                    "--out",
+                    str(out_b),
+                ]
+            )
+            == 0
+        )
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_values_parse_json_per_item(self):
+        from repro.experiments.cli import _parse_values
+
+        assert _parse_values("0.02, 3,true") == [0.02, 3, True]
+        assert _parse_values("powerlaw,lognormal") == ["powerlaw", "lognormal"]
+        # A whole-string JSON array is taken verbatim (list-valued params).
+        assert _parse_values("[[1,2],[3,4]]") == [[1, 2], [3, 4]]
+        assert _parse_values("[0.02, 0.04]") == [0.02, 0.04]
+
+
+class TestStoreCli:
+    def test_ls_info_gc(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        from repro.store import ResultStore
+
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        store.write_record(
+            "ab" * 32,
+            {"average_regrets": np.array([1.0])},
+            {"kind": "sweep_point", "label": "x", "parameter": "p", "value": 1,
+             "trials": 2, "rounds": 10},
+        )
+        assert main(["store", "ls", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "1 record(s)" in out and "p=1" in out
+        assert main(["store", "info", str(root)]) == 0
+        assert '"records": 1' in capsys.readouterr().out
+        assert main(["store", "gc", str(root)]) == 0
+        assert "gc removed 0" in capsys.readouterr().out
+
+
 class TestSharedPiCacheThreading:
     """run_scenario / sweep_scenario threading one cross-trial cache
     through every counting-engine trial."""

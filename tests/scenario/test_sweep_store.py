@@ -1,0 +1,347 @@
+"""Store-backed sweeps: resume bit-identity, seeding, interruption.
+
+The acceptance contract: a sweep interrupted after >= 1 completed point
+and re-run with resume produces byte-identical aggregates to an
+uninterrupted run while re-executing only the missing points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sim.runner as sim_runner_mod
+import repro.scenario.runner as scenario_runner_mod
+from repro.exceptions import ConfigurationError, SweepInterrupted
+from repro.scenario import ScenarioSpec, sweep_scenario
+from repro.sim.pi_cache import SharedPiCache
+from repro.sim.runner import sweep
+from repro.store import ResultStore
+
+
+def binary_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        algorithm={"name": "ant", "params": {"gamma": 0.025}},
+        demand={"name": "uniform", "params": {"n": 2000, "k": 4}},
+        feedback={"name": "exact"},
+        engine={"name": "counting"},
+        rounds=120,
+        seed=11,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+def series_stack(result) -> np.ndarray:
+    return np.stack(
+        [
+            result.series("mean_average_regret"),
+            result.series("mean_max_abs_deficit"),
+            result.series("mean_switches_per_round"),
+        ]
+    )
+
+
+class RunTrialsCounter:
+    """Counts how many sweep points actually execute."""
+
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        real = scenario_runner_mod.run_trials
+
+        def counted(*args, **kwargs):
+            self.calls += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(scenario_runner_mod, "run_trials", counted)
+
+
+VALUES = [0.02, 0.03, 0.04]
+
+
+class TestResumeBitIdentity:
+    def test_fresh_equals_unstored(self, tmp_path):
+        stored = sweep_scenario(
+            binary_spec(), "algorithm.gamma", VALUES, trials=3, store=tmp_path
+        )
+        plain = sweep_scenario(binary_spec(), "algorithm.gamma", VALUES, trials=3)
+        assert np.array_equal(series_stack(stored), series_stack(plain))
+        assert stored.resumed == [False, False, False]
+        assert plain.resumed is None
+
+    def test_resumed_serial_bit_identical(self, tmp_path, monkeypatch):
+        first = sweep_scenario(
+            binary_spec(), "algorithm.gamma", VALUES, trials=3, store=tmp_path
+        )
+        counter = RunTrialsCounter(monkeypatch)
+        second = sweep_scenario(
+            binary_spec(), "algorithm.gamma", VALUES, trials=3, store=tmp_path
+        )
+        assert counter.calls == 0  # nothing re-executed
+        assert second.resumed == [True, True, True]
+        assert np.array_equal(series_stack(first), series_stack(second))
+        for a, b in zip(first.summaries, second.summaries):
+            assert np.array_equal(a.average_regrets, b.average_regrets)
+            assert np.array_equal(a.max_abs_deficits, b.max_abs_deficits)
+            assert np.array_equal(a.switches_per_round, b.switches_per_round)
+            assert a.label == b.label and a.params == b.params
+            assert a.trials == b.trials and a.rounds == b.rounds
+
+    def test_interrupted_then_resumed_equals_uninterrupted(self, tmp_path, monkeypatch):
+        # The acceptance-criterion scenario: interrupt after 1 completed
+        # point, resume, compare byte-for-byte with a never-interrupted
+        # sweep in a different store.
+        with pytest.raises(SweepInterrupted, match="1 new point"):
+            sweep_scenario(
+                binary_spec(),
+                "algorithm.gamma",
+                VALUES,
+                trials=3,
+                store=tmp_path / "a",
+                max_new_points=1,
+            )
+        counter = RunTrialsCounter(monkeypatch)
+        resumed = sweep_scenario(
+            binary_spec(), "algorithm.gamma", VALUES, trials=3, store=tmp_path / "a"
+        )
+        assert counter.calls == 2  # only the missing points re-executed
+        assert resumed.resumed == [True, False, False]
+        fresh = sweep_scenario(
+            binary_spec(), "algorithm.gamma", VALUES, trials=3, store=tmp_path / "b"
+        )
+        assert np.array_equal(series_stack(resumed), series_stack(fresh))
+
+    def test_resumed_parallel_bit_identical(self, tmp_path):
+        serial = sweep_scenario(
+            binary_spec(), "algorithm.gamma", VALUES[:2], trials=4, store=tmp_path / "a"
+        )
+        with pytest.raises(SweepInterrupted):
+            sweep_scenario(
+                binary_spec(),
+                "algorithm.gamma",
+                VALUES[:2],
+                trials=4,
+                parallel=2,
+                store=tmp_path / "b",
+                max_new_points=1,
+            )
+        resumed = sweep_scenario(
+            binary_spec(),
+            "algorithm.gamma",
+            VALUES[:2],
+            trials=4,
+            parallel=2,
+            store=tmp_path / "b",
+        )
+        assert resumed.resumed == [True, False]
+        assert np.array_equal(series_stack(serial), series_stack(resumed))
+
+    def test_closenesses_survive_the_record_roundtrip(self, tmp_path):
+        spec = binary_spec(
+            feedback={"name": "calibrated_sigmoid", "params": {"gamma_star": 0.01}},
+            gamma_star=0.01,
+        )
+        first = sweep_scenario(spec, "algorithm.gamma", VALUES[:2], trials=2, store=tmp_path)
+        second = sweep_scenario(spec, "algorithm.gamma", VALUES[:2], trials=2, store=tmp_path)
+        assert second.resumed == [True, True]
+        for a, b in zip(first.summaries, second.summaries):
+            assert a.closenesses is not None
+            assert np.array_equal(a.closenesses, b.closenesses)
+
+    def test_resume_false_recomputes_and_overwrites(self, tmp_path, monkeypatch):
+        sweep_scenario(binary_spec(), "algorithm.gamma", VALUES[:2], trials=2, store=tmp_path)
+        counter = RunTrialsCounter(monkeypatch)
+        out = sweep_scenario(
+            binary_spec(),
+            "algorithm.gamma",
+            VALUES[:2],
+            trials=2,
+            store=tmp_path,
+            resume=False,
+        )
+        assert counter.calls == 2
+        assert out.resumed == [False, False]
+
+
+class TestDigestKeying:
+    def test_inserting_a_value_reuses_existing_points(self, tmp_path, monkeypatch):
+        # The satellite fix in action: [a, c] then [a, b, c] — a and c
+        # keep their seeds and records; only b executes.
+        outer = sweep_scenario(
+            binary_spec(), "algorithm.gamma", [0.02, 0.04], trials=3, store=tmp_path
+        )
+        counter = RunTrialsCounter(monkeypatch)
+        full = sweep_scenario(
+            binary_spec(), "algorithm.gamma", [0.02, 0.03, 0.04], trials=3, store=tmp_path
+        )
+        assert counter.calls == 1
+        assert full.resumed == [True, False, True]
+        assert full.series()[0] == outer.series()[0]
+        assert full.series()[2] == outer.series()[1]
+
+    def test_value_reorder_is_digest_stable(self, tmp_path):
+        a = sweep_scenario(
+            binary_spec(), "algorithm.gamma", [0.02, 0.04], trials=2, store=tmp_path
+        )
+        b = sweep_scenario(
+            binary_spec(), "algorithm.gamma", [0.04, 0.02], trials=2, store=tmp_path
+        )
+        assert b.resumed == [True, True]
+        assert a.series()[0] == b.series()[1] and a.series()[1] == b.series()[0]
+
+    def test_changed_config_changes_digests(self, tmp_path):
+        sweep_scenario(binary_spec(), "algorithm.gamma", [0.02], trials=2, store=tmp_path)
+        for change in (
+            dict(trials=3),
+            dict(rounds=100),
+            dict(burn_in=10),
+        ):
+            out = sweep_scenario(
+                binary_spec(),
+                "algorithm.gamma",
+                [0.02],
+                trials=change.get("trials", 2),
+                rounds=change.get("rounds"),
+                store=tmp_path,
+                **({"burn_in": change["burn_in"]} if "burn_in" in change else {}),
+            )
+            assert out.resumed == [False], f"stale reuse under {change}"
+        # A different base seed must also miss.
+        out = sweep_scenario(
+            binary_spec(seed=12), "algorithm.gamma", [0.02], trials=2, store=tmp_path
+        )
+        assert out.resumed == [False]
+
+    def test_corrupt_record_recomputed_not_crashed(self, tmp_path):
+        from repro.store.records import PAYLOAD_SUFFIX
+
+        sweep_scenario(binary_spec(), "algorithm.gamma", [0.02], trials=2, store=tmp_path)
+        store = ResultStore(tmp_path)
+        [(digest, _)] = list(store.iter_records())
+        payload = store.record_dir(digest) / f"{digest}{PAYLOAD_SUFFIX}"
+        payload.write_bytes(b"garbage")
+        out = sweep_scenario(
+            binary_spec(), "algorithm.gamma", [0.02], trials=2, store=tmp_path
+        )
+        assert out.resumed == [False]  # recovered by recomputation
+        again = sweep_scenario(
+            binary_spec(), "algorithm.gamma", [0.02], trials=2, store=tmp_path
+        )
+        assert again.resumed == [True]  # and the rewrite is healthy
+
+
+class TestSeedModes:
+    def test_index_mode_reproduces_legacy_sweep(self):
+        # The compat flag: seed_mode="index" must reproduce the exact
+        # pre-store derivation (SeedSequence(seed).spawn(len(values))),
+        # i.e. the generic sim.runner.sweep path.
+        spec = binary_spec()
+        legacy = sweep(
+            "algorithm.gamma",
+            VALUES,
+            lambda v: scenario_runner_mod.ScenarioFactory(
+                spec.with_param("algorithm.gamma", v), None
+            ),
+            spec.rounds,
+            3,
+            seed=spec.seed,
+            keep_results=False,
+        )
+        new = sweep_scenario(spec, "algorithm.gamma", VALUES, trials=3, seed_mode="index")
+        for a, b in zip(legacy.summaries, new.summaries):
+            assert np.array_equal(a.average_regrets, b.average_regrets)
+
+    def test_index_mode_reshuffles_on_insertion_digest_mode_does_not(self):
+        # The bug the satellite fixes, demonstrated: under index mode the
+        # shared values' results change when a value is inserted; under
+        # digest mode they cannot.
+        spec = binary_spec()
+
+        def regrets(values, mode):
+            out = sweep_scenario(spec, "algorithm.gamma", values, trials=2, seed_mode=mode)
+            return {v: s.average_regrets.copy() for v, s in zip(values, out.summaries)}
+
+        idx_outer = regrets([0.02, 0.04], "index")
+        idx_full = regrets([0.02, 0.03, 0.04], "index")
+        assert not np.array_equal(idx_outer[0.04], idx_full[0.04])  # reshuffled!
+
+        dig_outer = regrets([0.02, 0.04], "digest")
+        dig_full = regrets([0.02, 0.03, 0.04], "digest")
+        assert np.array_equal(dig_outer[0.02], dig_full[0.02])
+        assert np.array_equal(dig_outer[0.04], dig_full[0.04])
+
+    def test_store_refuses_index_mode(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="seed_mode='digest'"):
+            sweep_scenario(
+                binary_spec(),
+                "algorithm.gamma",
+                [0.02],
+                trials=2,
+                store=tmp_path,
+                seed_mode="index",
+            )
+
+    def test_unknown_seed_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed_mode"):
+            sweep_scenario(binary_spec(), "algorithm.gamma", [0.02], seed_mode="nope")
+
+
+class TestGuards:
+    def test_store_rejects_keep_results(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="keep_results"):
+            sweep_scenario(
+                binary_spec(),
+                "algorithm.gamma",
+                [0.02],
+                trials=2,
+                store=tmp_path,
+                keep_results=True,
+            )
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one value"):
+            sweep_scenario(binary_spec(), "algorithm.gamma", [])
+
+    def test_max_new_points_without_store(self):
+        # The budget also applies storeless (useful for dry runs): the
+        # first point computes, then the interrupt fires.
+        with pytest.raises(SweepInterrupted):
+            sweep_scenario(
+                binary_spec(), "algorithm.gamma", VALUES, trials=2, max_new_points=1
+            )
+
+
+class TestSharedPiCachePersistence:
+    def test_store_roots_the_disk_tier(self, tmp_path):
+        cache_runs = []
+        for _ in range(2):
+            cache = SharedPiCache(disk=ResultStore(tmp_path).pi_cache())
+            sweep_scenario(
+                binary_spec(),
+                "algorithm.gamma",
+                [0.02, 0.04],
+                trials=2,
+                store=tmp_path,
+                resume=False,
+                shared_pi_cache=cache,
+            )
+            cache_runs.append(cache)
+        first, second = cache_runs
+        assert first.disk.writes > 0
+        assert second.disk_hits > 0  # second "session" served from disk
+
+    def test_shared_pi_cache_true_uses_store_pi_dir(self, tmp_path):
+        sweep_scenario(
+            binary_spec(),
+            "algorithm.gamma",
+            [0.02],
+            trials=2,
+            store=tmp_path,
+            shared_pi_cache=True,
+        )
+        assert len(ResultStore(tmp_path).pi_cache()) > 0
+
+    def test_sweep_runner_import_sanity(self):
+        # Guard against accidental re-export drift (sim_runner_mod is
+        # imported above to keep the legacy sweep() reachable).
+        assert sim_runner_mod.sweep is sweep

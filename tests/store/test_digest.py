@@ -1,0 +1,96 @@
+"""Digest semantics: canonicalization, stability, seed derivation."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.store.digest import (
+    canonical_json,
+    digest_hex,
+    digest_words,
+    seed_from_digest,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_compact_and_sorted(self):
+        assert canonical_json({"b": [1, 2], "a": "x"}) == '{"a":"x","b":[1,2]}'
+
+    def test_nested_structures(self):
+        obj = {"spec": {"params": {"lam": [0.5, 1.0]}}, "value": 3}
+        assert digest_hex(obj) == digest_hex({"value": 3, "spec": {"params": {"lam": [0.5, 1.0]}}})
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="NaN"):
+            canonical_json({"x": float("nan")})
+
+    def test_rejects_non_json_values(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"x": object()})
+
+
+class TestDigest:
+    def test_value_change_changes_digest(self):
+        base = {"a": 1, "b": [1, 2, 3]}
+        assert digest_hex(base) != digest_hex({"a": 1, "b": [1, 2, 4]})
+        assert digest_hex(base) != digest_hex({"a": 2, "b": [1, 2, 3]})
+
+    def test_digest_is_64_hex_chars(self):
+        d = digest_hex({"a": 1})
+        assert len(d) == 64 and all(c in "0123456789abcdef" for c in d)
+
+    def test_stable_across_processes(self):
+        # The resume contract: a digest computed today, in this process,
+        # must equal the digest another interpreter computes for the same
+        # key — otherwise records written by one sweep would be invisible
+        # to the next.
+        obj = {"spec": {"seed": 7, "rounds": 100}, "value": 0.25, "parameter": "algorithm.gamma"}
+        here = digest_hex(obj)
+        code = (
+            "from repro.store.digest import digest_hex;"
+            "print(digest_hex({'spec': {'seed': 7, 'rounds': 100}, 'value': 0.25,"
+            " 'parameter': 'algorithm.gamma'}))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src"},
+            cwd=str(Path(__file__).resolve().parents[2]),
+        )
+        assert out.stdout.strip() == here
+
+
+class TestSeedFromDigest:
+    def test_deterministic(self):
+        d = digest_hex({"a": 1})
+        assert seed_from_digest(d, 7) == seed_from_digest(d, 7)
+
+    def test_depends_on_digest_and_root(self):
+        d1, d2 = digest_hex({"a": 1}), digest_hex({"a": 2})
+        assert seed_from_digest(d1, 7) != seed_from_digest(d2, 7)
+        assert seed_from_digest(d1, 7) != seed_from_digest(d1, 8)
+
+    def test_accepts_no_root(self):
+        d = digest_hex({"a": 1})
+        assert seed_from_digest(d) == seed_from_digest(d)
+
+    def test_words_roundtrip_shape(self):
+        words = digest_words(digest_hex({"a": 1}))
+        assert len(words) == 8
+        assert all(0 <= w < 2**32 for w in words)
+
+    def test_rejects_bad_digest(self):
+        with pytest.raises(ConfigurationError):
+            digest_words("abc")
+        with pytest.raises(ConfigurationError):
+            digest_words("z" * 64)

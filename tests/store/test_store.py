@@ -1,0 +1,170 @@
+"""ResultStore behaviour: records, maintenance, locks."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.store import FileLock, LockTimeout, ResultStore
+from repro.store.records import MANIFEST_SUFFIX, PAYLOAD_SUFFIX, TMP_PREFIX
+
+D1 = "aa" * 32
+D2 = "bb" * 32
+
+
+def _store_with_records(tmp_path) -> ResultStore:
+    store = ResultStore(tmp_path / "root")
+    for digest, label in ((D1, "one"), (D2, "two")):
+        store.write_record(
+            digest,
+            {"average_regrets": np.array([1.0, 2.0])},
+            {"kind": "sweep_point", "label": label, "parameter": "p", "value": 1},
+        )
+    return store
+
+
+class TestRecords:
+    def test_write_read_has(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        assert store.has_record(D1) and store.has_record(D2)
+        assert not store.has_record("cc" * 32)
+        rec = store.read_record(D1)
+        assert rec.meta["label"] == "one"
+        assert np.array_equal(rec.arrays["average_regrets"], [1.0, 2.0])
+
+    def test_sharded_layout(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        assert (store.results_dir / D1[:2] / f"{D1}{MANIFEST_SUFFIX}").is_file()
+        assert (store.results_dir / D1[:2] / f"{D1}{PAYLOAD_SUFFIX}").is_file()
+
+    def test_iter_records_lists_committed_only(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        # Break one record's manifest: it must drop out of the listing.
+        (store.results_dir / D2[:2] / f"{D2}{MANIFEST_SUFFIX}").write_text("junk")
+        listed = dict(store.iter_records())
+        assert set(listed) == {D1}
+
+    def test_read_only_store_touches_nothing(self, tmp_path):
+        root = tmp_path / "never-created"
+        store = ResultStore(root)
+        assert not store.has_record(D1)
+        assert store.read_record(D1) is None
+        assert list(store.iter_records()) == []
+        assert not root.exists()
+
+    def test_coerce(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert ResultStore.coerce(store) is store
+        assert ResultStore.coerce(str(tmp_path)).root == tmp_path
+        with pytest.raises(ConfigurationError, match="store"):
+            ResultStore.coerce(42)
+
+
+class TestInfoAndGc:
+    def test_info_counts(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        info = store.info()
+        assert info["records"] == 2
+        assert info["record_bytes"] > 0
+        assert info["pi_entries"] == 0
+        assert info["format"] == 1
+
+    def test_gc_on_clean_store_removes_nothing(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        assert sum(store.gc().values()) == 0
+        assert store.has_record(D1) and store.has_record(D2)
+
+    def test_gc_sweeps_tmp_orphans_and_broken(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        shard = store.results_dir / D1[:2]
+        # 1. an abandoned temp file from a killed writer
+        (shard / f"{TMP_PREFIX}deadbeef-x.npz").write_bytes(b"partial")
+        # 2. an orphan payload whose manifest never landed
+        orphan = "cc" * 32
+        (store.results_dir / orphan[:2]).mkdir(parents=True, exist_ok=True)
+        (store.results_dir / orphan[:2] / f"{orphan}{PAYLOAD_SUFFIX}").write_bytes(b"x")
+        # 3. a committed record whose payload was corrupted afterwards
+        (shard / f"{D1}{PAYLOAD_SUFFIX}").write_bytes(b"garbage")
+        removed = store.gc(grace_seconds=0)
+        assert removed["tmp"] == 1
+        assert removed["orphan_payloads"] == 1
+        assert removed["broken_records"] == 1
+        # The broken record is fully gone; the healthy one survived.
+        assert not store.has_record(D1)
+        assert store.has_record(D2)
+        assert store.read_record(D2) is not None
+
+    def test_gc_grace_spares_inflight_writes(self, tmp_path):
+        # A temp file / orphan payload younger than the grace period is
+        # the normal transient state of an in-flight write: the default
+        # gc must leave both alone so it can never race a live writer.
+        store = _store_with_records(tmp_path)
+        shard = store.results_dir / D1[:2]
+        (shard / f"{TMP_PREFIX}young.npz").write_bytes(b"in flight")
+        orphan = "cc" * 32
+        (store.results_dir / orphan[:2]).mkdir(parents=True, exist_ok=True)
+        young_orphan = store.results_dir / orphan[:2] / f"{orphan}{PAYLOAD_SUFFIX}"
+        young_orphan.write_bytes(b"x")
+        removed = store.gc()
+        assert removed["tmp"] == 0 and removed["orphan_payloads"] == 0
+        assert young_orphan.exists()
+        # Backdate them past the grace period: now they are debris.
+        for path in (shard / f"{TMP_PREFIX}young.npz", young_orphan):
+            old = path.stat().st_mtime - 2 * store.GC_GRACE_SECONDS
+            os.utime(path, (old, old))
+        removed = store.gc()
+        assert removed["tmp"] == 1 and removed["orphan_payloads"] == 1
+
+    def test_maintenance_tolerates_foreign_files(self, tmp_path):
+        # Editor backups / OS metadata inside the store must be skipped
+        # by ls, info, and gc — never crashed on, never deleted.
+        store = _store_with_records(tmp_path)
+        shard = store.results_dir / D1[:2]
+        foreign = [shard / "NOTES.json", shard / "backup.npz", shard / "README.txt"]
+        for path in foreign:
+            path.write_text("not a record")
+        assert set(dict(store.iter_records())) == {D1, D2}
+        assert store.info()["records"] == 2
+        assert sum(store.gc(grace_seconds=0).values()) == 0
+        assert all(path.exists() for path in foreign)
+
+    def test_gc_then_recompute_path(self, tmp_path):
+        # End-to-end recovery: corrupt -> unreadable -> gc -> rewrite.
+        store = _store_with_records(tmp_path)
+        (store.results_dir / D1[:2] / f"{D1}{PAYLOAD_SUFFIX}").write_bytes(b"garbage")
+        assert store.read_record(D1) is None  # tolerated before gc too
+        store.gc(grace_seconds=0)
+        store.write_record(D1, {"a": np.array([3.0])}, {"kind": "sweep_point"})
+        assert np.array_equal(store.read_record(D1).arrays["a"], [3.0])
+
+
+class TestFileLock:
+    def test_exclusion_and_release(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            assert path.exists()
+            with pytest.raises(LockTimeout):
+                FileLock(path, timeout=0.05, poll=0.01, stale_after=None).acquire()
+        assert not path.exists()
+        with FileLock(path):  # re-acquirable after release
+            pass
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("12345\n")
+        old = path.stat().st_mtime - 7200
+        os.utime(path, (old, old))
+        with FileLock(path, timeout=1.0, poll=0.01, stale_after=3600):
+            assert path.exists()
+        # The rename-steal break leaves no .stale-* debris behind.
+        assert list(tmp_path.glob("*.stale-*")) == []
+
+    def test_fresh_lock_is_not_broken(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("12345\n")  # a live holder's lock, current mtime
+        with pytest.raises(LockTimeout):
+            FileLock(path, timeout=0.1, poll=0.02, stale_after=3600).acquire()
+        assert path.exists()  # never stolen
