@@ -48,6 +48,17 @@ class SweepInterrupted(ReproError, RuntimeError):
     """
 
 
+class SchedulerError(ReproError, RuntimeError):
+    """The distributed sweep scheduler could not complete a grid.
+
+    Raised when a grid directory is missing or ambiguous, when every
+    worker of an orchestrated run died before the frontier drained, or
+    when results are collected for a grid with uncommitted points.
+    Committed points are never lost: re-attaching workers to the same
+    store resumes exactly where the frontier stopped.
+    """
+
+
 class AnalysisError(ReproError, ValueError):
     """An analysis routine received data it cannot interpret.
 

@@ -13,9 +13,16 @@ Usage::
         [--max-points N] [--out results.json]
     repro-experiments scenario show <file.json>
     repro-experiments scenario components
-    repro-experiments store ls <dir>
+    repro-experiments store ls <dir> [--json]
     repro-experiments store info <dir>
-    repro-experiments store gc <dir>
+    repro-experiments store gc <dir> [--max-age SECONDS] [--grace SECONDS]
+    repro-experiments sched run <file.json> --store DIR
+        --axis algorithm.gamma=0.01,0.02 [--axis feedback.p_fail=0.05,0.1]
+        [--trials T] [--rounds N] [--workers W] [--ttl S] [--poll S]
+        [--shared-pi-cache] [--init-only] [--json]
+    repro-experiments sched work <dir> [--grid DIGEST] [--ttl S] [--poll S]
+        [--max-points N] [--shared-pi-cache] [--worker-id ID]
+    repro-experiments sched status <dir> [--grid DIGEST] [--ttl S] [--json]
 
 ``scenario sweep --store DIR`` commits every completed point to the
 store; adding ``--resume`` serves already-committed points from disk
@@ -24,6 +31,14 @@ store; adding ``--resume`` serves already-committed points from disk
 process stops with exit status 3 once N new points were computed — the
 committed prefix stays resumable.  ``--out`` writes the aggregate series
 as canonical JSON, byte-comparable across resumed and fresh runs.
+
+``sched`` drives the distributed grid scheduler (:mod:`repro.sched`):
+``sched run`` initialises a multi-axis grid in the store and drains it
+with N local workers (live frontier counters on stderr); ``sched work``
+attaches one worker to an existing grid — run it from several processes
+or machines sharing the store directory and they cooperate via lease
+files; ``sched status`` reports the frontier (``--json`` for the
+canonical machine-readable form the CI smokes compare).
 """
 
 from __future__ import annotations
@@ -107,10 +122,80 @@ def build_parser() -> argparse.ArgumentParser:
     stsub = storep.add_subparsers(dest="store_command", required=True)
     sls = stsub.add_parser("ls", help="list committed records")
     sls.add_argument("root", help="store root directory")
+    sls.add_argument(
+        "--json",
+        action="store_true",
+        help="canonical JSON (byte-stable ordering, no timestamps)",
+    )
     sinfo = stsub.add_parser("info", help="record/cache counts and sizes")
     sinfo.add_argument("root", help="store root directory")
     sgc = stsub.add_parser("gc", help="sweep temp files, orphans, broken records")
     sgc.add_argument("root", help="store root directory")
+    sgc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also evict pi-cache entries and break lease files older than this",
+    )
+    sgc.add_argument(
+        "--grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="age below which temp files / orphan payloads are presumed in-flight "
+        "(default 3600; pass 0 when no writer can be alive)",
+    )
+
+    schedp = sub.add_parser("sched", help="distributed grid scheduler (repro.sched)")
+    scsub = schedp.add_subparsers(dest="sched_command", required=True)
+    screate = scsub.add_parser("run", help="initialise a grid and drain it with N workers")
+    screate.add_argument("file", help="path to the base ScenarioSpec JSON file")
+    screate.add_argument("--store", required=True, help="result-store root for the grid")
+    screate.add_argument(
+        "--axis",
+        action="append",
+        required=True,
+        metavar="PARAM=V1,V2,...",
+        help="one grid axis (repeatable); values parse like scenario sweep --values",
+    )
+    screate.add_argument("--trials", type=int, default=5, help="trials per grid point")
+    screate.add_argument("--rounds", type=int, default=None, help="override spec.rounds")
+    screate.add_argument(
+        "--workers", type=int, default=0, help="local worker processes (0 = in-process)"
+    )
+    screate.add_argument("--ttl", type=float, default=60.0, help="lease TTL seconds")
+    screate.add_argument("--poll", type=float, default=0.2, help="idle poll seconds")
+    screate.add_argument(
+        "--shared-pi-cache",
+        action="store_true",
+        help="share join-kernel work across points (disk tier inside the store)",
+    )
+    screate.add_argument(
+        "--init-only",
+        action="store_true",
+        help="persist the grid manifest and exit without running any point",
+    )
+    screate.add_argument("--json", action="store_true", help="final status as canonical JSON")
+    swork = scsub.add_parser("work", help="attach one worker to an existing grid")
+    swork.add_argument("root", help="store root directory holding the grid")
+    swork.add_argument("--grid", default=None, help="grid digest (optional if unambiguous)")
+    swork.add_argument("--ttl", type=float, default=60.0, help="lease TTL seconds")
+    swork.add_argument("--poll", type=float, default=0.2, help="idle poll seconds")
+    swork.add_argument(
+        "--max-points", type=int, default=None, help="exit after computing N points"
+    )
+    swork.add_argument(
+        "--shared-pi-cache",
+        action="store_true",
+        help="share join-kernel work across points (disk tier inside the store)",
+    )
+    swork.add_argument("--worker-id", default=None, help="label recorded in lease files")
+    sstatus = scsub.add_parser("status", help="frontier counters of a grid")
+    sstatus.add_argument("root", help="store root directory holding the grid")
+    sstatus.add_argument("--grid", default=None, help="grid digest (optional if unambiguous)")
+    sstatus.add_argument("--ttl", type=float, default=60.0, help="lease freshness TTL")
+    sstatus.add_argument("--json", action="store_true", help="canonical JSON output")
     return parser
 
 
@@ -230,11 +315,30 @@ def _scenario_sweep_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ls_json_payload(store) -> dict[str, Any]:
+    """The ``store ls --json`` payload: canonical and byte-stable.
+
+    Records sort by digest and incidental fields (wall-clock
+    ``created_unix``) are stripped, so two stores holding the same
+    records — e.g. the interrupted and uninterrupted stores of the
+    chaos smoke — serialize to identical bytes.
+    """
+    records = []
+    for digest, meta in store.iter_records():  # iter_records sorts by path
+        meta = {k: v for k, v in meta.items() if k != "created_unix"}
+        records.append({"digest": digest, "meta": meta})
+    records.sort(key=lambda r: r["digest"])
+    return {"count": len(records), "records": records}
+
+
 def _store_main(args: argparse.Namespace) -> int:
-    from repro.store import ResultStore
+    from repro.store import ResultStore, canonical_json
 
     store = ResultStore(args.root)
     if args.store_command == "ls":
+        if args.json:
+            print(canonical_json(_ls_json_payload(store)))
+            return 0
         count = 0
         for digest, meta in store.iter_records():
             label = meta.get("label", "?")
@@ -249,10 +353,102 @@ def _store_main(args: argparse.Namespace) -> int:
     if args.store_command == "info":
         print(json.dumps(store.info(), indent=2, sort_keys=True))
         return 0
-    removed = store.gc()
+    removed = store.gc(grace_seconds=args.grace, max_age_seconds=args.max_age)
     total = sum(removed.values())
     details = ", ".join(f"{k}={v}" for k, v in sorted(removed.items()))
     print(f"gc removed {total} file(s) ({details}) from {store.root}")
+    return 0
+
+
+def _parse_axes(axis_args: list[str]) -> list[dict[str, Any]]:
+    """``--axis PARAM=V1,V2`` arguments as GridAxis dicts."""
+    axes = []
+    for text in axis_args:
+        parameter, sep, values = text.partition("=")
+        if not sep or not parameter:
+            raise SystemExit(f"--axis must look like PARAM=V1,V2,... (got {text!r})")
+        axes.append({"parameter": parameter, "values": _parse_values(values)})
+    return axes
+
+
+def _sched_main(args: argparse.Namespace) -> int:
+    from repro.sched import (
+        GridSpec,
+        format_status,
+        grid_status,
+        init_grid,
+        load_grid,
+        run_grid,
+        run_worker,
+    )
+    from repro.store import ResultStore, canonical_json
+
+    if args.sched_command == "run":
+        spec = _load_spec(args.file)
+        grid = GridSpec(
+            spec=spec,
+            axes=_parse_axes(args.axis),
+            rounds=args.rounds,
+            trials=args.trials,
+        )
+        store = ResultStore(args.store)
+        grid_dir = init_grid(store, grid)
+        print(
+            f"grid {grid.grid_digest()[:12]}: {grid.n_points} point(s) over "
+            f"{' x '.join(a.parameter for a in grid.axes)} -> {grid_dir}",
+            file=sys.stderr,
+        )
+        if args.init_only:
+            if args.json:
+                print(canonical_json(grid_status(store, grid, ttl=args.ttl)))
+            return 0
+        t0 = time.perf_counter()
+        last = [""]
+
+        def progress(status: dict[str, Any]) -> None:
+            line = format_status(status)
+            if line != last[0]:  # frontier counters, only when they move
+                print(line, file=sys.stderr)
+                last[0] = line
+
+        status = run_grid(
+            store,
+            grid,
+            workers=args.workers,
+            ttl=args.ttl,
+            poll=args.poll,
+            shared_pi_cache=args.shared_pi_cache,
+            progress=progress,
+        )
+        dt = time.perf_counter() - t0
+        print(f"(grid drained in {dt:.1f}s with {args.workers} worker(s))", file=sys.stderr)
+        if args.json:
+            print(canonical_json(status))
+        return 0
+
+    store = ResultStore(args.root)
+    grid = load_grid(store, args.grid)
+    if args.sched_command == "work":
+        stats = run_worker(
+            store,
+            grid,
+            ttl=args.ttl,
+            poll=args.poll,
+            shared_pi_cache=args.shared_pi_cache,
+            max_points=args.max_points,
+            worker_id=args.worker_id,
+        )
+        print(
+            f"worker done: computed={stats.computed} "
+            f"lease_denied={stats.lease_denied} lost_leases={stats.lost_leases}"
+        )
+        return 0
+    # status
+    status = grid_status(store, grid, ttl=args.ttl)
+    if args.json:
+        print(canonical_json(status))
+    else:
+        print(f"grid {status['grid'][:12]}: {format_status(status)}")
     return 0
 
 
@@ -318,6 +514,8 @@ def main(argv: list[str] | None = None) -> int:
         return _scenario_main(args)
     if args.command == "store":
         return _store_main(args)
+    if args.command == "sched":
+        return _sched_main(args)
     if args.command == "list":
         for eid, title in list_experiments():
             print(f"{eid:>4}  {title}")

@@ -41,12 +41,14 @@ from repro.scenario.runner import (
     ScenarioFactory,
     run_scenario,
     sweep_point_digest,
+    sweep_point_seed,
     sweep_scenario,
 )
 
 __all__ = [
     "SEED_MODES",
     "sweep_point_digest",
+    "sweep_point_seed",
     "AlgorithmSpec",
     "FeedbackSpec",
     "DemandSpec",

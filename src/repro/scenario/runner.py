@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -61,6 +61,7 @@ __all__ = [
     "run_scenario",
     "sweep_scenario",
     "sweep_point_digest",
+    "sweep_point_seed",
     "SEED_MODES",
 ]
 
@@ -167,9 +168,34 @@ def run_scenario(
     )
 
 
+def _coordinate_key(parameter: str | Sequence[str], value: Any) -> tuple[Any, Any]:
+    """Canonical ``(parameter, value)`` digest-key forms of a coordinate.
+
+    A plain dotted path keeps its scalar form, so single-axis grid
+    points digest identically to classic ``sweep_scenario`` points — a
+    store populated by one is resumable by the other.  A multi-parameter
+    grid coordinate (sequences of paths and values, same length) is
+    keyed as parallel lists; a length-1 sequence collapses to the scalar
+    form for the same reason.
+    """
+    if isinstance(parameter, str):
+        return parameter, value
+    parameters = list(parameter)
+    values = list(value)
+    if len(parameters) != len(values):
+        raise ConfigurationError(
+            f"coordinate has {len(parameters)} parameter(s) but {len(values)} value(s)"
+        )
+    if not parameters:
+        raise ConfigurationError("a sweep coordinate needs at least one parameter")
+    if len(parameters) == 1:
+        return parameters[0], values[0]
+    return parameters, values
+
+
 def sweep_point_digest(
     derived_spec: ScenarioSpec,
-    parameter: str,
+    parameter: str | Sequence[str],
     value: Any,
     *,
     rounds: int,
@@ -186,7 +212,14 @@ def sweep_point_digest(
     interchangeable — their records may be shared — and any difference
     produces a different digest, so stale reuse is structurally
     impossible.
+
+    ``parameter`` is a dotted path for classic one-parameter sweeps, or
+    a sequence of paths (with ``value`` the matching sequence of values)
+    for one point of a multi-parameter grid
+    (:class:`repro.sched.GridSpec`); see :func:`_coordinate_key` for the
+    compatibility guarantee between the two forms.
     """
+    parameter, value = _coordinate_key(parameter, value)
     return digest_hex(
         {
             "format": STORE_FORMAT,
@@ -202,8 +235,11 @@ def sweep_point_digest(
     )
 
 
-def _digest_point_seed(
-    derived_spec: ScenarioSpec, parameter: str, value: Any, root_seed: int
+def sweep_point_seed(
+    derived_spec: ScenarioSpec,
+    parameter: str | Sequence[str],
+    value: Any,
+    root_seed: int,
 ) -> int:
     """Insertion-stable seed root: a function of the point, not its index.
 
@@ -211,8 +247,10 @@ def _digest_point_seed(
     index derivation, the seed root identifies the *point*, and the
     trial runner spawns per-trial seeds beneath it — so extending a
     sweep's horizon or trial count later keeps the point on the same
-    stream family.
+    stream family.  Accepts the same scalar-or-sequence coordinate forms
+    as :func:`sweep_point_digest`.
     """
+    parameter, value = _coordinate_key(parameter, value)
     seed_key = {
         "format": STORE_FORMAT,
         "kind": "sweep_point_seed",
@@ -373,7 +411,7 @@ def sweep_scenario(
         point_seeds = [int(s.generate_state(1)[0]) for s in root.spawn(len(values))]
     else:
         point_seeds = [
-            _digest_point_seed(dspec, parameter, value, spec.seed)
+            sweep_point_seed(dspec, parameter, value, spec.seed)
             for dspec, value in zip(derived, values)
         ]
 

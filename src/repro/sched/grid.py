@@ -1,0 +1,341 @@
+"""Multi-parameter sweep grids as resumable frontier sets.
+
+``sweep_scenario`` sweeps one dotted parameter over a list of values; a
+:class:`GridSpec` generalizes that to the cross product of several axes
+(``algorithm.gamma`` x ``feedback.lam`` x ...).  Every grid point is
+
+* a **derived spec** — the base :class:`~repro.scenario.ScenarioSpec`
+  with each axis value applied via ``with_param``;
+* a **digest** — :func:`repro.scenario.sweep_point_digest` over the
+  derived spec, the coordinate, the horizon/trials/run-params, and the
+  point seed.  Single-axis grids produce digests *identical* to classic
+  store-backed ``sweep_scenario`` points, so stores populated by one
+  are resumable by the other;
+* a **seed root** — :func:`repro.scenario.sweep_point_seed`, a pure
+  function of the point's own identity, so adding an axis value never
+  reshuffles the seeds (and records) of existing points.
+
+Because every point is content-addressed, a grid is not a work *list*
+but a work *frontier set*: any number of workers can look at the same
+store, see which digests are committed, and lease the rest — the basis
+of :mod:`repro.sched.worker`.  The grid itself is plain JSON data
+(:meth:`GridSpec.to_json`), persisted into the store so workers on
+other processes or machines reconstruct it without any channel beyond
+the shared filesystem.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro._version import __version__
+from repro.exceptions import ConfigurationError
+from repro.scenario.runner import sweep_point_digest, sweep_point_seed
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.runner import TrialSummary
+from repro.store import STORE_FORMAT, digest_hex
+from repro.store.records import Record
+from repro.util.validation import check_integer
+
+__all__ = ["GridAxis", "GridPoint", "GridSpec", "point_record", "point_summary"]
+
+
+def _canonical_values(parameter: str, values: Any) -> tuple[Any, ...]:
+    values = list(values) if not isinstance(values, (str, bytes)) else None
+    if values is None or not values:
+        raise ConfigurationError(
+            f"grid axis {parameter!r} needs a non-empty list of values"
+        )
+    try:
+        return tuple(json.loads(json.dumps(values, allow_nan=False)))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"grid axis {parameter!r} values must be JSON-serializable "
+            f"(plain numbers / strings / lists, no NaN): {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class GridAxis:
+    """One swept dimension: a dotted component param and its values."""
+
+    parameter: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.parameter, str) or "." not in self.parameter:
+            raise ConfigurationError(
+                f"grid axes sweep component params like 'algorithm.gamma'; "
+                f"got {self.parameter!r} (top-level fields are fixed per grid "
+                "— the scheduler supplies rounds and per-point seeds)"
+            )
+        object.__setattr__(self, "values", _canonical_values(self.parameter, self.values))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"parameter": self.parameter, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: "dict | GridAxis") -> "GridAxis":
+        if isinstance(data, cls):
+            return data
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"grid axis must be a dict or GridAxis, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"parameter", "values"}
+        if unknown:
+            raise ConfigurationError(f"unknown grid axis keys {sorted(unknown)}")
+        return cls(parameter=data.get("parameter"), values=data.get("values", ()))
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One materialized grid point: coordinate, derived spec, identity."""
+
+    index: int
+    coords: dict[str, Any]
+    spec: ScenarioSpec
+    seed: int
+    digest: str
+
+    @property
+    def label(self) -> str:
+        """``"p=v"`` per axis — matches ``sweep_scenario`` on one axis."""
+        return ",".join(f"{p}={v}" for p, v in self.coords.items())
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A cross-product sweep over a base scenario, as plain data.
+
+    Parameters
+    ----------
+    spec:
+        The base scenario (its ``seed`` is the grid's root seed).
+    axes:
+        Swept dimensions (``GridAxis`` instances or plain dicts); points
+        enumerate the cross product in row-major order, last axis
+        fastest.
+    rounds:
+        Horizon per point; defaults to ``spec.rounds``.
+    trials:
+        Trials per point.
+    run_overrides:
+        Extra ``run()`` kwargs merged over ``spec.run_params`` (exactly
+        like ``sweep_scenario``'s keyword overrides).
+    """
+
+    spec: ScenarioSpec
+    axes: tuple[GridAxis, ...]
+    rounds: int | None = None
+    trials: int = 5
+    run_overrides: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.spec, Mapping):
+            object.__setattr__(self, "spec", ScenarioSpec.from_dict(dict(self.spec)))
+        if not isinstance(self.spec, ScenarioSpec):
+            raise ConfigurationError(
+                f"grid spec must be a ScenarioSpec or dict, got {type(self.spec).__name__}"
+            )
+        axes = tuple(GridAxis.from_dict(axis) for axis in self.axes)
+        if not axes:
+            raise ConfigurationError("a grid needs at least one axis")
+        parameters = [axis.parameter for axis in axes]
+        if len(set(parameters)) != len(parameters):
+            raise ConfigurationError(f"duplicate grid axis parameters in {parameters}")
+        object.__setattr__(self, "axes", axes)
+        rounds = self.spec.rounds if self.rounds is None else self.rounds
+        object.__setattr__(self, "rounds", check_integer("rounds", rounds, minimum=1))
+        object.__setattr__(self, "trials", check_integer("trials", self.trials, minimum=1))
+        try:
+            run_overrides = json.loads(json.dumps(dict(self.run_overrides), allow_nan=False))
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"run_overrides must be JSON-serializable: {exc}") from exc
+        object.__setattr__(self, "run_overrides", run_overrides)
+        burn_in = self.run_params.get("burn_in")
+        if burn_in is not None and burn_in >= self.rounds:
+            # The same check ScenarioSpec makes against its own rounds;
+            # a grid overriding the horizon must re-make it here so a
+            # misconfigured grid fails at construction, not inside N
+            # worker processes.
+            raise ConfigurationError(
+                f"run_params burn_in={burn_in} must be < rounds={self.rounds}"
+            )
+        # Validate every coordinate eagerly (a typo'd axis value must
+        # fail at grid construction, not in some worker process) and
+        # memoize the points — identity work is pure function of self.
+        object.__setattr__(self, "_points", self._make_points())
+
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> list[str]:
+        return [axis.parameter for axis in self.axes]
+
+    @property
+    def run_params(self) -> dict[str, Any]:
+        """The merged run kwargs every point executes with."""
+        return {**self.spec.run_params, **self.run_overrides}
+
+    @property
+    def n_points(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.values)
+        return n
+
+    def _make_points(self) -> tuple[GridPoint, ...]:
+        parameters = self.parameters
+        run_params = self.run_params
+        points = []
+        for index, combo in enumerate(
+            itertools.product(*(axis.values for axis in self.axes))
+        ):
+            dspec = self.spec
+            for parameter, value in zip(parameters, combo):
+                dspec = dspec.with_param(parameter, value)
+            seed = sweep_point_seed(dspec, parameters, list(combo), self.spec.seed)
+            digest = sweep_point_digest(
+                dspec,
+                parameters,
+                list(combo),
+                rounds=self.rounds,
+                trials=self.trials,
+                run_params=run_params,
+                point_seed=seed,
+            )
+            points.append(
+                GridPoint(
+                    index=index,
+                    coords=dict(zip(parameters, combo)),
+                    spec=dspec,
+                    seed=seed,
+                    digest=digest,
+                )
+            )
+        return tuple(points)
+
+    def points(self) -> tuple[GridPoint, ...]:
+        """Every grid point, in canonical (row-major) order."""
+        return self._points  # type: ignore[attr-defined]
+
+    def closeness_inputs(self) -> tuple[float | None, float | None]:
+        """``(gamma_star, total_demand)`` for trial summaries (base spec)."""
+        if self.spec.gamma_star is None:
+            return None, None
+        return self.spec.gamma_star, float(self.spec.initial_demand().total)
+
+    # ------------------------------------------------------------------
+    def grid_digest(self) -> str:
+        """Content digest identifying this grid (its directory name)."""
+        return digest_hex(
+            {
+                "format": STORE_FORMAT,
+                "kind": "sweep_grid",
+                "spec": self.spec.to_dict(),
+                "axes": [axis.to_dict() for axis in self.axes],
+                "rounds": self.rounds,
+                "trials": self.trials,
+                "run_overrides": self.run_overrides,
+            }
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "axes": [axis.to_dict() for axis in self.axes],
+            "rounds": self.rounds,
+            "trials": self.trials,
+            "run_overrides": json.loads(json.dumps(self.run_overrides)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GridSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(f"grid spec must be a dict, got {type(data).__name__}")
+        known = {"spec", "axes", "rounds", "trials", "run_overrides"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown grid spec keys {sorted(unknown)}; known: {sorted(known)}"
+            )
+        for required in ("spec", "axes"):
+            if data.get(required) is None:
+                raise ConfigurationError(f"grid spec needs {required!r}")
+        kwargs = {k: v for k, v in data.items() if v is not None or k == "rounds"}
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GridSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid grid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Record (de)serialization for grid points
+
+
+def point_record(
+    point: GridPoint, summary: TrialSummary
+) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """``(arrays, meta)`` persisting one computed grid point.
+
+    Deliberately contains no wall-clock field: together with the
+    deterministic payload serialization this makes scheduler-written
+    stores *byte-comparable* — the kill-recovery guarantee is checked
+    by diffing ``results/`` trees, and a timestamp would make every
+    diff noisy.  The coordinate uses the same scalar-or-lists forms as
+    :func:`~repro.scenario.sweep_point_digest`, so single-axis records
+    stay readable by ``sweep_scenario`` resumes.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "average_regrets": summary.average_regrets,
+        "max_abs_deficits": summary.max_abs_deficits,
+        "switches_per_round": summary.switches_per_round,
+    }
+    if summary.closenesses is not None:
+        arrays["closenesses"] = summary.closenesses
+    parameters = list(point.coords)
+    values = list(point.coords.values())
+    meta = {
+        "kind": "sweep_point",
+        "label": summary.label,
+        "trials": summary.trials,
+        "rounds": summary.rounds,
+        "parameter": parameters[0] if len(parameters) == 1 else parameters,
+        "value": values[0] if len(values) == 1 else values,
+        "repro_version": __version__,
+    }
+    return arrays, meta
+
+
+def point_summary(point: GridPoint, record: Record) -> TrialSummary | None:
+    """Rebuild a point's summary from its record, or ``None`` if foreign."""
+    meta, arrays = record.meta, record.arrays
+    if meta.get("kind") != "sweep_point":
+        return None
+    try:
+        return TrialSummary(
+            label=str(meta["label"]),
+            trials=int(meta["trials"]),
+            rounds=int(meta["rounds"]),
+            average_regrets=arrays["average_regrets"],
+            closenesses=arrays.get("closenesses"),
+            max_abs_deficits=arrays["max_abs_deficits"],
+            switches_per_round=arrays["switches_per_round"],
+            results=[],
+            params=dict(point.coords),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None

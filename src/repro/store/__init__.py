@@ -34,7 +34,16 @@ can import it freely.
 """
 
 from repro.store.digest import STORE_FORMAT, canonical_json, digest_hex, seed_from_digest
-from repro.store.locks import FileLock, LockTimeout
+from repro.store.locks import (
+    LEASE_SUFFIX,
+    FileLock,
+    LockTimeout,
+    break_stale,
+    format_owner,
+    owner_token,
+    read_owner,
+    write_owner_file,
+)
 from repro.store.pi_disk import DiskPiCache
 from repro.store.records import Record, delete_record, read_record, write_record
 from repro.store.store import ResultStore
@@ -46,6 +55,12 @@ __all__ = [
     "seed_from_digest",
     "FileLock",
     "LockTimeout",
+    "LEASE_SUFFIX",
+    "break_stale",
+    "format_owner",
+    "owner_token",
+    "read_owner",
+    "write_owner_file",
     "DiskPiCache",
     "Record",
     "read_record",

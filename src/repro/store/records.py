@@ -14,6 +14,15 @@ Write protocol (crash- and concurrency-safe without locks):
    with :func:`os.replace` (atomic on POSIX);
 2. the manifest is written the same way, *last*.
 
+Payload bytes are **deterministic**: ``np.savez`` stamps each zip entry
+with the wall clock, so two writes of the same arrays would differ at
+the byte level — :func:`deterministic_npz_bytes` writes the same
+npz-compatible container with a fixed entry timestamp and sorted entry
+order instead.  Determinism is what lets the scheduler's kill-recovery
+guarantee be checked *byte-for-byte*: a grid resumed after a worker
+died must produce a ``results/`` tree identical to an uninterrupted
+run's, not merely an equivalent one.
+
 The manifest is the commit point — readers key on it, so a process
 killed mid-write leaves either nothing or an orphaned payload, never a
 half-visible record.  Two concurrent writers of the same digest write
@@ -30,6 +39,7 @@ import io
 import json
 import os
 import uuid
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
@@ -46,6 +56,7 @@ __all__ = [
     "PAYLOAD_SUFFIX",
     "TMP_PREFIX",
     "atomic_write_bytes",
+    "deterministic_npz_bytes",
     "write_record",
     "read_record",
     "read_manifest",
@@ -76,6 +87,30 @@ def _check_digest(digest: str) -> str:
     ):
         raise ConfigurationError(f"record digest must be a lowercase hex string, got {digest!r}")
     return digest
+
+
+#: Fixed zip-entry timestamp (the zip epoch): payload bytes must depend
+#: on the arrays alone, never on when they were written.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+def deterministic_npz_bytes(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """An ``np.load``-compatible npz container with reproducible bytes.
+
+    Entries are written in sorted name order with a fixed timestamp and
+    fixed permissions, so the same arrays always serialize to the same
+    bytes — unlike ``np.savez``, which stamps each entry with the wall
+    clock.  Arrays round-trip bit-exactly (same ``.npy`` entry format).
+    """
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_STORED) as zf:
+        for name in sorted(arrays):
+            entry = io.BytesIO()
+            np.lib.format.write_array(entry, np.asarray(arrays[name]), allow_pickle=False)
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
+            info.external_attr = 0o644 << 16
+            zf.writestr(info, entry.getvalue())
+    return buffer.getvalue()
 
 
 def atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -112,9 +147,7 @@ def write_record(
     _check_digest(digest)
     directory.mkdir(parents=True, exist_ok=True)
 
-    buffer = io.BytesIO()
-    np.savez(buffer, **{name: np.asarray(a) for name, a in arrays.items()})
-    atomic_write_bytes(directory / f"{digest}{PAYLOAD_SUFFIX}", buffer.getvalue())
+    atomic_write_bytes(directory / f"{digest}{PAYLOAD_SUFFIX}", deterministic_npz_bytes(arrays))
 
     manifest = {"format": STORE_FORMAT, **dict(meta)}
     payload = json.dumps(manifest, indent=2, sort_keys=True, allow_nan=False)

@@ -7,6 +7,7 @@ point multiple processes at)::
       results/<hh>/<digest>.json     record manifests (commit points)
       results/<hh>/<digest>.npz      record payloads (numeric arrays)
       pi/<backend>/<hh>/<sha>.npy    persistent join-distribution cache
+      sched/<grid>/...               scheduler state (grids + leases)
       locks/gc.lock                  maintenance mutex
 
 ``<hh>`` is a 2-hex-character shard of the digest so no single directory
@@ -33,7 +34,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.store.digest import STORE_FORMAT
-from repro.store.locks import FileLock
+from repro.store.locks import LEASE_SUFFIX, FileLock, break_stale
 from repro.store.pi_disk import DiskPiCache
 from repro.store.records import (
     MANIFEST_SUFFIX,
@@ -92,6 +93,11 @@ class ResultStore:
     @property
     def pi_dir(self) -> Path:
         return self.root / "pi"
+
+    @property
+    def sched_dir(self) -> Path:
+        """Scheduler state (grid manifests + lease files) under this root."""
+        return self.root / "sched"
 
     def record_dir(self, digest: str) -> Path:
         return self.results_dir / digest[:2]
@@ -178,7 +184,12 @@ class ResultStore:
         except OSError:
             return False  # vanished — its writer is alive; leave it be
 
-    def gc(self, *, grace_seconds: float | None = None) -> dict[str, int]:
+    def gc(
+        self,
+        *,
+        grace_seconds: float | None = None,
+        max_age_seconds: float | None = None,
+    ) -> dict[str, int]:
         """Sweep debris; returns removal counts by category.
 
         Removes (under the store's maintenance lock):
@@ -198,10 +209,33 @@ class ResultStore:
         payload out from under its writer.  The lock excludes concurrent
         maintenance only.  Pass ``grace_seconds=0`` to force a full
         sweep when no writer can be alive.
+
+        ``max_age_seconds`` additionally turns on **age-based eviction**
+        for the two unbounded, recomputable artifact classes:
+
+        * ``pi_evicted`` — persistent join-distribution cache entries
+          not touched for ``max_age_seconds`` (pure caches: evicting one
+          costs a kernel re-run, never correctness);
+        * ``stale_leases`` — scheduler lease files older than
+          ``max_age_seconds``, i.e. orphans whose worker died and whose
+          grid no active worker is reclaiming (live schedulers reclaim
+          expired leases themselves on a much shorter TTL — this is the
+          backstop for abandoned grids).  The takeover goes through the
+          same atomic rename-steal as lease reclaim, so gc can never
+          delete a lease a live worker just refreshed.
+
+        Committed records are *never* age-evicted: they are results,
+        not caches.
         """
         grace = self.GC_GRACE_SECONDS if grace_seconds is None else float(grace_seconds)
         cutoff = time.time() - grace
-        removed = {"tmp": 0, "orphan_payloads": 0, "broken_records": 0}
+        removed = {
+            "tmp": 0,
+            "orphan_payloads": 0,
+            "broken_records": 0,
+            "pi_evicted": 0,
+            "stale_leases": 0,
+        }
         with FileLock(self.root / "locks" / "gc.lock"):
             for base in (self.results_dir, self.pi_dir):
                 if not base.is_dir():
@@ -235,6 +269,23 @@ class ResultStore:
                     ):
                         delete_record(manifest.parent, digest)
                         removed["broken_records"] += 1
+            if max_age_seconds is not None:
+                age_cutoff = time.time() - float(max_age_seconds)
+                if self.pi_dir.is_dir():
+                    for entry in self.pi_dir.rglob("*.npy"):
+                        if entry.name.startswith(TMP_PREFIX):
+                            continue
+                        if not self._older_than(entry, age_cutoff):
+                            continue
+                        try:
+                            os.unlink(entry)
+                            removed["pi_evicted"] += 1
+                        except OSError:
+                            pass
+                if self.sched_dir.is_dir():
+                    for lease in self.sched_dir.rglob(f"*{LEASE_SUFFIX}"):
+                        if break_stale(lease, float(max_age_seconds)) is not None:
+                            removed["stale_leases"] += 1
         return removed
 
     # ------------------------------------------------------------------

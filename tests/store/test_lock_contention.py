@@ -1,0 +1,168 @@
+"""Concurrent stale-lock takeover: exactly one winner, live locks survive.
+
+The rename-steal protocol of :func:`break_stale` has two safety claims
+that only show under contention:
+
+* when many waiters judge the same file stale, **exactly one** removes
+  it (the rename is the arbiter);
+* a **live** lock is never deleted, no matter how many waiters probe it.
+
+Staleness is induced by backdating mtimes, so the thread races here are
+real races on the takeover path — not sleeps hoping to line up timing.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.store import (
+    FileLock,
+    LockTimeout,
+    break_stale,
+    format_owner,
+    owner_token,
+    read_owner,
+    write_owner_file,
+)
+
+N_THREADS = 8
+
+
+def make_stale(path, *, age: float = 7200.0) -> None:
+    write_owner_file(path, {"host": "elsewhere", "pid": 1, "acquired_unix": 0})
+    old = path.stat().st_mtime - age
+    os.utime(path, (old, old))
+
+
+def race(n: int, fn) -> list:
+    """Run ``fn(i)`` on n threads through a barrier; return the results."""
+    barrier = threading.Barrier(n)
+    results = [None] * n
+
+    def runner(i: int) -> None:
+        barrier.wait()
+        results[i] = fn(i)
+
+    threads = [threading.Thread(target=runner, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+class TestBreakStaleRaces:
+    def test_exactly_one_waiter_breaks_a_stale_lock(self, tmp_path):
+        path = tmp_path / "x.lock"
+        make_stale(path)
+        outcomes = race(N_THREADS, lambda i: break_stale(path, 3600.0))
+        winners = [o for o in outcomes if o is not None]
+        assert len(winners) == 1
+        assert winners[0]["host"] == "elsewhere"  # the evicted owner's token
+        assert not path.exists()
+        assert list(tmp_path.glob("*.stale-*")) == []  # no debris
+
+    def test_no_waiter_breaks_a_fresh_lock(self, tmp_path):
+        path = tmp_path / "x.lock"
+        holder = owner_token()
+        write_owner_file(path, holder)
+        outcomes = race(N_THREADS, lambda i: break_stale(path, 3600.0))
+        assert outcomes == [None] * N_THREADS
+        assert read_owner(path) == holder  # intact, byte-for-byte owner
+        assert list(tmp_path.glob("*.stale-*")) == []
+
+    def test_break_then_reacquire_under_contention(self, tmp_path):
+        # The full FileLock path: N threads all find a stale lock and
+        # fight for it; every one eventually holds it, one at a time.
+        path = tmp_path / "x.lock"
+        make_stale(path)
+        in_critical = []
+        lock_of_truth = threading.Lock()  # test-side referee only
+
+        def contend(i: int):
+            with FileLock(path, timeout=30.0, poll=0.001, stale_after=3600.0):
+                with lock_of_truth:
+                    in_critical.append(i)
+                    assert len(in_critical) == 1, "two threads inside the lock"
+                with lock_of_truth:
+                    in_critical.remove(i)
+            return True
+
+        assert race(N_THREADS, contend) == [True] * N_THREADS
+        assert not path.exists()
+
+
+# ----------------------------------------------------------------------
+# Cross-process exclusion
+
+
+def _locked_increment(path, counter, rounds):
+    for _ in range(rounds):
+        with FileLock(path, timeout=60.0, poll=0.001):
+            value = int(counter.read_text()) if counter.exists() else 0
+            counter.write_text(str(value + 1))
+
+
+class TestProcessContention:
+    def test_file_counter_under_filelock(self, tmp_path):
+        # 4 processes x 25 read-modify-write cycles on a plain file: any
+        # lost update means the lock failed to exclude across processes.
+        path = tmp_path / "counter.lock"
+        counter = tmp_path / "counter.txt"
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_locked_increment, args=(path, counter, 25))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120.0)
+        assert all(p.exitcode == 0 for p in procs)
+        assert int(counter.read_text()) == 100
+
+
+# ----------------------------------------------------------------------
+# Owner tokens in files and error messages
+
+
+class TestOwnerTokens:
+    def test_lockfile_carries_a_parsable_token(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            owner = json.loads(path.read_text(encoding="utf-8"))
+            assert owner["pid"] == os.getpid()
+            assert owner["host"]
+            assert owner["acquired_unix"] > 0
+            assert read_owner(path) == owner
+
+    def test_timeout_message_names_the_holder(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            with pytest.raises(LockTimeout) as excinfo:
+                FileLock(path, timeout=0.05, poll=0.01, stale_after=None).acquire()
+        message = str(excinfo.value)
+        assert f"pid {os.getpid()} on host " in message
+        assert "since unix time" in message
+
+    def test_read_owner_tolerates_every_format(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("4242\n")  # pre-token lockfile: bare pid
+        assert read_owner(path) == {"pid": 4242}
+        path.write_text("not json, not a pid")
+        assert read_owner(path) is None
+        path.write_text('["a","list"]')  # json, wrong shape
+        assert read_owner(path) is None
+        assert read_owner(tmp_path / "missing.lock") is None
+
+    def test_format_owner_renderings(self):
+        assert format_owner(None) == "unknown owner"
+        assert format_owner({}) == "unknown owner"
+        assert format_owner({"pid": 7}) == "pid 7 on host ?"
+        rendered = format_owner({"host": "h", "pid": 7, "acquired_unix": 1.5})
+        assert rendered == "pid 7 on host h since unix time 1.5"

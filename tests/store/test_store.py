@@ -141,6 +141,81 @@ class TestInfoAndGc:
         assert np.array_equal(store.read_record(D1).arrays["a"], [3.0])
 
 
+def _backdate(path, seconds: float) -> None:
+    old = path.stat().st_mtime - seconds
+    os.utime(path, (old, old))
+
+
+class TestGcMaxAge:
+    """Age-based eviction of the recomputable artifact classes."""
+
+    def _pi_entry(self, store, name: str):
+        shard = store.pi_dir / "quadrature" / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        path = shard / name
+        path.write_bytes(b"\x93NUMPY fake")
+        return path
+
+    def test_old_pi_entries_evicted_fresh_kept(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        old = self._pi_entry(store, "old.npy")
+        fresh = self._pi_entry(store, "fresh.npy")
+        _backdate(old, 1000.0)
+        removed = store.gc(max_age_seconds=100.0)
+        assert removed["pi_evicted"] == 1
+        assert not old.exists() and fresh.exists()
+
+    def test_pi_tmp_files_are_not_age_evicted(self, tmp_path):
+        # Temp files belong to the grace-governed tmp sweep, not the
+        # age eviction pass — a young in-flight write stays untouched
+        # even when max_age says "ancient".
+        store = _store_with_records(tmp_path)
+        tmp = self._pi_entry(store, f"{TMP_PREFIX}inflight.npy")
+        removed = store.gc(max_age_seconds=0.0)
+        assert removed["pi_evicted"] == 0 and removed["tmp"] == 0
+        assert tmp.exists()
+
+    def test_orphaned_leases_swept_live_ones_kept(self, tmp_path):
+        from repro.store import LEASE_SUFFIX, read_owner, write_owner_file
+
+        store = _store_with_records(tmp_path)
+        lease_dir = store.sched_dir / "somegrid" / "leases"
+        lease_dir.mkdir(parents=True)
+        dead = lease_dir / f"{D1}{LEASE_SUFFIX}"
+        write_owner_file(dead, {"host": "h", "pid": 1, "acquired_unix": 0})
+        _backdate(dead, 1000.0)
+        live = lease_dir / f"{D2}{LEASE_SUFFIX}"
+        live_owner = {"host": "h", "pid": 2, "acquired_unix": 1}
+        write_owner_file(live, live_owner)
+        removed = store.gc(max_age_seconds=100.0)
+        assert removed["stale_leases"] == 1
+        assert not dead.exists()
+        assert read_owner(live) == live_owner  # heartbeating worker untouched
+
+    def test_committed_records_are_never_age_evicted(self, tmp_path):
+        store = _store_with_records(tmp_path)
+        for path in store.results_dir.glob("*/*"):
+            _backdate(path, 10_000.0)
+        removed = store.gc(grace_seconds=0, max_age_seconds=1.0)
+        assert sum(removed.values()) == 0
+        assert store.has_record(D1) and store.has_record(D2)
+
+    def test_default_gc_leaves_caches_and_leases_alone(self, tmp_path):
+        from repro.store import LEASE_SUFFIX, write_owner_file
+
+        store = _store_with_records(tmp_path)
+        old_pi = self._pi_entry(store, "old.npy")
+        _backdate(old_pi, 10_000.0)
+        lease_dir = store.sched_dir / "g" / "leases"
+        lease_dir.mkdir(parents=True)
+        lease = lease_dir / f"{D1}{LEASE_SUFFIX}"
+        write_owner_file(lease, {"host": "h", "pid": 1, "acquired_unix": 0})
+        _backdate(lease, 10_000.0)
+        removed = store.gc()  # no max_age: eviction stays off
+        assert removed["pi_evicted"] == 0 and removed["stale_leases"] == 0
+        assert old_pi.exists() and lease.exists()
+
+
 class TestFileLock:
     def test_exclusion_and_release(self, tmp_path):
         path = tmp_path / "x.lock"
