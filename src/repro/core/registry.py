@@ -9,7 +9,8 @@ utility; sibling registries for feedback / demand / population live in
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro.core.ant import AntAlgorithm, OneSampleAntAlgorithm
 from repro.core.base import ColonyAlgorithm
@@ -28,13 +29,22 @@ __all__ = [
 ]
 
 #: The shared algorithm registry (one instance per component family).
+#: Every built-in registration carries ``example=`` params — executable
+#: documentation that the RPR006 lint check keeps honest (resolvable,
+#: picklable, canonical-JSON round-trip).
 ALGORITHMS = Registry("algorithm")
-ALGORITHMS.register("ant", AntAlgorithm)
-ALGORITHMS.register("ant_one_sample", OneSampleAntAlgorithm)
-ALGORITHMS.register("ant_scout", ScoutAntAlgorithm)
-ALGORITHMS.register("precise_sigmoid", PreciseSigmoidAlgorithm)
-ALGORITHMS.register("precise_adversarial", PreciseAdversarialAlgorithm)
-ALGORITHMS.register("trivial", TrivialAlgorithm)
+ALGORITHMS.register("ant", AntAlgorithm, example={"gamma": 0.05})
+ALGORITHMS.register("ant_one_sample", OneSampleAntAlgorithm, example={"gamma": 0.05})
+ALGORITHMS.register("ant_scout", ScoutAntAlgorithm, example={"gamma": 0.05})
+ALGORITHMS.register(
+    "precise_sigmoid", PreciseSigmoidAlgorithm, example={"gamma": 0.05, "eps": 0.25}
+)
+ALGORITHMS.register(
+    "precise_adversarial", PreciseAdversarialAlgorithm, example={"gamma": 0.05, "eps": 0.25}
+)
+ALGORITHMS.register(
+    "trivial", TrivialAlgorithm, example={"leave_probability": 1.0, "join_probability": 1.0}
+)
 
 
 def register_algorithm(
@@ -42,13 +52,16 @@ def register_algorithm(
     factory: Callable[..., ColonyAlgorithm],
     *,
     allow_overwrite: bool = False,
+    example: Mapping[str, Any] | None = None,
 ) -> None:
     """Register a custom algorithm factory under ``name``.
 
     Raises if the name is already taken (registries must be unambiguous)
-    unless ``allow_overwrite=True`` is passed explicitly.
+    unless ``allow_overwrite=True`` is passed explicitly.  ``example``
+    (representative JSON-safe keyword params) is optional for plugins but
+    required by the RPR006 lint check for built-ins.
     """
-    ALGORITHMS.register(name, factory, allow_overwrite=allow_overwrite)
+    ALGORITHMS.register(name, factory, allow_overwrite=allow_overwrite, example=example)
 
 
 def unregister_algorithm(name: str) -> None:

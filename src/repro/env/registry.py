@@ -140,12 +140,16 @@ def _correlated_sigmoid(lam, rho: float, k: int | None = None) -> CorrelatedSigm
     return _check_lam_vector_k(CorrelatedSigmoidFeedback(lam, rho), k)
 
 
-FEEDBACKS.register("sigmoid", _sigmoid)
-FEEDBACKS.register("calibrated_sigmoid", _calibrated_sigmoid)
-FEEDBACKS.register("exact", ExactBinaryFeedback)
-FEEDBACKS.register("correlated_sigmoid", _correlated_sigmoid)
-FEEDBACKS.register("adversarial", _adversarial_feedback)
-FEEDBACKS.register("threshold", _threshold_feedback)
+# ``example=`` params are executable documentation kept honest by the
+# RPR006 lint check (resolvable, picklable, canonical-JSON round-trip).
+# Demand-aware factories (calibrated_sigmoid, threshold) list only their
+# spec-level params; the scenario layer injects ``demand`` at build time.
+FEEDBACKS.register("sigmoid", _sigmoid, example={"lam": 8.0})
+FEEDBACKS.register("calibrated_sigmoid", _calibrated_sigmoid, example={"gamma_star": 0.05})
+FEEDBACKS.register("exact", ExactBinaryFeedback, example={})
+FEEDBACKS.register("correlated_sigmoid", _correlated_sigmoid, example={"lam": 8.0, "rho": 0.5})
+FEEDBACKS.register("adversarial", _adversarial_feedback, example={"gamma_ad": 0.1})
+FEEDBACKS.register("threshold", _threshold_feedback, example={"thresholds": [1.5, 2.5]})
 
 
 # ----------------------------------------------------------------------
@@ -201,14 +205,22 @@ def _periodic_proportional(
     return PeriodicDemandSchedule(phases=built, period=period)
 
 
-DEMANDS.register("uniform", uniform_demands)
-DEMANDS.register("proportional", proportional_demands)
-DEMANDS.register("powerlaw", powerlaw_demands)
-DEMANDS.register("lognormal", lognormal_demands)
-DEMANDS.register("explicit", _explicit_demands)
-DEMANDS.register("step", _step_demands)
-DEMANDS.register("periodic", _periodic_demands)
-DEMANDS.register("periodic_proportional", _periodic_proportional)
+DEMANDS.register("uniform", uniform_demands, example={"n": 100, "k": 4})
+DEMANDS.register("proportional", proportional_demands, example={"n": 100, "weights": [3, 2, 1]})
+DEMANDS.register("powerlaw", powerlaw_demands, example={"n": 200, "k": 8, "alpha": 1.0})
+DEMANDS.register("lognormal", lognormal_demands, example={"n": 200, "k": 8, "sigma": 1.0})
+DEMANDS.register("explicit", _explicit_demands, example={"demands": [20, 15, 10], "n": 100})
+DEMANDS.register(
+    "step", _step_demands, example={"steps": [[0, [20, 20]], [50, [35, 5]]], "n": 100}
+)
+DEMANDS.register(
+    "periodic", _periodic_demands, example={"phases": [[20, 20], [35, 5]], "n": 100, "period": 25}
+)
+DEMANDS.register(
+    "periodic_proportional",
+    _periodic_proportional,
+    example={"n": 100, "phase_weights": [[1, 1], [3, 1]], "period": 25},
+)
 
 
 # ----------------------------------------------------------------------
@@ -228,8 +240,8 @@ def _step_population(steps: Sequence[Sequence[int]]) -> StepPopulation:
     return StepPopulation(built)
 
 
-POPULATIONS.register("static", StaticPopulation)
-POPULATIONS.register("step", _step_population)
+POPULATIONS.register("static", StaticPopulation, example={"n": 100})
+POPULATIONS.register("step", _step_population, example={"steps": [[0, 100], [200, 60]]})
 
 
 # ----------------------------------------------------------------------
@@ -263,13 +275,15 @@ def available_populations() -> list[str]:
     return POPULATIONS.names()
 
 
-def register_feedback(name: str, factory, *, allow_overwrite: bool = False) -> None:
-    FEEDBACKS.register(name, factory, allow_overwrite=allow_overwrite)
+def register_feedback(name: str, factory, *, allow_overwrite: bool = False, example=None) -> None:
+    FEEDBACKS.register(name, factory, allow_overwrite=allow_overwrite, example=example)
 
 
-def register_demand(name: str, factory, *, allow_overwrite: bool = False) -> None:
-    DEMANDS.register(name, factory, allow_overwrite=allow_overwrite)
+def register_demand(name: str, factory, *, allow_overwrite: bool = False, example=None) -> None:
+    DEMANDS.register(name, factory, allow_overwrite=allow_overwrite, example=example)
 
 
-def register_population(name: str, factory, *, allow_overwrite: bool = False) -> None:
-    POPULATIONS.register(name, factory, allow_overwrite=allow_overwrite)
+def register_population(
+    name: str, factory, *, allow_overwrite: bool = False, example=None
+) -> None:
+    POPULATIONS.register(name, factory, allow_overwrite=allow_overwrite, example=example)

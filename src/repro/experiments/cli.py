@@ -23,6 +23,8 @@ Usage::
     repro-experiments sched work <dir> [--grid DIGEST] [--ttl S] [--poll S]
         [--max-points N] [--shared-pi-cache] [--worker-id ID]
     repro-experiments sched status <dir> [--grid DIGEST] [--ttl S] [--json]
+    repro-experiments lint <paths...> [--disable IDS] [--no-registry]
+        [--json] [--list-rules]
 
 ``scenario sweep --store DIR`` commits every completed point to the
 store; adding ``--resume`` serves already-committed points from disk
@@ -196,6 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
     sstatus.add_argument("--grid", default=None, help="grid digest (optional if unambiguous)")
     sstatus.add_argument("--ttl", type=float, default=60.0, help="lease freshness TTL")
     sstatus.add_argument("--json", action="store_true", help="canonical JSON output")
+    lintp = sub.add_parser(
+        "lint",
+        help="run the determinism & store-protocol linter (same as python -m repro.lint)",
+    )
+    lintp.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.lint (paths, --disable, --json, --list-rules ...)",
+    )
+    # argparse.REMAINDER does not swallow a *leading* option (e.g.
+    # ``lint --list-rules``), so main() short-circuits the dispatch for
+    # ``lint`` before parsing; the subparser exists for --help listings.
     return parser
 
 
@@ -318,15 +332,15 @@ def _scenario_sweep_main(args: argparse.Namespace) -> int:
 def _ls_json_payload(store) -> dict[str, Any]:
     """The ``store ls --json`` payload: canonical and byte-stable.
 
-    Records sort by digest and incidental fields (wall-clock
-    ``created_unix``) are stripped, so two stores holding the same
-    records — e.g. the interrupted and uninterrupted stores of the
-    chaos smoke — serialize to identical bytes.
+    Records sort by digest and manifests carry no wall-clock fields
+    (lint-enforced, RPR002), so two stores holding the same records —
+    e.g. the interrupted and uninterrupted stores of the chaos smoke —
+    serialize to identical bytes with no field stripping at all.
     """
-    records = []
-    for digest, meta in store.iter_records():  # iter_records sorts by path
-        meta = {k: v for k, v in meta.items() if k != "created_unix"}
-        records.append({"digest": digest, "meta": meta})
+    records = [
+        {"digest": digest, "meta": meta}
+        for digest, meta in store.iter_records()  # iter_records sorts by path
+    ]
     records.sort(key=lambda r: r["digest"])
     return {"count": len(records), "records": records}
 
@@ -509,6 +523,12 @@ def _scenario_main(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "scenario":
         return _scenario_main(args)

@@ -1,0 +1,45 @@
+"""repro.lint — AST-based determinism & store-protocol linter.
+
+Every guarantee the store/sched stack ships — bit-identical resume,
+byte-diffable stores, crash-safe leases — rests on coding conventions
+that are invisible to a type checker: RNG flows through seeded
+generators, wall-clock never reaches record manifests, digest-bound
+JSON is canonical, store writes are tmp-then-rename.  This package
+enforces those conventions statically, so a future PR cannot break a
+determinism invariant without either fixing the code or writing an
+explicit ``# repro-lint: disable=RPRxxx`` pragma into the diff.
+
+Rules
+-----
+
+========  ==============================================================
+RPR001    no global-state RNG outside ``repro/util/rng.py``
+RPR002    wall-clock quarantine (digest/record/manifest code)
+RPR003    canonical ``json.dumps`` in store/sched/CLI-JSON paths
+RPR004    atomic-write protocol under store/sched packages
+RPR005    no float ``==``/``!=`` against computed expressions
+RPR006    registry/spec consistency (live import-time check)
+========  ==============================================================
+
+Run ``python -m repro.lint src benchmarks`` (or ``repro-experiments
+lint``); see :mod:`repro.lint.cli` for flags and exit codes and
+:mod:`repro.lint.pragmas` for suppression syntax.
+"""
+
+from repro.lint.cli import lint_file, lint_paths, main
+from repro.lint.findings import EXIT_CLEAN, EXIT_FINDINGS, PARSE_ERROR_ID, Finding
+from repro.lint.registry_check import check_registries
+from repro.lint.rules import AST_RULES, rule_table
+
+__all__ = [
+    "AST_RULES",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "PARSE_ERROR_ID",
+    "Finding",
+    "check_registries",
+    "lint_file",
+    "lint_paths",
+    "main",
+    "rule_table",
+]

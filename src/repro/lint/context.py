@@ -1,0 +1,122 @@
+"""Per-file analysis context shared by every AST rule.
+
+A :class:`FileContext` owns the parsed tree plus the three derived
+structures the rules keep needing:
+
+* an **import map** — local name -> fully qualified module/object name,
+  so a rule matches ``numpy.random.random`` whether the file wrote
+  ``np.random.random(...)``, ``numpy.random.random(...)``, or
+  ``from numpy.random import random``;
+* **parent links** — child node -> enclosing node, so a rule can ask
+  "is this call inside a dict literal with manifest-ish keys?";
+* the **pragma table** (:mod:`repro.lint.pragmas`).
+
+Module scoping uses :meth:`FileContext.in_module`: rules describe the
+files they quarantine as ``repro/...`` path suffixes, which works for
+an installed tree, a ``src/`` layout checkout, and the copied-fixture
+trees the lint tests build under ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.pragmas import FilePragmas, parse_pragmas
+
+__all__ = ["FileContext", "qualified_name"]
+
+
+def _build_import_map(tree: ast.AST) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    # ``import numpy.random`` binds the top-level name;
+                    # attribute chains below it resolve through it.
+                    top = alias.name.split(".")[0]
+                    imports[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative imports never name stdlib/numpy
+                continue
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{module}.{alias.name}" if module else alias.name
+    return imports
+
+
+def qualified_name(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """The fully qualified name an attribute chain resolves to.
+
+    ``np.random.random`` with ``import numpy as np`` resolves to
+    ``"numpy.random.random"``; chains rooted in anything but an imported
+    name (locals, call results) resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = imports.get(node.id)
+    if base is None:
+        return None
+    return ".".join([base, *reversed(parts)]) if parts else base
+
+
+class FileContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = Path(path)
+        self.source = source
+        self.tree = tree
+        self.imports = _build_import_map(tree)
+        self.pragmas: FilePragmas = parse_pragmas(source)
+        self._parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, path: Path, source: str | None = None) -> "FileContext":
+        """Parse ``path`` (raises ``SyntaxError`` for unparsable files)."""
+        if source is None:
+            source = Path(path).read_text(encoding="utf-8")
+        return cls(path, source, ast.parse(source, filename=str(path)))
+
+    # ------------------------------------------------------------------
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    def in_module(self, *suffixes: str) -> bool:
+        """True when this file is one of the named ``repro/...`` modules."""
+        return any(self.posix.endswith(suffix) for suffix in suffixes)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when this file lives under one of the named packages
+        (prefixes like ``repro/store/`` matched anywhere in the path)."""
+        return any(prefix in self.posix for prefix in prefixes)
+
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.AST) -> str | None:
+        return qualified_name(node, self.imports)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The enclosing nodes of ``node``, innermost first."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)

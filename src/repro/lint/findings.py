@@ -1,0 +1,65 @@
+"""Findings: what the linter reports, and how it is rendered.
+
+A :class:`Finding` is one rule violation pinned to a file and line.
+Findings are plain frozen data so rule implementations stay trivially
+testable, and they render in the classic ``path:line:col: ID message``
+compiler format that editors and CI annotators already parse.
+
+Exit codes (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / ``2`` from
+argparse for usage errors) mirror ruff/flake8 so the CI job needs no
+adapter logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "PARSE_ERROR_ID",
+    "Finding",
+    "sort_findings",
+]
+
+#: No findings: the tree satisfies every enabled rule.
+EXIT_CLEAN = 0
+
+#: At least one unsuppressed finding (or an unparsable file).
+EXIT_FINDINGS = 1
+
+#: Pseudo-rule ID for files the linter cannot parse at all.  A syntax
+#: error is always a finding — an unparsable file is an unverifiable
+#: file, and silently skipping it would make the gate vacuous.
+PARSE_ERROR_ID = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RPRxxx message`` (compiler-style)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (the ``--json`` report payload)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic report order: by path, then line, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

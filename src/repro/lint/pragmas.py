@@ -1,0 +1,80 @@
+"""Pragma suppression: ``# repro-lint: disable=RPRxxx``.
+
+Two scopes:
+
+* **line** — ``# repro-lint: disable=RPR002`` trailing (or sharing a
+  line with) the offending statement suppresses the named rules on that
+  line only;
+* **file** — ``# repro-lint: disable-file=RPR004`` anywhere in the file
+  suppresses the named rules for the whole file (for modules that *are*
+  the sanctioned implementation of a protocol, e.g. the atomic-write
+  helpers themselves).
+
+Several IDs separate with commas (``disable=RPR001,RPR005``) and
+``disable=all`` suppresses every rule.  Pragmas are read from real
+comment tokens via :mod:`tokenize`, so pragma-looking text inside string
+literals never suppresses anything.
+
+Suppression is deliberately *loud* in review: the pragma sits on the
+line it silences, so every exemption from a determinism invariant is
+visible in the diff that introduces it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["FilePragmas", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+)"
+)
+
+
+class FilePragmas:
+    """The suppression state of one source file."""
+
+    def __init__(self) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+
+    def add(self, scope: str, line: int, rule_ids: set[str]) -> None:
+        if scope == "disable-file":
+            self.file_wide |= rule_ids
+        else:
+            self.by_line.setdefault(line, set()).update(rule_ids)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled at ``line`` (or file-wide)."""
+        for scope in (self.file_wide, self.by_line.get(line, ())):
+            if rule in scope or "all" in scope:
+                return True
+        return False
+
+
+def _parse_ids(text: str) -> set[str]:
+    return {part.strip() for part in text.split(",") if part.strip()}
+
+
+def parse_pragmas(source: str) -> FilePragmas:
+    """Extract every pragma comment from ``source``.
+
+    Tolerates tokenization failures (the caller reports the syntax error
+    as its own finding): whatever prefix tokenizes still contributes its
+    pragmas.
+    """
+    pragmas = FilePragmas()
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            pragmas.add(match.group("scope"), token.start[0], _parse_ids(match.group("ids")))
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        pass
+    return pragmas

@@ -1,0 +1,135 @@
+"""RPR006 — registry/spec consistency, checked against the live registries.
+
+Unlike RPR001–005 this is not an AST pass: it imports the component
+registries (algorithms, feedbacks, demands, populations, engines) and
+verifies, for every registered name, the three properties the
+declarative scenario layer and the process-parallel runners assume:
+
+* the factory **resolves** (``Registry.get`` succeeds — a registration
+  that raises lazily would otherwise only fail inside a worker);
+* the factory is **picklable** — ``ScenarioFactory`` ships specs to
+  ``ProcessPoolExecutor`` workers and ``sched`` forks worker processes,
+  so a lambda or closure factory would die only at sweep time;
+* its declared **example params JSON-round-trip canonically**
+  (``json.loads(canonical_json(example)) == example``) — the params of
+  every component reach :func:`~repro.store.digest_hex`, so an example
+  that cannot round-trip means the component cannot be content-addressed.
+
+Every registration must declare an example (``Registry.register(...,
+example={...})``): the example doubles as executable documentation and
+as the probe object for the round-trip property.
+
+Findings point at the module that performed the registration, so the
+fix is one hop from the report.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pickle
+from typing import Any, Iterator
+
+from repro.lint.findings import Finding
+
+__all__ = ["RegistryConsistencyCheck", "check_registries"]
+
+
+class RegistryConsistencyCheck:
+    """RPR006: every registered factory resolves, pickles, round-trips."""
+
+    rule_id = "RPR006"
+    title = "registry/spec consistency (resolvable, picklable, JSON-round-trip examples)"
+
+
+def _location(registry_module: Any, factory: Any) -> tuple[str, int]:
+    """Best-effort source location: the factory def, else the registry."""
+    for obj in (factory, registry_module):
+        try:
+            path = inspect.getsourcefile(obj)
+            if path is None:
+                continue
+            try:
+                # getsourcelines reports 0 for whole modules; clamp to 1.
+                line = max(inspect.getsourcelines(obj)[1], 1)
+            except (OSError, TypeError):
+                line = 1
+            return path, line
+        except TypeError:
+            continue
+    return getattr(registry_module, "__name__", "<registry>"), 1
+
+
+def _finding(registry_module: Any, factory: Any, message: str) -> Finding:
+    path, line = _location(registry_module, factory)
+    return Finding(
+        rule=RegistryConsistencyCheck.rule_id, path=path, line=line, col=1, message=message
+    )
+
+
+def _check_registry(kind: str, registry: Any, registry_module: Any) -> Iterator[Finding]:
+    import json
+
+    from repro.store.digest import canonical_json
+
+    for name in registry.names():
+        try:
+            factory = registry.get(name)
+        except Exception as exc:  # resolution is the property under test
+            yield _finding(
+                registry_module, None, f"{kind} {name!r} does not resolve: {exc}"
+            )
+            continue
+        try:
+            pickle.dumps(factory)
+        except Exception as exc:
+            yield _finding(
+                registry_module,
+                factory,
+                f"{kind} {name!r} factory is not picklable ({exc}); sweeps ship "
+                "factories to worker processes — register a module-level callable",
+            )
+        example = registry.example(name)
+        if example is None:
+            yield _finding(
+                registry_module,
+                factory,
+                f"{kind} {name!r} declares no example params; register with "
+                "example={...} so the canonical round-trip property is checked",
+            )
+            continue
+        try:
+            rendered = canonical_json(example)
+        except Exception as exc:
+            yield _finding(
+                registry_module,
+                factory,
+                f"{kind} {name!r} example params are not canonical-JSON "
+                f"serializable: {exc}",
+            )
+            continue
+        if json.loads(rendered) != example:
+            yield _finding(
+                registry_module,
+                factory,
+                f"{kind} {name!r} example params do not JSON-round-trip "
+                "(non-string keys, tuples, or numpy scalars?); digested params "
+                "must be plain JSON data",
+            )
+
+
+def check_registries() -> list[Finding]:
+    """Run RPR006 over every built-in component registry."""
+    import repro.core.registry as core_registry
+    import repro.env.registry as env_registry
+    import repro.scenario.engines as engines
+
+    findings: list[Finding] = []
+    for kind, registry, module in (
+        ("algorithm", core_registry.ALGORITHMS, core_registry),
+        ("feedback", env_registry.FEEDBACKS, env_registry),
+        ("demand", env_registry.DEMANDS, env_registry),
+        ("population", env_registry.POPULATIONS, env_registry),
+        ("engine", engines.ENGINES, engines),
+    ):
+        findings.extend(_check_registry(kind, registry, module))
+    return findings

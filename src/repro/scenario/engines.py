@@ -125,9 +125,16 @@ def _build_sequential(
     )
 
 
-ENGINES.register("agent", _build_agent)
-ENGINES.register("counting", _build_counting)
-ENGINES.register("sequential", _build_sequential)
+# ``example=`` lists each engine's spec-level params (what EngineSpec
+# params may carry) — the components and seed are injected at build time.
+# Kept honest by the RPR006 registry-consistency lint check.
+ENGINES.register("agent", _build_agent, example={"initial_assignment": "all_idle"})
+ENGINES.register(
+    "counting",
+    _build_counting,
+    example={"join_strategy": "exact", "join_kernel_method": "auto", "pi_cache": True},
+)
+ENGINES.register("sequential", _build_sequential, example={"initial_assignment": "all_idle"})
 
 
 def make_engine(name: str, **kwargs):
@@ -145,6 +152,7 @@ def register_engine(
     *,
     allow_overwrite: bool = False,
     population_aware: bool = False,
+    example=None,
 ) -> None:
     """Register a custom engine builder.
 
@@ -153,8 +161,10 @@ def register_engine(
     a ``run(rounds, **run_kwargs)`` method.  Pass ``population_aware=True``
     when the builder actually consumes a population schedule; otherwise
     specs pairing it with a population are rejected at construction.
+    ``example`` (representative JSON-safe engine params) is optional for
+    plugins but required by the RPR006 lint check for built-ins.
     """
-    ENGINES.register(name, factory, allow_overwrite=allow_overwrite)
+    ENGINES.register(name, factory, allow_overwrite=allow_overwrite, example=example)
     if population_aware:
         POPULATION_AWARE_ENGINES.add(name)
     else:

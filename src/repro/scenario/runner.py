@@ -39,7 +39,6 @@ the seeds — and therefore the results — of existing points.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
@@ -272,6 +271,9 @@ def _summary_record(
     }
     if summary.closenesses is not None:
         arrays["closenesses"] = summary.closenesses
+    # Deliberately no wall-clock field (RPR002): record bytes must be a
+    # pure function of the point's content so sweep stores byte-compare
+    # — the same guarantee sched's point_record already made.
     meta = {
         "kind": "sweep_point",
         "label": summary.label,
@@ -279,7 +281,6 @@ def _summary_record(
         "rounds": summary.rounds,
         "parameter": parameter,
         "value": value,
-        "created_unix": time.time(),
         "repro_version": __version__,
     }
     return arrays, meta

@@ -32,13 +32,14 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 import numpy as np
+import numpy.typing as npt
 
 from repro._version import __version__
 from repro.exceptions import ConfigurationError
 from repro.scenario.runner import sweep_point_digest, sweep_point_seed
 from repro.scenario.spec import ScenarioSpec
 from repro.sim.runner import TrialSummary
-from repro.store import STORE_FORMAT, digest_hex
+from repro.store import STORE_FORMAT, canonical_json, digest_hex
 from repro.store.records import Record
 from repro.util.validation import check_integer
 
@@ -52,7 +53,9 @@ def _canonical_values(parameter: str, values: Any) -> tuple[Any, ...]:
             f"grid axis {parameter!r} needs a non-empty list of values"
         )
     try:
-        return tuple(json.loads(json.dumps(values, allow_nan=False)))
+        # canonical_json (not bare json.dumps) so the normalized values
+        # are exactly what the digest layer will see — RPR003.
+        return tuple(json.loads(canonical_json(values)))
     except (TypeError, ValueError) as exc:
         raise ConfigurationError(
             f"grid axis {parameter!r} values must be JSON-serializable "
@@ -80,7 +83,7 @@ class GridAxis:
         return {"parameter": self.parameter, "values": list(self.values)}
 
     @classmethod
-    def from_dict(cls, data: "dict | GridAxis") -> "GridAxis":
+    def from_dict(cls, data: "Mapping[str, Any] | GridAxis") -> "GridAxis":
         if isinstance(data, cls):
             return data
         if not isinstance(data, Mapping):
@@ -135,6 +138,7 @@ class GridSpec:
     rounds: int | None = None
     trials: int = 5
     run_overrides: dict[str, Any] = field(default_factory=dict)
+    _points: tuple[GridPoint, ...] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if isinstance(self.spec, Mapping):
@@ -154,7 +158,7 @@ class GridSpec:
         object.__setattr__(self, "rounds", check_integer("rounds", rounds, minimum=1))
         object.__setattr__(self, "trials", check_integer("trials", self.trials, minimum=1))
         try:
-            run_overrides = json.loads(json.dumps(dict(self.run_overrides), allow_nan=False))
+            run_overrides = json.loads(canonical_json(dict(self.run_overrides)))
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"run_overrides must be JSON-serializable: {exc}") from exc
         object.__setattr__(self, "run_overrides", run_overrides)
@@ -222,7 +226,7 @@ class GridSpec:
 
     def points(self) -> tuple[GridPoint, ...]:
         """Every grid point, in canonical (row-major) order."""
-        return self._points  # type: ignore[attr-defined]
+        return self._points
 
     def closeness_inputs(self) -> tuple[float | None, float | None]:
         """``(gamma_star, total_demand)`` for trial summaries (base spec)."""
@@ -251,7 +255,7 @@ class GridSpec:
             "axes": [axis.to_dict() for axis in self.axes],
             "rounds": self.rounds,
             "trials": self.trials,
-            "run_overrides": json.loads(json.dumps(self.run_overrides)),
+            "run_overrides": json.loads(canonical_json(self.run_overrides)),
         }
 
     @classmethod
@@ -288,7 +292,7 @@ class GridSpec:
 
 def point_record(
     point: GridPoint, summary: TrialSummary
-) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+) -> tuple[dict[str, npt.NDArray[np.float64]], dict[str, Any]]:
     """``(arrays, meta)`` persisting one computed grid point.
 
     Deliberately contains no wall-clock field: together with the
@@ -299,7 +303,7 @@ def point_record(
     :func:`~repro.scenario.sweep_point_digest`, so single-axis records
     stay readable by ``sweep_scenario`` resumes.
     """
-    arrays: dict[str, np.ndarray] = {
+    arrays: dict[str, npt.NDArray[np.float64]] = {
         "average_regrets": summary.average_regrets,
         "max_abs_deficits": summary.max_abs_deficits,
         "switches_per_round": summary.switches_per_round,

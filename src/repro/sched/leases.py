@@ -173,7 +173,8 @@ class LeaseManager:
             stat = path.stat()
         except OSError:
             return False
-        return (time.time() - stat.st_mtime) <= self.ttl
+        # Lease freshness is the mtime heartbeat against the wall clock.
+        return (time.time() - stat.st_mtime) <= self.ttl  # repro-lint: disable=RPR002
 
     # ------------------------------------------------------------------
     def _log_reclaim(self, digest: str, evicted: dict[str, Any]) -> None:

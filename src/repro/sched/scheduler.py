@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import SchedulerError
 from repro.sim.runner import SweepResult, TrialSummary
@@ -216,6 +217,7 @@ def run_grid(
 
     # "fork" keeps worker start cheap and inherits the warmed import
     # state; fall back to the platform default elsewhere.
+    ctx: multiprocessing.context.BaseContext
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -276,7 +278,7 @@ class GridResult:
     grid: GridSpec
     summaries: list[TrialSummary]
 
-    def series(self, attribute: str = "mean_average_regret") -> np.ndarray:
+    def series(self, attribute: str = "mean_average_regret") -> npt.NDArray[np.float64]:
         """One summary statistic per point, in grid (row-major) order.
 
         Reshape with ``.reshape(grid.shape)`` to index by axis value.

@@ -81,10 +81,13 @@ def run_worker(
     store = ResultStore.coerce(store)
     if heartbeat_interval is None:
         heartbeat_interval = ttl / 4.0
+    pi_cache: SharedPiCache | None
     if shared_pi_cache is True:
-        shared_pi_cache = SharedPiCache(disk=store.pi_cache())
-    elif shared_pi_cache is False:
-        shared_pi_cache = None
+        pi_cache = SharedPiCache(disk=store.pi_cache())
+    elif isinstance(shared_pi_cache, SharedPiCache):
+        pi_cache = shared_pi_cache
+    else:
+        pi_cache = None
 
     grid_dir = store.sched_dir / grid.grid_digest()
     manager = LeaseManager(grid_dir, ttl=ttl, worker_id=worker_id)
@@ -112,7 +115,7 @@ def run_worker(
                     continue
                 with lease.heartbeat(heartbeat_interval) as lost:
                     summary = run_trials(
-                        ScenarioFactory(point.spec, shared_pi_cache),
+                        ScenarioFactory(point.spec, pi_cache),
                         grid.rounds,
                         grid.trials,
                         seed=point.seed,

@@ -33,6 +33,7 @@ import tempfile
 from pathlib import Path
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["DiskPiCache"]
 
@@ -83,7 +84,7 @@ class DiskPiCache:
         return self.root / method / name[:2] / f"{name}{_SUFFIX}"
 
     # ------------------------------------------------------------------
-    def get(self, key: PiKey) -> np.ndarray | None:
+    def get(self, key: PiKey) -> npt.NDArray[np.float64] | None:
         """The stored distribution, or ``None`` (missing or corrupt)."""
         path = self.path_for(key)
         try:
@@ -99,7 +100,7 @@ class DiskPiCache:
         self.hits += 1
         return pi
 
-    def put(self, key: PiKey, pi: np.ndarray) -> None:
+    def put(self, key: PiKey, pi: npt.NDArray[np.float64]) -> None:
         """Persist ``pi`` under ``key`` (atomic write-then-rename)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)

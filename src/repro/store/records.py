@@ -46,6 +46,7 @@ from typing import Any, Mapping
 from zipfile import BadZipFile
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import ConfigurationError
 from repro.store.digest import STORE_FORMAT
@@ -78,7 +79,7 @@ class Record:
 
     digest: str
     meta: dict[str, Any]
-    arrays: dict[str, np.ndarray]
+    arrays: dict[str, npt.NDArray[Any]]
 
 
 def _check_digest(digest: str) -> str:
@@ -94,7 +95,7 @@ def _check_digest(digest: str) -> str:
 _ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
-def deterministic_npz_bytes(arrays: Mapping[str, np.ndarray]) -> bytes:
+def deterministic_npz_bytes(arrays: Mapping[str, npt.NDArray[Any]]) -> bytes:
     """An ``np.load``-compatible npz container with reproducible bytes.
 
     Entries are written in sorted name order with a fixed timestamp and
@@ -134,7 +135,7 @@ def atomic_write_bytes(path: Path, data: bytes) -> None:
 def write_record(
     directory: Path,
     digest: str,
-    arrays: Mapping[str, np.ndarray],
+    arrays: Mapping[str, npt.NDArray[Any]],
     meta: Mapping[str, Any],
 ) -> Path:
     """Atomically persist a record; returns the manifest path.

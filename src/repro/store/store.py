@@ -30,7 +30,7 @@ import time
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import ConfigurationError
 from repro.store.digest import STORE_FORMAT
@@ -69,7 +69,7 @@ class ResultStore:
     every public API that takes a store (see :meth:`coerce`).
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: "ResultStore | str | Path") -> None:
         if isinstance(root, ResultStore):  # defensive: coerce() is the public path
             root = root.root
         self.root = Path(root)
@@ -118,7 +118,7 @@ class ResultStore:
         return read_record(self.record_dir(digest), digest)
 
     def write_record(
-        self, digest: str, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+        self, digest: str, arrays: Mapping[str, npt.NDArray[Any]], meta: Mapping[str, Any]
     ) -> Path:
         """Atomically persist a record; returns the manifest path."""
         return write_record(self.record_dir(digest), digest, arrays, meta)

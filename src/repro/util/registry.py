@@ -12,7 +12,7 @@ wrappers around it.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Mapping
 from typing import Any
 
 from repro.exceptions import ConfigurationError
@@ -44,6 +44,7 @@ class Registry:
             raise ConfigurationError("registry kind must be a non-empty string")
         self.kind = kind
         self._factories: dict[str, Callable[..., Any]] = {}
+        self._examples: dict[str, dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     def register(
@@ -52,12 +53,20 @@ class Registry:
         factory: Callable[..., Any],
         *,
         allow_overwrite: bool = False,
+        example: Mapping[str, Any] | None = None,
     ) -> None:
         """Register ``factory`` under ``name``.
 
         Raises :class:`ConfigurationError` if the name is already taken,
         unless ``allow_overwrite=True`` (registries must stay unambiguous;
         deliberate replacement has to be explicit).
+
+        ``example`` is an optional mapping of representative keyword
+        params.  It is executable documentation *and* a lint probe: the
+        RPR006 registry-consistency check (:mod:`repro.lint`) asserts
+        every built-in registration declares one and that it round-trips
+        through canonical JSON — the property any params must satisfy to
+        be content-addressed by the store layer.
         """
         if not isinstance(name, str) or not name:
             raise ConfigurationError(f"{self.kind} name must be a non-empty string")
@@ -71,7 +80,16 @@ class Registry:
                 f"{self.kind} {name!r} is already registered "
                 "(pass allow_overwrite=True to replace it)"
             )
+        if example is not None and not isinstance(example, Mapping):
+            raise ConfigurationError(
+                f"{self.kind} {name!r} example must be a mapping of keyword "
+                f"params, got {type(example).__name__}"
+            )
         self._factories[name] = factory
+        if example is not None:
+            self._examples[name] = dict(example)
+        else:
+            self._examples.pop(name, None)
 
     def unregister(self, name: str) -> None:
         """Remove a registered name; unknown names raise."""
@@ -80,6 +98,7 @@ class Registry:
                 f"cannot unregister unknown {self.kind} {name!r}; known: {self.names()}"
             )
         del self._factories[name]
+        self._examples.pop(name, None)
 
     # ------------------------------------------------------------------
     def names(self) -> list[str]:
@@ -108,6 +127,12 @@ class Registry:
     def check(self, name: str) -> None:
         """Validate that ``name`` is registered (without instantiating)."""
         self.get(name)
+
+    def example(self, name: str) -> dict[str, Any] | None:
+        """The example params registered for ``name`` (a copy), if any."""
+        self.check(name)
+        example = self._examples.get(name)
+        return None if example is None else dict(example)
 
     def make(self, name: str, **kwargs: Any) -> Any:
         """Instantiate the component registered under ``name``."""

@@ -1,0 +1,37 @@
+"""Shared helpers for the linter tests.
+
+The module-scoped rules key off posix path suffixes (``repro/store/...``),
+so fixtures are written under ``tmp_path`` at a caller-chosen relative
+path — ``rel="repro/store/digest.py"`` makes a scratch file *be* a
+quarantined module as far as the rules are concerned.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import lint_file
+from repro.lint.findings import Finding
+
+
+@pytest.fixture
+def lint_source(tmp_path):
+    """``lint_source(source, rel=...)`` -> findings for a scratch file."""
+
+    def _lint(source: str, rel: str = "scratch/mod.py") -> list[Finding]:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_file(path)
+
+    return _lint
+
+
+def rules_of(findings: list[Finding]) -> set[str]:
+    return {f.rule for f in findings}
+
+
+REPO_ROOT = Path(__file__).resolve().parents[2]

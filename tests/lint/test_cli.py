@@ -1,0 +1,91 @@
+"""Linter CLI: exit codes, --json report, --list-rules, CLI passthrough."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main as experiments_main
+from repro.lint.cli import iter_python_files, lint_paths, main
+from repro.lint.findings import EXIT_CLEAN, EXIT_FINDINGS, PARSE_ERROR_ID
+from repro.lint.rules import rule_table
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A scratch tree with one clean and one violating module."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "clean.py").write_text("VALUE = 1\n", encoding="utf-8")
+    (tmp_path / "pkg" / "dirty.py").write_text("import random\n", encoding="utf-8")
+    return tmp_path
+
+
+def test_exit_clean_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    assert main([str(tmp_path), "--no-registry"]) == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_findings_with_rule_id_and_location(tree, capsys):
+    assert main([str(tree), "--no-registry"]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "dirty.py:1:1: RPR001" in out
+    assert "clean.py" not in out
+
+
+def test_unparsable_file_is_a_rpr000_finding(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def broken(:\n", encoding="utf-8")
+    assert main([str(tmp_path), "--no-registry"]) == EXIT_FINDINGS
+    assert PARSE_ERROR_ID in capsys.readouterr().out
+
+
+def test_usage_error_exits_2():
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+
+
+def test_json_report_is_canonical_and_structured(tree, capsys):
+    assert main([str(tree), "--no-registry", "--json"]) == EXIT_FINDINGS
+    out = capsys.readouterr().out.strip()
+    payload = json.loads(out)
+    assert [f["rule"] for f in payload["findings"]] == ["RPR001"]
+    assert payload["findings"][0]["path"].endswith("dirty.py")
+    # Canonical form: re-serializing with sorted keys reproduces the bytes.
+    assert out == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def test_disable_filters_rules(tree):
+    assert main([str(tree), "--no-registry", "--disable", "RPR001"]) == EXIT_CLEAN
+
+
+def test_list_rules_covers_all_six(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        assert rule_id in out
+    assert len(rule_table()) == 6
+
+
+def test_iter_python_files_skips_caches_and_dedupes(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n", encoding="utf-8")
+    real = tmp_path / "mod.py"
+    real.write_text("x = 1\n", encoding="utf-8")
+    found = list(iter_python_files([tmp_path, real]))
+    assert found == [real]
+
+
+def test_lint_paths_accepts_single_files(tree):
+    findings = lint_paths([tree / "pkg" / "dirty.py"], registry=False)
+    assert [f.rule for f in findings] == ["RPR001"]
+
+
+def test_repro_experiments_lint_passthrough(tree, capsys):
+    # Same pass, reachable from the main console entry point — including
+    # a leading option, which argparse.REMAINDER alone would reject.
+    assert experiments_main(["lint", "--list-rules"]) == EXIT_CLEAN
+    capsys.readouterr()
+    assert experiments_main(["lint", str(tree), "--no-registry"]) == EXIT_FINDINGS
+    assert "RPR001" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Pragma suppression: line scope, file scope, comma lists, ``all``."""
+
+from __future__ import annotations
+
+from repro.lint.pragmas import parse_pragmas
+from tests.lint.conftest import rules_of
+
+
+def test_line_pragma_suppresses_named_rule_only(lint_source):
+    assert lint_source("import random  # repro-lint: disable=RPR001\n") == []
+    # A pragma naming a different rule does not help.
+    findings = lint_source("import random  # repro-lint: disable=RPR002\n")
+    assert rules_of(findings) == {"RPR001"}
+
+
+def test_line_pragma_is_line_scoped(lint_source):
+    findings = lint_source(
+        """
+        import random  # repro-lint: disable=RPR001
+
+        ok = x == 1.5
+        """
+    )
+    assert rules_of(findings) == {"RPR005"}
+
+
+def test_comma_list_disables_several_rules(lint_source):
+    src = "import random  # repro-lint: disable=RPR001,RPR005\n"
+    assert lint_source(src) == []
+
+
+def test_disable_all_suppresses_everything_on_the_line(lint_source):
+    assert lint_source("import random  # repro-lint: disable=all\n") == []
+
+
+def test_file_pragma_suppresses_rule_everywhere(lint_source):
+    findings = lint_source(
+        """
+        # repro-lint: disable-file=RPR001
+        import random
+
+        x = random
+        ok = y == 2.5
+        """
+    )
+    # RPR001 silenced file-wide; RPR005 still reported.
+    assert rules_of(findings) == {"RPR005"}
+
+
+def test_pragma_text_inside_string_literal_is_inert(lint_source):
+    findings = lint_source(
+        """
+        DOC = "# repro-lint: disable=RPR001"
+        import random
+        """
+    )
+    assert rules_of(findings) == {"RPR001"}
+
+
+def test_parse_pragmas_reads_comment_tokens():
+    pragmas = parse_pragmas(
+        "x = 1  # repro-lint: disable=RPR003\n"
+        "# repro-lint: disable-file = RPR004, RPR005\n"
+    )
+    assert pragmas.by_line == {1: {"RPR003"}}
+    assert pragmas.file_wide == {"RPR004", "RPR005"}
+    assert pragmas.suppresses("RPR003", 1)
+    assert not pragmas.suppresses("RPR003", 2)
+    assert pragmas.suppresses("RPR004", 99)
+
+
+def test_parse_pragmas_survives_unfinished_source():
+    # A torn file still yields the pragmas of its tokenizable prefix;
+    # the syntax error itself is the caller's RPR000 finding.
+    pragmas = parse_pragmas("# repro-lint: disable-file=RPR001\ndef broken(:\n")
+    assert "RPR001" in pragmas.file_wide

@@ -1,0 +1,108 @@
+"""RPR006: live registry consistency — resolvable, picklable, round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import ALGORITHMS, register_algorithm, unregister_algorithm
+from repro.exceptions import ConfigurationError
+from repro.lint.registry_check import check_registries
+from repro.util.registry import Registry
+
+
+def rpr006_messages(findings):
+    assert all(f.rule == "RPR006" for f in findings)
+    return [f.message for f in findings]
+
+
+def test_builtin_registries_are_consistent():
+    assert check_registries() == []
+
+
+def test_lambda_factory_is_flagged_unpicklable_and_exampleless():
+    register_algorithm("bad_lambda", lambda gamma: None)
+    try:
+        messages = rpr006_messages(check_registries())
+        assert any("not picklable" in m and "bad_lambda" in m for m in messages)
+        assert any("declares no example" in m and "bad_lambda" in m for m in messages)
+    finally:
+        unregister_algorithm("bad_lambda")
+    assert check_registries() == []
+
+
+def test_non_roundtripping_example_is_flagged():
+    register_algorithm("bad_example", dict, example={"values": (1, 2)})
+    try:
+        messages = rpr006_messages(check_registries())
+        assert any("round-trip" in m and "bad_example" in m for m in messages)
+    finally:
+        unregister_algorithm("bad_example")
+
+
+def test_non_serializable_example_is_flagged():
+    register_algorithm("nan_example", dict, example={"x": float("nan")})
+    try:
+        messages = rpr006_messages(check_registries())
+        assert any("serializable" in m and "nan_example" in m for m in messages)
+    finally:
+        unregister_algorithm("nan_example")
+
+
+def test_findings_locate_the_factory_source():
+    assert check_registries() == []
+    register_algorithm("located", dict, example={"x": (1,)})
+    try:
+        [finding] = check_registries()
+        assert finding.path  # builtins fall back to the registry module
+        assert finding.line >= 1
+    finally:
+        unregister_algorithm("located")
+
+
+# ----------------------------------------------------------------------
+# Registry.example plumbing
+
+
+def test_example_accessor_returns_copy_or_none():
+    registry = Registry("widget")
+    registry.register("plain", dict)
+    registry.register("documented", dict, example={"teeth": 12})
+    assert registry.example("plain") is None
+    example = registry.example("documented")
+    assert example == {"teeth": 12}
+    example["teeth"] = 99
+    assert registry.example("documented") == {"teeth": 12}
+
+
+def test_example_for_unknown_name_raises():
+    registry = Registry("widget")
+    with pytest.raises(ConfigurationError):
+        registry.example("ghost")
+
+
+def test_unregister_and_overwrite_drop_stale_examples():
+    registry = Registry("widget")
+    registry.register("cog", dict, example={"teeth": 12})
+    registry.unregister("cog")
+    registry.register("cog", dict)
+    assert registry.example("cog") is None
+    registry.register("cog", dict, example={"teeth": 5}, allow_overwrite=True)
+    assert registry.example("cog") == {"teeth": 5}
+    registry.register("cog", dict, allow_overwrite=True)
+    assert registry.example("cog") is None
+
+
+def test_non_mapping_example_is_rejected():
+    registry = Registry("widget")
+    with pytest.raises(ConfigurationError):
+        registry.register("cog", dict, example=[1, 2])
+
+
+def test_every_builtin_algorithm_example_constructs():
+    # Examples are executable documentation: for the algorithm family the
+    # factories take no injected context, so each example must actually
+    # build the component it documents.
+    for name in ALGORITHMS.names():
+        example = ALGORITHMS.example(name)
+        assert example is not None, name
+        ALGORITHMS.make(name, **example)

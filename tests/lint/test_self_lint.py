@@ -1,0 +1,62 @@
+"""The gate the CI job enforces: the repo's own tree lints clean.
+
+Plus the two seeded regressions the linter was commissioned against:
+the ``created_unix`` timestamp that used to leak into sweep-point
+record meta (PR 6), and a global-state ``np.random.random()`` call
+injected into a copy of a real source module.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+from repro.lint.cli import lint_file, lint_paths
+from tests.lint.conftest import REPO_ROOT, rules_of
+
+
+def test_repo_tree_is_self_hosting():
+    """``python -m repro.lint src benchmarks`` must exit 0 on this tree."""
+    findings = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "benchmarks"], registry=True
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_seeded_regression_created_unix_in_record_meta(tmp_path):
+    # Verbatim shape of the pre-PR-7 bug in scenario/runner.py: a wall
+    # clock timestamp written into sweep-point record meta, which broke
+    # byte-identical re-runs and forced `store ls --json` to strip it.
+    runner = tmp_path / "repro" / "scenario" / "runner.py"
+    runner.parent.mkdir(parents=True)
+    runner.write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def point_meta(spec_digest):\n"
+        "    return {\n"
+        '        "kind": "sweep_point",\n'
+        '        "spec_digest": spec_digest,\n'
+        '        "created_unix": time.time(),\n'
+        "    }\n",
+        encoding="utf-8",
+    )
+    findings = lint_file(runner)
+    assert rules_of(findings) == {"RPR002"}
+    assert findings[0].line == 8
+    assert "time.time" in findings[0].message
+
+
+def test_seeded_regression_injected_global_rng(tmp_path):
+    # Copy a real source module and append a global-state RNG call: the
+    # linter must localize the injected line, not drown it in noise
+    # from the (clean) original content.
+    original = REPO_ROOT / "src" / "repro" / "scenario" / "runner.py"
+    assert lint_file(original) == []
+    tainted = tmp_path / "runner.py"
+    shutil.copyfile(original, tainted)
+    n_lines = len(original.read_text(encoding="utf-8").splitlines())
+    with tainted.open("a", encoding="utf-8") as fh:
+        fh.write("\nimport numpy as np\n_BAD = np.random.random()\n")
+    findings = lint_file(tainted)
+    assert rules_of(findings) == {"RPR001"}
+    assert findings[0].line == n_lines + 3
