@@ -6,7 +6,7 @@ Usage::
     repro-experiments run E3 [--scale quick|full] [--seed N]
     repro-experiments run all [--scale quick]
     repro-experiments scenario run <file.json> [--rounds N] [--trials T]
-                                               [--parallel P] [--seed S]
+                                               [--parallel P] [--batch B] [--seed S]
     repro-experiments scenario sweep <file.json> --param algorithm.gamma
         --values 0.02,0.03 [--trials T] [--rounds N] [--parallel P]
         [--store DIR] [--resume] [--shared-pi-cache]
@@ -78,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--rounds", type=int, default=None, help="override spec.rounds")
     srun.add_argument("--trials", type=int, default=1, help="independent trials")
     srun.add_argument("--parallel", type=int, default=0, help="worker processes")
+    srun.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="batched-engine lanes per chunk (counting engines; 0 forces serial, "
+        "default defers to the spec)",
+    )
     srun.add_argument("--seed", type=int, default=None, help="override spec.seed")
     ssweep = ssub.add_parser(
         "sweep", help="sweep one spec parameter (store-backed and resumable)"
@@ -501,6 +508,7 @@ def _scenario_main(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         trials=args.trials,
         parallel=args.parallel,
+        batch=args.batch,
         seed=args.seed,
     )
     dt = time.perf_counter() - t0

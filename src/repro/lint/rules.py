@@ -62,6 +62,14 @@ class GlobalRngRule(Rule):
     process-global numpy state, the stdlib ``random`` module, or an
     OS-entropy ``default_rng()``.  Only :mod:`repro.util.rng`, the
     sanctioned seed-management module, is exempt.
+
+    Explicit-state constructions pass without exemption: the batched
+    engine (:mod:`repro.sim.batched`) derives one per-lane substream via
+    each lane's ``RngFactory.stream("counting")`` — the same
+    ``SeedSequence`` spawn scheme as the serial engine — and
+    :mod:`repro.util.rng_block` replays draws from those ``Generator``
+    objects, so neither opens a new global-RNG surface (pinned by
+    ``tests/lint/test_rules.py``).
     """
 
     rule_id = "RPR001"

@@ -53,6 +53,7 @@ from repro.store import STORE_FORMAT, ResultStore, digest_hex, seed_from_digest
 from repro.store.records import Record
 from repro.util.validation import check_integer
 
+from repro.scenario.engines import BATCHED_ENGINES
 from repro.scenario.spec import ScenarioSpec
 
 __all__ = [
@@ -90,6 +91,28 @@ class ScenarioFactory:
         return self.spec.build(seed=seed, shared_pi_cache=self.shared_pi_cache)
 
 
+def _resolve_batch(
+    spec: ScenarioSpec, batch: int | None, parallel: int
+) -> tuple[int, str]:
+    """``(batch, array_backend)`` for a spec's multi-trial runs.
+
+    An explicit ``batch=`` wins outright (``run_trials`` rejects the
+    combination with ``processes``).  Otherwise a batched engine spec
+    (``counting_batched``) supplies its ``batch``/``backend`` params as
+    the default — unless the caller asked for process parallelism, which
+    takes precedence as the explicitly requested axis.
+    """
+    params = spec.engine.params
+    backend = str(params.get("backend", "numpy"))
+    if batch is not None:
+        return check_integer("batch", batch, minimum=0), backend
+    if spec.engine.name in BATCHED_ENGINES and parallel == 0:
+        from repro.sim.batched import DEFAULT_BATCH
+
+        return int(params.get("batch", DEFAULT_BATCH)), backend
+    return 0, backend
+
+
 def _closeness_inputs(spec: ScenarioSpec) -> tuple[float | None, float | None]:
     """``(gamma_star, total_demand)`` for trial summaries, when available."""
     if spec.gamma_star is None:
@@ -103,6 +126,7 @@ def run_scenario(
     rounds: int | None = None,
     trials: int = 1,
     parallel: int = 0,
+    batch: int | None = None,
     seed: int | None = None,
     label: str | None = None,
     keep_results: bool = True,
@@ -125,6 +149,12 @@ def run_scenario(
     parallel:
         Worker processes for multi-trial runs (0 = in-process).  The
         statistics are bit-identical to the serial path.
+    batch:
+        Lanes per :class:`~repro.sim.batched.BatchedCountingSimulator`
+        chunk for multi-trial runs (counting engines only; bit-identical
+        to serial trials).  ``None`` (default) defers to the spec: a
+        ``counting_batched`` engine supplies its ``batch``/``backend``
+        params, any other engine runs unbatched.  ``0`` forces serial.
     seed:
         Root seed override; defaults to ``spec.seed``.
     label:
@@ -153,6 +183,7 @@ def run_scenario(
         return simulator.run(rounds, **run_kwargs)
 
     gamma_star, total_demand = _closeness_inputs(spec)
+    batch, array_backend = _resolve_batch(spec, batch, parallel)
     return run_trials(
         ScenarioFactory(spec, shared_pi_cache),
         rounds,
@@ -162,6 +193,8 @@ def run_scenario(
         gamma_star=gamma_star,
         total_demand=total_demand,
         processes=parallel,
+        batch=batch,
+        array_backend=array_backend,
         keep_results=keep_results,
         **run_kwargs,
     )
@@ -317,6 +350,7 @@ def sweep_scenario(
     rounds: int | None = None,
     trials: int = 5,
     parallel: int = 0,
+    batch: int | None = None,
     keep_results: bool = False,
     shared_pi_cache: SharedPiCache | bool | None = None,
     store: "ResultStore | str | None" = None,
@@ -359,6 +393,11 @@ def sweep_scenario(
     point's seeds — and records — untouched.  The legacy ``"index"``
     derivation (``SeedSequence(seed).spawn(len(values))``) reshuffles
     seeds when a value is inserted, so it refuses to run store-backed.
+
+    ``batch`` behaves as in :func:`run_scenario`: ``None`` (default)
+    defers to the spec — a ``counting_batched`` engine runs each point's
+    trials through the batched executor — and ``0`` forces serial
+    trials.  Either way the sweep statistics are bit-identical.
 
     Only component params (``"component.param"`` paths) are sweepable:
     the trial runner controls the horizon and seed derivation itself,
@@ -405,6 +444,10 @@ def sweep_scenario(
 
     run_kwargs = {**spec.run_params, **run_overrides}
     gamma_star, total_demand = _closeness_inputs(spec)
+    # Resolved once from the base spec: engine params are performance
+    # knobs (results are bit-identical at any batch), so even a sweep
+    # over an engine param keeps the base spec's batching.
+    batch, array_backend = _resolve_batch(spec, batch, parallel)
     derived = [spec.with_param(parameter, value) for value in values]
 
     if seed_mode == "index":
@@ -458,6 +501,8 @@ def sweep_scenario(
             gamma_star=gamma_star,
             total_demand=total_demand,
             processes=parallel,
+            batch=batch,
+            array_backend=array_backend,
             keep_results=keep_results,
             params={parameter: value},
             **run_kwargs,

@@ -5,6 +5,9 @@
 * :class:`~repro.sim.counting.CountingSimulator` — task-level engine for
   Algorithm Ant and the trivial algorithm under i.i.d. noise: O(k) work
   per round via binomial/multinomial draws, exact in distribution.
+* :class:`~repro.sim.batched.BatchedCountingSimulator` — B counting
+  trials advanced as one (B, k) array program, bit-identical per lane to
+  the serial engine.
 * :class:`~repro.sim.sequential.SequentialSimulator` — the Appendix D.1
   one-ant-per-round schedule.
 * :mod:`~repro.sim.metrics` — regret / closeness / deficit traces.
@@ -21,7 +24,8 @@ from repro.sim.metrics import (
 )
 from repro.sim.trace import Trace
 from repro.sim.engine import Simulator, SimulationResult
-from repro.sim.counting import CountingSimulator
+from repro.sim.counting import CountingSimulator, JoinDistributionCache
+from repro.sim.batched import BatchedCountingSimulator, BatchedRegretTracker, DEFAULT_BATCH
 from repro.sim.pi_cache import SharedPiCache
 from repro.sim.sequential import SequentialSimulator
 from repro.sim.runner import TrialRunner, TrialSummary, SweepResult, run_trials, sweep
@@ -37,6 +41,10 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "CountingSimulator",
+    "JoinDistributionCache",
+    "BatchedCountingSimulator",
+    "BatchedRegretTracker",
+    "DEFAULT_BATCH",
     "SharedPiCache",
     "SequentialSimulator",
     "TrialRunner",

@@ -57,7 +57,12 @@ from repro.util.mathx import exact_join_probabilities, resolve_join_kernel_metho
 from repro.util.rng import RngFactory
 from repro.util.validation import check_integer
 
-__all__ = ["CountingSimulator", "JOIN_STRATEGIES", "PI_CACHE_MAX_ENTRIES"]
+__all__ = [
+    "CountingSimulator",
+    "JoinDistributionCache",
+    "JOIN_STRATEGIES",
+    "PI_CACHE_MAX_ENTRIES",
+]
 
 #: How the joint join counts of the idle pool are drawn each decision
 #: round.  Both are exact in distribution: ``"exact"`` (default) is one
@@ -73,6 +78,88 @@ JOIN_STRATEGIES = ("exact", "per_ant")
 #: therefore the key.  Eviction is FIFO once the capacity is reached;
 #: each entry holds one ``(k + 1,)`` float64 array.
 PI_CACHE_MAX_ENTRIES = 512
+
+
+class JoinDistributionCache:
+    """Content-addressed join-distribution lookup, all tiers in one place.
+
+    One instance serves one engine run context: the serial
+    :class:`CountingSimulator` owns one, and the batched engine
+    (:class:`repro.sim.batched.BatchedCountingSimulator`) owns one shared
+    by all of its lanes — which is exactly the cross-trial signature
+    deduplication the batched engine exists for.  Lookup order is the
+    local dict (FIFO-bounded by :data:`PI_CACHE_MAX_ENTRIES`), then the
+    optional cross-trial :class:`~repro.sim.pi_cache.SharedPiCache`
+    (memory then disk tier), then the kernel itself; fresh results are
+    published back to both layers.  Keys are the byte image of the
+    mark-probability vector ``u`` (shared-cache keys additionally pin
+    the resolved kernel back end), so stale reuse is structurally
+    impossible.  Per-tier hit/miss counters live here; engines expose
+    them and :meth:`reset_stats` rewinds them at each run.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool,
+        shared: SharedPiCache | None,
+        kernel_method: str,
+        resolved_method: str,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.shared = shared if self.enabled else None
+        self.kernel_method = kernel_method
+        self.resolved_method = resolved_method
+        self._local: dict[bytes, np.ndarray] = {}
+        self.local_hits = 0
+        self.shared_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        """Rewind every per-tier counter (cache *contents* stay warm —
+        they are content-addressed, so reuse across runs is correct)."""
+        self.local_hits = 0
+        self.shared_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits (local + shared + disk) since the last reset."""
+        return self.local_hits + self.shared_hits + self.disk_hits
+
+    def distribution(self, u: np.ndarray) -> np.ndarray:
+        """The exact action distribution for mark probabilities ``u``."""
+        if not self.enabled:
+            return exact_join_probabilities(u, method=self.kernel_method)
+        key = u.tobytes()
+        pi = self._local.get(key)
+        if pi is not None:
+            self.local_hits += 1
+            return pi
+        shared_key = None
+        if self.shared is not None:
+            shared_key = SharedPiCache.key(self.resolved_method, u)
+            pi, tier = self.shared.fetch(shared_key)
+            if pi is not None:
+                if tier == "disk":
+                    self.disk_hits += 1
+                else:
+                    self.shared_hits += 1
+                self._store_local(key, pi)
+                return pi
+        self.misses += 1
+        pi = exact_join_probabilities(u, method=self.kernel_method)
+        if shared_key is not None:
+            pi = self.shared.put(shared_key, pi)
+        self._store_local(key, pi)
+        return pi
+
+    def _store_local(self, key: bytes, pi: np.ndarray) -> None:
+        if len(self._local) >= PI_CACHE_MAX_ENTRIES:
+            self._local.pop(next(iter(self._local)))
+        self._local[key] = pi
 
 
 class CountingSimulator:
@@ -144,11 +231,6 @@ class CountingSimulator:
             )
         self.pi_cache_enabled = bool(pi_cache)
         self.shared_pi_cache = shared_pi_cache if self.pi_cache_enabled else None
-        self._pi_cache: dict[bytes, np.ndarray] = {}
-        self.pi_cache_local_hits = 0
-        self.pi_cache_shared_hits = 0
-        self.pi_cache_disk_hits = 0
-        self.pi_cache_misses = 0
         if not isinstance(algorithm, (AntAlgorithm, TrivialAlgorithm, PreciseSigmoidAlgorithm)):
             raise ConfigurationError(
                 "CountingSimulator supports AntAlgorithm, TrivialAlgorithm and "
@@ -179,6 +261,12 @@ class CountingSimulator:
         self._resolved_kernel_method = resolve_join_kernel_method(
             self.k, self.join_kernel_method
         )
+        self._join_cache = JoinDistributionCache(
+            enabled=self.pi_cache_enabled,
+            shared=self.shared_pi_cache,
+            kernel_method=self.join_kernel_method,
+            resolved_method=self._resolved_kernel_method,
+        )
         if initial_loads is None:
             initial_loads = np.zeros(self.k, dtype=np.int64)
         self.initial_loads = np.asarray(initial_loads, dtype=np.int64).copy()
@@ -189,12 +277,36 @@ class CountingSimulator:
         self._rng_factory = RngFactory(seed)
 
     # ------------------------------------------------------------------
+    # Cache statistics delegate to the JoinDistributionCache so that the
+    # serial and batched engines report them identically.
+    @property
+    def pi_cache_local_hits(self) -> int:
+        """Lookups served by this simulator's own cache since the last :meth:`run`."""
+        return self._join_cache.local_hits
+
+    @property
+    def pi_cache_shared_hits(self) -> int:
+        """Lookups served by the shared cache's memory tier since the last :meth:`run`."""
+        return self._join_cache.shared_hits
+
+    @property
+    def pi_cache_disk_hits(self) -> int:
+        """Lookups served by the shared cache's disk tier since the last :meth:`run`."""
+        return self._join_cache.disk_hits
+
+    @property
+    def pi_cache_misses(self) -> int:
+        """Lookups that actually ran the kernel since the last :meth:`run`."""
+        return self._join_cache.misses
+
     @property
     def pi_cache_hits(self) -> int:
         """Total cache hits (local + shared + disk) since the last :meth:`run`."""
-        return (
-            self.pi_cache_local_hits + self.pi_cache_shared_hits + self.pi_cache_disk_hits
-        )
+        return self._join_cache.hits
+
+    @property
+    def _pi_cache(self) -> dict[bytes, np.ndarray]:
+        return self._join_cache._local
 
     # ------------------------------------------------------------------
     def run(
@@ -223,10 +335,11 @@ class CountingSimulator:
         self.feedback.reset()
         # Rewind colony-size state so repeated run() calls start identically.
         self._n_current = int(self.population.population_at(0))
-        self.pi_cache_local_hits = 0
-        self.pi_cache_shared_hits = 0
-        self.pi_cache_disk_hits = 0
-        self.pi_cache_misses = 0
+        # Rewind every cache counter (local, shared, disk, miss) so the
+        # stats of back-to-back run() calls cover exactly one run each;
+        # the cache *contents* stay warm (content-addressed, so reuse
+        # across runs is correct and bit-identical).
+        self._join_cache.reset_stats()
 
         if isinstance(self.algorithm, AntAlgorithm):
             loads_iter = self._run_ant(rounds, rng)
@@ -389,42 +502,10 @@ class CountingSimulator:
         a round whose deficits (and hence feedback signature) did not
         change reuses the previously computed distribution, while any
         demand, load, or population change produces a new key — stale
-        reuse is structurally impossible.  Lookup order is the
-        simulator's own cache (FIFO-bounded by
-        :data:`PI_CACHE_MAX_ENTRIES`), then the optional cross-trial
-        :class:`~repro.sim.pi_cache.SharedPiCache` (whose key also pins
-        the resolved kernel back end), then the kernel itself; fresh
-        results are published to both layers.
+        reuse is structurally impossible.  All tier logic lives in
+        :class:`JoinDistributionCache` (shared with the batched engine).
         """
-        if not self.pi_cache_enabled:
-            return exact_join_probabilities(u, method=self.join_kernel_method)
-        key = u.tobytes()
-        pi = self._pi_cache.get(key)
-        if pi is not None:
-            self.pi_cache_local_hits += 1
-            return pi
-        shared_key = None
-        if self.shared_pi_cache is not None:
-            shared_key = SharedPiCache.key(self._resolved_kernel_method, u)
-            pi, tier = self.shared_pi_cache.fetch(shared_key)
-            if pi is not None:
-                if tier == "disk":
-                    self.pi_cache_disk_hits += 1
-                else:
-                    self.pi_cache_shared_hits += 1
-                self._store_local(key, pi)
-                return pi
-        self.pi_cache_misses += 1
-        pi = exact_join_probabilities(u, method=self.join_kernel_method)
-        if shared_key is not None:
-            pi = self.shared_pi_cache.put(shared_key, pi)
-        self._store_local(key, pi)
-        return pi
-
-    def _store_local(self, key: bytes, pi: np.ndarray) -> None:
-        if len(self._pi_cache) >= PI_CACHE_MAX_ENTRIES:
-            self._pi_cache.pop(next(iter(self._pi_cache)))
-        self._pi_cache[key] = pi
+        return self._join_cache.distribution(u)
 
     def _sample_joins_per_ant(
         self, idle: int, u: np.ndarray, rng: np.random.Generator

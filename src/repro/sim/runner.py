@@ -9,6 +9,8 @@ order-independent), and can optionally be farmed out to worker processes
 
 from __future__ import annotations
 
+import pickle
+
 from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -82,6 +84,50 @@ def _run_one(
     return sim.run(rounds, **run_kwargs)
 
 
+def _probe_picklable(factory: SimulatorFactory, processes: int) -> None:
+    """Fail fast, with a usable message, when a factory cannot cross a
+    process boundary.
+
+    Without the probe the pickling error surfaces from deep inside
+    ``ProcessPoolExecutor`` (often as a worker ``BrokenProcessPool``)
+    with no hint about which argument was at fault.
+    """
+    try:
+        pickle.dumps(factory)
+    except Exception as exc:
+        raise ConfigurationError(
+            f"processes={processes} requires a picklable simulator factory, but "
+            f"pickling this one failed: {exc!r}. Lambdas and closures over live "
+            "components cannot be shipped to worker processes — use a "
+            "module-level function, a functools.partial of one, or a spec-based "
+            "factory (repro.scenario.ScenarioFactory pickles by construction)"
+        ) from exc
+
+
+def _run_batched(
+    factory: SimulatorFactory,
+    trial_seeds: list[int],
+    rounds: int,
+    run_kwargs: dict,
+    batch: int,
+    array_backend: str,
+) -> list[SimulationResult]:
+    """Run trials through the batched engine, ``batch`` lanes at a time.
+
+    Chunking preserves trial order, and each trial's result is
+    bit-identical to the serial path because every lane keeps its own
+    seed-derived generator (see :mod:`repro.sim.batched`).
+    """
+    from repro.sim.batched import BatchedCountingSimulator
+
+    results: list[SimulationResult] = []
+    for start in range(0, len(trial_seeds), batch):
+        lanes = [factory(s) for s in trial_seeds[start : start + batch]]
+        engine = BatchedCountingSimulator(lanes, backend=array_backend)
+        results.extend(engine.run(rounds, **run_kwargs))
+    return results
+
+
 def run_trials(
     factory: SimulatorFactory,
     rounds: int,
@@ -92,6 +138,8 @@ def run_trials(
     gamma_star: float | None = None,
     total_demand: float | None = None,
     processes: int = 0,
+    batch: int = 0,
+    array_backend: str = "numpy",
     keep_results: bool = True,
     params: Mapping[str, Any] | None = None,
     **run_kwargs: Any,
@@ -111,6 +159,15 @@ def run_trials(
         When both given, per-trial closeness is computed.
     processes:
         Worker processes (0 = run in-process, sequentially).
+    batch:
+        When > 0, advance trials through
+        :class:`~repro.sim.batched.BatchedCountingSimulator` in chunks
+        of up to ``batch`` lanes (counting-engine factories only;
+        results stay bit-identical to ``batch=0``).  Mutually exclusive
+        with ``processes`` — pick one parallelism axis.
+    array_backend:
+        Array namespace for the batched math (see
+        :mod:`repro.util.array_api`); only consulted when ``batch > 0``.
     keep_results:
         Keep every :class:`SimulationResult` (set False for big sweeps).
     run_kwargs:
@@ -119,10 +176,23 @@ def run_trials(
     """
     trials = check_integer("trials", trials, minimum=1)
     rounds = check_integer("rounds", rounds, minimum=1)
+    batch = check_integer("batch", batch, minimum=0)
+    if batch > 0 and processes > 0:
+        raise ConfigurationError(
+            f"batch={batch} and processes={processes} are mutually exclusive: "
+            "batched lanes already amortize the per-trial overhead in-process, "
+            "and nesting them inside worker processes is not supported — "
+            "pass one or the other"
+        )
     root = np.random.SeedSequence(seed)
     trial_seeds = [int(s.generate_state(1)[0]) for s in root.spawn(trials)]
 
-    if processes > 0:
+    if batch > 0:
+        results = _run_batched(
+            factory, trial_seeds, rounds, dict(run_kwargs), batch, array_backend
+        )
+    elif processes > 0:
+        _probe_picklable(factory, processes)
         with ProcessPoolExecutor(max_workers=processes) as pool:
             results = list(
                 pool.map(

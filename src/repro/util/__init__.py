@@ -10,7 +10,15 @@ from repro.util.mathx import (
     exact_join_probabilities,
     enumerate_subset_join_probabilities,
 )
+from repro.util.array_api import (
+    DEFAULT_ARRAY_BACKEND,
+    available_array_backends,
+    get_namespace,
+    register_array_backend,
+    unregister_array_backend,
+)
 from repro.util.rng import RngFactory, as_generator, spawn_generators
+from repro.util.rng_block import BinomialBlockSampler
 from repro.util.validation import (
     check_positive,
     check_probability,
@@ -27,9 +35,15 @@ __all__ = [
     "poisson_binomial_pmf",
     "exact_join_probabilities",
     "enumerate_subset_join_probabilities",
+    "DEFAULT_ARRAY_BACKEND",
+    "available_array_backends",
+    "get_namespace",
+    "register_array_backend",
+    "unregister_array_backend",
     "RngFactory",
     "as_generator",
     "spawn_generators",
+    "BinomialBlockSampler",
     "check_positive",
     "check_probability",
     "check_in_range",

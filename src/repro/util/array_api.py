@@ -1,0 +1,138 @@
+"""Thin array-namespace shim: ``xp = get_namespace(backend)``.
+
+The batched counting engine (:mod:`repro.sim.batched`) expresses its
+round loop as stacked ``(B, k)`` array programs.  Every array operation
+it performs goes through a namespace object obtained here, so switching
+the math onto a different array library (CuPy on a GPU, a Torch tensor
+backend) is a *configuration* change — ``backend="cupy"`` on the engine
+spec — not a rewrite of the engine.
+
+Backends are registered as lazy loaders: a name maps to a zero-argument
+callable returning a numpy-API-compatible module.  The ``numpy`` backend
+always exists; ``cupy`` and ``torch`` are pre-registered seams that
+import their library on first use and raise
+:class:`~repro.exceptions.ConfigurationError` with an actionable message
+when it is not installed (this container deliberately ships CPU-only).
+
+Two properties the engine relies on:
+
+* the returned namespace must implement the numpy call surface the
+  engine uses (``asarray``/``zeros``/``clip``/``abs``/``maximum`` and
+  elementwise arithmetic with broadcasting);
+* random draws are *not* routed through the backend — they always come
+  from per-trial :class:`numpy.random.Generator` streams so that
+  batched trajectories stay bit-identical to the serial engine's
+  regardless of backend (see :mod:`repro.sim.batched`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+import numpy
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "get_namespace",
+    "register_array_backend",
+    "unregister_array_backend",
+    "available_array_backends",
+    "DEFAULT_ARRAY_BACKEND",
+]
+
+DEFAULT_ARRAY_BACKEND = "numpy"
+
+#: name -> zero-argument loader returning the namespace module/object.
+_LOADERS: dict[str, Callable[[], Any]] = {}
+#: name -> loaded namespace (one import per process).
+_LOADED: dict[str, Any] = {}
+
+
+def register_array_backend(
+    name: str, loader: Callable[[], Any], *, allow_overwrite: bool = False
+) -> None:
+    """Register ``loader`` as the array backend called ``name``.
+
+    ``loader`` runs at most once per process (on first
+    :func:`get_namespace`); it must return a numpy-API-compatible
+    namespace or raise :class:`ConfigurationError` explaining how to
+    make the backend available.
+    """
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError("array backend name must be a non-empty string")
+    if not callable(loader):
+        raise ConfigurationError(
+            f"array backend {name!r} loader must be callable, got {type(loader).__name__}"
+        )
+    if name in _LOADERS and not allow_overwrite:
+        raise ConfigurationError(
+            f"array backend {name!r} is already registered "
+            "(pass allow_overwrite=True to replace it)"
+        )
+    _LOADERS[name] = loader
+    _LOADED.pop(name, None)
+
+
+def unregister_array_backend(name: str) -> None:
+    """Remove a registered backend (e.g. to undo a test-local plugin)."""
+    if name == DEFAULT_ARRAY_BACKEND:
+        raise ConfigurationError("the numpy backend cannot be unregistered")
+    if name not in _LOADERS:
+        raise ConfigurationError(
+            f"unknown array backend {name!r}; known: {available_array_backends()}"
+        )
+    del _LOADERS[name]
+    _LOADED.pop(name, None)
+
+
+def available_array_backends() -> list[str]:
+    """Sorted names of registered backends (registered, not necessarily
+    importable — ``cupy``/``torch`` are seams that may fail to load)."""
+    return sorted(_LOADERS)
+
+
+def get_namespace(backend: str = DEFAULT_ARRAY_BACKEND) -> Any:
+    """The array namespace registered under ``backend`` (loaded lazily)."""
+    if not isinstance(backend, str):
+        raise ConfigurationError(
+            f"array backend must be a name string, got {type(backend).__name__}"
+        )
+    try:
+        loader = _LOADERS[backend]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown array backend {backend!r}; known: {available_array_backends()}"
+        ) from None
+    if backend not in _LOADED:
+        _LOADED[backend] = loader()
+    return _LOADED[backend]
+
+
+def _load_numpy() -> Any:
+    return numpy
+
+
+def _optional_import(name: str) -> Any:
+    try:
+        module = __import__(name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"array backend {name!r} is registered but {name} is not importable "
+            f"({exc}); install it, or use backend='numpy'"
+        ) from exc
+    return module
+
+
+def _load_cupy() -> Any:
+    return _optional_import("cupy")
+
+
+def _load_torch() -> Any:
+    return _optional_import("torch")
+
+
+register_array_backend("numpy", _load_numpy)
+register_array_backend("cupy", _load_cupy)
+register_array_backend("torch", _load_torch)

@@ -70,6 +70,22 @@ def test_rpr001_exempts_the_rng_module(lint_source):
     assert lint_source(src, rel="repro/util/rng.py") == []
 
 
+def test_rpr001_real_batched_modules_pass_without_exemption():
+    # The batched engine and its block sampler derive every draw from
+    # per-lane Generators (the serial engine's SeedSequence spawns) and
+    # replay their streams explicitly, so both real modules must lint
+    # clean with no exemption — a regression to global-RNG idiom in
+    # either trips RPR001 here before CI does.
+    from repro.lint.cli import lint_file
+
+    from tests.lint.conftest import REPO_ROOT
+
+    for rel in ("src/repro/sim/batched.py", "src/repro/util/rng_block.py"):
+        path = REPO_ROOT / rel
+        assert path.is_file(), rel
+        assert [f for f in lint_file(path) if f.rule == "RPR001"] == [], rel
+
+
 # ----------------------------------------------------------------------
 # RPR002 — wall-clock quarantine
 

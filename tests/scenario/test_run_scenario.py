@@ -116,6 +116,70 @@ class TestRunScenario:
             run_scenario(counting_spec(), trials=2, seed=-1)
 
 
+class TestBatchedEngineThreading:
+    """The ``counting_batched`` spec engine and the ``batch=`` override."""
+
+    def _batched_spec(self, **engine_params):
+        params = {"batch": 4, **engine_params}
+        return counting_spec(engine={"name": "counting_batched", "params": params})
+
+    def test_spec_builds_a_plain_counting_simulator(self):
+        # batch/backend are orchestration knobs consumed by the runners;
+        # a single build is just the serial engine.
+        assert isinstance(self._batched_spec().build(), CountingSimulator)
+
+    def test_registered_and_population_aware(self):
+        from repro.scenario.engines import (
+            BATCHED_ENGINES,
+            POPULATION_AWARE_ENGINES,
+            available_engines,
+        )
+
+        assert "counting_batched" in available_engines()
+        assert "counting_batched" in POPULATION_AWARE_ENGINES
+        assert "counting_batched" in BATCHED_ENGINES
+
+    def test_run_scenario_bit_identical_to_serial_engine(self):
+        batched = run_scenario(self._batched_spec(), trials=6, rounds=120)
+        serial = run_scenario(counting_spec(), trials=6, rounds=120)
+        assert np.array_equal(batched.average_regrets, serial.average_regrets)
+        assert np.array_equal(batched.closenesses, serial.closenesses)
+        assert np.array_equal(batched.max_abs_deficits, serial.max_abs_deficits)
+
+    def test_batch_zero_override_forces_the_serial_path(self):
+        a = run_scenario(self._batched_spec(), trials=4, rounds=100, batch=0)
+        b = run_scenario(self._batched_spec(), trials=4, rounds=100)
+        assert np.array_equal(a.average_regrets, b.average_regrets)
+
+    def test_explicit_batch_on_a_serial_counting_spec(self):
+        a = run_scenario(counting_spec(), trials=4, rounds=100, batch=2)
+        b = run_scenario(counting_spec(), trials=4, rounds=100)
+        assert np.array_equal(a.average_regrets, b.average_regrets)
+
+    def test_parallel_suppresses_the_spec_default_batch(self):
+        # parallel workers and batched lanes are mutually exclusive; the
+        # spec's default batch must yield rather than raise.
+        summary = run_scenario(self._batched_spec(), trials=2, rounds=60, parallel=2)
+        assert summary.trials == 2
+
+    def test_single_trial_returns_simulation_result(self):
+        result = run_scenario(self._batched_spec(), rounds=80)
+        assert isinstance(result, SimulationResult)
+
+    def test_engine_param_validation(self):
+        with pytest.raises(ConfigurationError, match="batch"):
+            self._batched_spec(batch=0).build()
+        with pytest.raises(ConfigurationError, match="unknown array backend"):
+            self._batched_spec(backend="jax").build()
+
+    def test_sweep_scenario_batched_matches_forced_serial(self):
+        spec = self._batched_spec()
+        kwargs = dict(trials=2, rounds=80)
+        a = sweep_scenario(spec, "algorithm.gamma", [0.02, 0.04], **kwargs)
+        b = sweep_scenario(spec, "algorithm.gamma", [0.02, 0.04], batch=0, **kwargs)
+        np.testing.assert_array_equal(a.series(), b.series())
+
+
 class TestSweepScenario:
     def test_sweep_component_param(self):
         result = sweep_scenario(
@@ -157,6 +221,15 @@ class TestScenarioCli:
 
         assert main(["scenario", "run", spec_file, "--rounds", "50", "--trials", "2"]) == 0
         assert "+/-" in capsys.readouterr().out
+
+    def test_run_with_batch_flag(self, spec_file, capsys):
+        from repro.experiments.cli import main
+
+        args = ["scenario", "run", spec_file, "--rounds", "50", "--trials", "4"]
+        assert main([*args, "--batch", "2"]) == 0
+        batched = capsys.readouterr().out
+        assert main(args) == 0
+        assert batched == capsys.readouterr().out  # same numbers either way
 
     def test_show_round_trips(self, spec_file, capsys):
         from repro.experiments.cli import main

@@ -68,7 +68,12 @@ POPULATION_PARAMS = {
     "static": {"n": N},
     "step": {"steps": [[0, N], [500, N - 500]]},
 }
-ENGINE_PARAMS = {"agent": {}, "counting": {}, "sequential": {}}
+ENGINE_PARAMS = {
+    "agent": {},
+    "counting": {},
+    "counting_batched": {"batch": 8, "backend": "numpy"},
+    "sequential": {},
+}
 
 
 def base_spec(**overrides) -> ScenarioSpec:

@@ -245,6 +245,25 @@ class TestPopulationReporting:
         assert again.n_current == 8000
         assert again.final_assignment.shape == (8000,)
 
+    def test_rerun_never_resizes_before_the_step(self, monkeypatch):
+        # Sharper pin on the _n_current rewind: a second run shorter than
+        # the shrink round must never call apply_population_change at all.
+        # Stale _n_current from the first run (stuck at the shrunk size)
+        # would force a spurious "resize" back to 8000 at round 1.
+        sim, _ = self._shrunk_run()
+        import repro.sim.counting as counting_mod
+
+        calls: list[int] = []
+        real = counting_mod.apply_population_change
+
+        def spy(W, idle, n_new, rng):
+            calls.append(n_new)
+            return real(W, idle, n_new, rng)
+
+        monkeypatch.setattr(counting_mod, "apply_population_change", spy)
+        sim.run(50)
+        assert calls == []
+
 
 class TestTrivialCounting:
     def test_oscillates_like_agent_engine(self):

@@ -311,6 +311,57 @@ class TestSharedPiCacheObject:
             SharedPiCache(max_entries=0)
 
 
+class TestPerRunCounterReset:
+    """Every cache counter — local, shared, disk, miss — must rewind at
+    :meth:`run` so back-to-back runs on ONE simulator report per-run
+    stats while the caches themselves stay warm."""
+
+    def test_local_tier_misses_count_only_the_current_run(self, monkeypatch):
+        counter = KernelCallCounter(monkeypatch)
+        sim = _binary_sim()
+        sim.run(150)
+        assert sim.pi_cache_local_hits > 0 and sim.pi_cache_misses > 0
+        calls_before = counter.calls
+        sim.run(150)
+        # Misses now equal exactly the kernel calls of the *second* run;
+        # stale accumulation would add the first run's count on top.
+        assert sim.pi_cache_misses == counter.calls - calls_before
+        assert sim.pi_cache_hits == sim.pi_cache_local_hits
+
+    def test_shared_tier_hits_rewind(self):
+        from repro.sim.pi_cache import SharedPiCache
+
+        cache = SharedPiCache()
+        make = lambda: _binary_sim(shared_pi_cache=cache)  # noqa: E731
+        make().run(200)
+        sim2 = make()
+        sim2.run(200)
+        assert sim2.pi_cache_shared_hits > 0 and sim2.pi_cache_misses == 0
+        sim2.run(200)
+        # Every shared entry is by now also in sim2's local cache, so the
+        # second run cannot touch the shared tier at all; a stale counter
+        # would still show the first run's hits.
+        assert sim2.pi_cache_shared_hits == 0
+        assert sim2.pi_cache_hits == (
+            sim2.pi_cache_local_hits
+            + sim2.pi_cache_shared_hits
+            + sim2.pi_cache_disk_hits
+        )
+
+    def test_disk_tier_hits_rewind(self, tmp_path):
+        from repro.sim.pi_cache import SharedPiCache
+
+        _binary_sim(shared_pi_cache=SharedPiCache(disk=str(tmp_path))).run(200)
+        # Fresh memory tiers over the warmed disk root: the first run is
+        # served from disk, the rerun entirely from the local cache.
+        sim = _binary_sim(shared_pi_cache=SharedPiCache(disk=str(tmp_path)))
+        sim.run(200)
+        assert sim.pi_cache_disk_hits > 0 and sim.pi_cache_misses == 0
+        sim.run(200)
+        assert sim.pi_cache_disk_hits == 0
+        assert sim.pi_cache_hits + sim.pi_cache_misses > 0
+
+
 class TestSharedPiCacheInSimulator:
     """The counting engine reading through a cross-trial cache."""
 

@@ -10,6 +10,7 @@ from repro.env.critical import lambda_for_critical_value
 from repro.env.demands import uniform_demands
 from repro.env.feedback import SigmoidFeedback
 from repro.exceptions import ConfigurationError
+from repro.sim.counting import CountingSimulator
 from repro.sim.engine import Simulator
 from repro.sim.runner import TrialRunner, run_trials, sweep
 
@@ -19,6 +20,12 @@ _LAM = lambda_for_critical_value(_DEMAND, gamma_star=0.05)
 
 def _factory(seed):
     return Simulator(AntAlgorithm(gamma=0.05), _DEMAND, SigmoidFeedback(_LAM), seed=seed)
+
+
+def _counting_factory(seed):
+    return CountingSimulator(
+        AntAlgorithm(gamma=0.05), _DEMAND, SigmoidFeedback(_LAM), seed=seed
+    )
 
 
 def _factory_for_gamma(gamma):
@@ -75,6 +82,69 @@ class TestRunTrials:
     def test_rejects_zero_trials(self):
         with pytest.raises(ConfigurationError):
             run_trials(_factory, rounds=10, trials=0)
+
+
+class TestBatchedDispatch:
+    """``run_trials(batch=...)`` chunks trials through the batched engine."""
+
+    def test_batch_bit_identical_to_serial_with_partial_chunk(self):
+        # 7 trials at batch=3 exercises full chunks AND the trailing
+        # partial one; every trial must match the serial path exactly.
+        kwargs = dict(rounds=80, trials=7, seed=3)
+        batched = run_trials(_counting_factory, batch=3, **kwargs)
+        serial = run_trials(_counting_factory, batch=0, **kwargs)
+        np.testing.assert_array_equal(batched.average_regrets, serial.average_regrets)
+        for rb, rs in zip(batched.results, serial.results):
+            assert rb.metrics.cumulative_regret == rs.metrics.cumulative_regret
+            np.testing.assert_array_equal(rb.metrics.final_loads, rs.metrics.final_loads)
+
+    def test_batch_larger_than_trials_is_fine(self):
+        s = run_trials(_counting_factory, rounds=50, trials=2, seed=0, batch=16)
+        assert s.trials == 2 and len(s.results) == 2
+
+    def test_batch_rejects_non_counting_factory(self):
+        # The plain Simulator has no batched lane protocol; the engine's
+        # own validation surfaces with a clear type message.
+        with pytest.raises(ConfigurationError, match="CountingSimulator"):
+            run_trials(_factory, rounds=10, trials=2, seed=0, batch=2)
+
+    def test_batch_and_processes_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            run_trials(
+                _counting_factory, rounds=10, trials=2, seed=0, batch=2, processes=2
+            )
+
+    def test_batch_must_be_nonnegative(self):
+        with pytest.raises(ConfigurationError, match="batch"):
+            run_trials(_counting_factory, rounds=10, trials=2, seed=0, batch=-1)
+
+
+class TestPicklableProbe:
+    """Unpicklable factories fail fast with a registry-factory hint, not
+    deep inside the worker pool."""
+
+    def test_lambda_factory_raises_configuration_error(self):
+        factory = lambda seed: _counting_factory(seed)  # noqa: E731
+        with pytest.raises(
+            ConfigurationError, match="picklable simulator factory"
+        ) as excinfo:
+            run_trials(factory, rounds=10, trials=2, seed=0, processes=2)
+        # The message points at the workarounds, including the spec route.
+        assert "module-level" in str(excinfo.value)
+        assert "ScenarioFactory" in str(excinfo.value)
+
+    def test_closure_over_live_components_raises_too(self):
+        demand = uniform_demands(n=1000, k=2)
+
+        def factory(seed):
+            return _counting_factory(seed) if demand else None
+
+        with pytest.raises(ConfigurationError, match="picklable"):
+            run_trials(factory, rounds=10, trials=2, seed=0, processes=2)
+
+    def test_module_level_factory_passes_the_probe(self):
+        s = run_trials(_counting_factory, rounds=30, trials=2, seed=1, processes=2)
+        assert s.trials == 2
 
 
 class TestSweep:

@@ -1,0 +1,88 @@
+"""The array-namespace shim: registration, lazy loading, error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.util.array_api import (
+    DEFAULT_ARRAY_BACKEND,
+    available_array_backends,
+    get_namespace,
+    register_array_backend,
+    unregister_array_backend,
+)
+
+
+class TestGetNamespace:
+    def test_numpy_backend_is_numpy_itself(self):
+        assert get_namespace("numpy") is np
+        assert get_namespace() is np  # default
+
+    def test_unknown_backend_names_the_known_ones(self):
+        with pytest.raises(ConfigurationError, match="unknown array backend.*numpy"):
+            get_namespace("jax")
+
+    def test_backend_must_be_a_string(self):
+        with pytest.raises(ConfigurationError, match="name string"):
+            get_namespace(np)  # passing the module, not its name
+
+
+class TestRegistration:
+    def test_register_load_unregister_roundtrip(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return np
+
+        register_array_backend("test_backend", loader)
+        try:
+            assert "test_backend" in available_array_backends()
+            assert get_namespace("test_backend") is np
+            assert get_namespace("test_backend") is np
+            assert calls == [1]  # loader ran exactly once
+        finally:
+            unregister_array_backend("test_backend")
+        assert "test_backend" not in available_array_backends()
+
+    def test_duplicate_registration_requires_opt_in(self):
+        register_array_backend("test_dup", lambda: np)
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_array_backend("test_dup", lambda: np)
+            register_array_backend("test_dup", lambda: np, allow_overwrite=True)
+        finally:
+            unregister_array_backend("test_dup")
+
+    def test_numpy_cannot_be_unregistered(self):
+        with pytest.raises(ConfigurationError, match="cannot be unregistered"):
+            unregister_array_backend(DEFAULT_ARRAY_BACKEND)
+
+    def test_unregister_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown array backend"):
+            unregister_array_backend("never_registered")
+
+    def test_loader_must_be_callable_and_name_nonempty(self):
+        with pytest.raises(ConfigurationError, match="must be callable"):
+            register_array_backend("bad", np)  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError, match="non-empty string"):
+            register_array_backend("", lambda: np)
+
+
+class TestOptionalSeams:
+    def test_cupy_and_torch_are_registered_seams(self):
+        names = available_array_backends()
+        assert "cupy" in names and "torch" in names
+
+    def test_missing_library_raises_actionable_error(self):
+        # The container deliberately ships CPU-only; if a seam's library
+        # is genuinely importable we can only assert the happy path.
+        for name in ("cupy", "torch"):
+            try:
+                namespace = get_namespace(name)
+            except ConfigurationError as exc:
+                assert name in str(exc) and "backend='numpy'" in str(exc)
+            else:
+                assert hasattr(namespace, "asarray")

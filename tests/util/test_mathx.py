@@ -553,6 +553,52 @@ class TestJoinKernelMethodDispatch:
                     auto, exact_join_probabilities(u, method=method), atol=1e-10
                 )
 
+    def test_resolve_auto_pinned_at_both_seams(self):
+        # Pin the numeric boundary neighbourhoods, not just the symbols:
+        # an off-by-one in either comparison flips exactly one of these.
+        assert (FFT_K_THRESHOLD, QUADRATURE_K_THRESHOLD) == (512, 2048)
+        expected = {
+            511: "dp", 512: "fft", 513: "fft",
+            2047: "fft", 2048: "quadrature", 2049: "quadrature",
+        }
+        for k, method in expected.items():
+            assert resolve_join_kernel_method(k, "auto") == method, k
+
+    def test_auto_runs_the_resolved_kernel_at_each_boundary(self, monkeypatch):
+        # resolve_join_kernel_method is advertised as naming the back end
+        # that *actually ran* (the shared pi-cache keys entries by it), so
+        # spy every core and check dispatch honours it at k = 511..513 and
+        # 2047..2049.
+        ran: list[str] = []
+        cores = {"dp": "_dp_pmf", "fft": "_fft_pmf", "quadrature": "_quadrature_join"}
+        for method, attr in cores.items():
+            real = getattr(mathx, attr)
+
+            def spy(u, _method=method, _real=real):
+                ran.append(_method)
+                return _real(u)
+
+            monkeypatch.setattr(mathx, attr, spy)
+        for k in (511, 512, 513, 2047, 2048, 2049):
+            ran.clear()
+            u = np.random.default_rng(k).random(k)
+            exact_join_probabilities(u)
+            assert ran == [resolve_join_kernel_method(k, "auto")], k
+
+    def test_back_ends_agree_one_past_each_seam(self):
+        # The +/-1 neighbours of both seams: all three kernels within
+        # 1e-10 of each other, so a flipped dispatch can never change
+        # results beyond round-off.
+        for k in (513, 2047, 2049):
+            u = np.random.default_rng(k).random(k)
+            dp = exact_join_probabilities(u, method="dp")
+            np.testing.assert_allclose(
+                dp, exact_join_probabilities(u, method="fft"), atol=1e-10
+            )
+            np.testing.assert_allclose(
+                dp, exact_join_probabilities(u, method="quadrature"), atol=1e-10
+            )
+
     def test_explicit_quadrature_runs_the_quadrature_core(self, monkeypatch):
         calls = []
         real = mathx._quadrature_join

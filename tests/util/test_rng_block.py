@@ -1,0 +1,222 @@
+"""Bit-identity pins for the block binomial sampler.
+
+:class:`~repro.util.rng_block.BinomialBlockSampler` claims its vectorized
+replay of numpy's inversion sampler is *bit-identical* to per-lane
+``Generator.binomial`` calls — drawn values AND the generator's stream
+position afterwards.  These tests replay many random configurations
+against freshly seeded reference generators and check both, plus the
+fallback guards (the sampler must return ``None`` with untouched
+generators anywhere outside the inversion regime) and the
+astronomically-rare reset branch (forced via a doctored bound table and
+checked against a pure-scalar replay of the C loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng_block import (
+    INVERSION_NP_MAX,
+    MAX_DISTINCT_P,
+    NP_MEAN_MAX,
+    BinomialBlockSampler,
+    _scalar_inversion,
+    _setup,
+)
+
+
+def _rngs(seed: int, batch: int) -> list[np.random.Generator]:
+    return [
+        np.random.Generator(np.random.PCG64(np.random.SeedSequence([seed, b])))
+        for b in range(batch)
+    ]
+
+
+def _assert_same_stream(rngs_a, rngs_b) -> None:
+    """Both generator lists must sit at the same stream position."""
+    for a, b in zip(rngs_a, rngs_b):
+        np.testing.assert_array_equal(a.random(4), b.random(4))
+
+
+class TestScalarP:
+    def test_matches_per_lane_binomial_and_stream_position(self):
+        base = np.random.default_rng(0)
+        sampler = BinomialBlockSampler()
+        for trial in range(200):
+            B = int(base.integers(1, 6))
+            k = int(base.integers(1, 40))
+            n_max = int(base.integers(1, 30))
+            p = float(base.uniform(0.0005, 0.5))
+            while n_max * p > NP_MEAN_MAX:
+                n_max = max(1, n_max // 2)
+            n = base.integers(0, n_max + 1, size=(B, k)).astype(np.int64)
+            ours, ref = _rngs(trial, B), _rngs(trial, B)
+            drawn = sampler.draw(ours, n, p)
+            assert drawn is not None
+            expected = np.stack([ref[b].binomial(n[b], p) for b in range(B)])
+            np.testing.assert_array_equal(drawn, expected)
+            _assert_same_stream(ours, ref)
+
+    def test_p_zero_draws_nothing_and_consumes_nothing(self):
+        sampler = BinomialBlockSampler()
+        ours, ref = _rngs(1, 3), _rngs(1, 3)
+        n = np.full((3, 5), 7, dtype=np.int64)
+        np.testing.assert_array_equal(sampler.draw(ours, n, 0.0), np.zeros((3, 5)))
+        _assert_same_stream(ours, ref)
+
+    def test_n_zero_elements_consume_nothing(self):
+        # The C wrapper returns 0 without touching the stream for n == 0;
+        # the block draw must skip those elements' uniforms too.
+        sampler = BinomialBlockSampler()
+        n = np.array([[0, 3, 0, 5, 0]], dtype=np.int64)
+        ours, ref = _rngs(2, 1), _rngs(2, 1)
+        drawn = sampler.draw(ours, n, 0.25)
+        np.testing.assert_array_equal(drawn[0], ref[0].binomial(n[0], 0.25))
+        _assert_same_stream(ours, ref)
+
+
+class TestArrayP:
+    def test_single_distinct_value_matches(self):
+        base = np.random.default_rng(3)
+        sampler = BinomialBlockSampler()
+        for trial in range(50):
+            B, k = int(base.integers(1, 5)), int(base.integers(2, 30))
+            v = float(base.uniform(0.001, 0.4))
+            n = base.integers(0, 8, size=(B, k)).astype(np.int64)
+            p = np.full((B, k), v)
+            p[base.random((B, k)) < 0.3] = 0.0  # mixed zero/active entries
+            ours, ref = _rngs(100 + trial, B), _rngs(100 + trial, B)
+            drawn = sampler.draw(ours, n, p)
+            assert drawn is not None
+            expected = np.stack([ref[b].binomial(n[b], p[b]) for b in range(B)])
+            np.testing.assert_array_equal(drawn, expected)
+            _assert_same_stream(ours, ref)
+
+    def test_multiple_distinct_values_match(self):
+        base = np.random.default_rng(4)
+        sampler = BinomialBlockSampler()
+        values = np.array([0.02, 0.1, 0.25, 0.4])
+        for trial in range(50):
+            B, k = int(base.integers(1, 4)), int(base.integers(2, 25))
+            n = base.integers(0, 9, size=(B, k)).astype(np.int64)
+            p = values[base.integers(0, len(values), size=(B, k))]
+            ours, ref = _rngs(200 + trial, B), _rngs(200 + trial, B)
+            drawn = sampler.draw(ours, n, p)
+            assert drawn is not None
+            expected = np.stack([ref[b].binomial(n[b], p[b]) for b in range(B)])
+            np.testing.assert_array_equal(drawn, expected)
+            _assert_same_stream(ours, ref)
+
+    def test_all_inactive_returns_zeros_without_consuming(self):
+        sampler = BinomialBlockSampler()
+        ours, ref = _rngs(5, 2), _rngs(5, 2)
+        n = np.array([[0, 0], [3, 4]], dtype=np.int64)
+        p = np.array([[0.3, 0.3], [0.0, 0.0]])
+        np.testing.assert_array_equal(sampler.draw(ours, n, p), np.zeros((2, 2)))
+        _assert_same_stream(ours, ref)
+
+
+class TestFallbackGuards:
+    """Anywhere outside the inversion regime: ``None``, generators untouched."""
+
+    def _assert_fallback(self, n, p):
+        sampler = BinomialBlockSampler()
+        ours, ref = _rngs(9, n.shape[0]), _rngs(9, n.shape[0])
+        assert sampler.draw(ours, n, p) is None
+        _assert_same_stream(ours, ref)
+
+    def test_scalar_p_above_half(self):
+        self._assert_fallback(np.full((2, 3), 2, dtype=np.int64), 0.6)
+
+    def test_scalar_large_mean_delegates(self):
+        n = np.full((2, 3), 40, dtype=np.int64)
+        assert 40 * 0.2 > NP_MEAN_MAX and 40 * 0.2 <= INVERSION_NP_MAX
+        self._assert_fallback(n, 0.2)
+
+    def test_array_p_above_half(self):
+        p = np.array([[0.2, 0.7], [0.2, 0.2]])
+        self._assert_fallback(np.full((2, 2), 2, dtype=np.int64), p)
+
+    def test_array_large_mean_delegates(self):
+        p = np.full((1, 2), 0.3)
+        self._assert_fallback(np.array([[2, 30]], dtype=np.int64), p)
+
+    def test_negative_p_delegates(self):
+        self._assert_fallback(np.full((1, 2), 2, dtype=np.int64), -0.1)
+        self._assert_fallback(
+            np.full((1, 2), 2, dtype=np.int64), np.array([[0.2, -0.1]])
+        )
+
+    def test_too_many_distinct_values_delegates(self):
+        k = MAX_DISTINCT_P + 5
+        p = np.linspace(0.01, 0.2, k).reshape(1, k)
+        self._assert_fallback(np.full((1, k), 2, dtype=np.int64), p)
+
+
+class TestResetBranch:
+    """The bound-overflow reset (probability ~1e-16 per element in real
+    runs) forced deterministically by doctoring the cached bound table,
+    then checked against a pure-scalar replay consuming the same stream."""
+
+    def _scalar_reference(self, rng, n_row, p, qn_t, bound_t):
+        out = np.zeros_like(n_row)
+        for j, nv in enumerate(n_row):
+            if nv > 0:
+                out[j] = _scalar_inversion(
+                    lambda: float(rng.random()),
+                    int(nv),
+                    p,
+                    float(qn_t[nv]),
+                    int(bound_t[nv]),
+                )
+        return out
+
+    def test_forced_resets_match_scalar_replay(self):
+        p = 0.3
+        base = np.random.default_rng(11)
+        for trial in range(30):
+            B, k = int(base.integers(1, 4)), int(base.integers(3, 20))
+            n = base.integers(0, 7, size=(B, k)).astype(np.int64)
+            sampler = BinomialBlockSampler()
+            qn_t, bound_t = sampler._scalar_tables(p, int(n.max()))
+            # Clamp every bound to 1: any draw reaching X = 2 now resets,
+            # which happens constantly at these n, p.
+            bound_t = np.minimum(bound_t, 1)
+            sampler._tables[p] = (qn_t, bound_t)
+            ours, ref = _rngs(300 + trial, B), _rngs(300 + trial, B)
+            drawn = sampler.draw(ours, n, p)
+            assert drawn is not None
+            expected = np.stack(
+                [self._scalar_reference(ref[b], n[b], p, qn_t, bound_t) for b in range(B)]
+            )
+            np.testing.assert_array_equal(drawn, expected)
+            _assert_same_stream(ours, ref)
+
+    def test_scalar_inversion_reset_consumes_fresh_uniform(self):
+        # bound = 0 forces a reset on the very first increment; the
+        # element restarts on the next uniform exactly like the C loop.
+        qn, _ = _setup(5, 0.3)
+        uniforms = iter([0.9999, 0.001])
+        x = _scalar_inversion(lambda: next(uniforms), 5, 0.3, qn, 0)
+        assert x == 0  # second uniform is below qn, so X stays 0
+
+    def test_setup_matches_numpy_regime_bound(self):
+        # Sanity on the cached setup: qn = (1-p)^n within float rounding,
+        # and the bound never exceeds n.
+        for n in (1, 5, 17):
+            for p in (0.01, 0.2, 0.5):
+                qn, bound = _setup(n, p)
+                assert qn == pytest.approx((1.0 - p) ** n, rel=1e-12)
+                assert 0 <= bound <= n
+
+
+class TestTableCache:
+    def test_tables_grow_and_are_reused(self):
+        sampler = BinomialBlockSampler()
+        qn_a, _ = sampler._scalar_tables(0.1, 10)
+        qn_b, _ = sampler._scalar_tables(0.1, 5)
+        assert qn_a is qn_b  # no regrowth for a smaller n
+        qn_c, _ = sampler._scalar_tables(0.1, 4 * qn_a.size)
+        assert qn_c.size > qn_a.size
+        np.testing.assert_array_equal(qn_c[: qn_a.size], qn_a)
