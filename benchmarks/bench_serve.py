@@ -1,0 +1,285 @@
+"""Scenario-service load benchmark: concurrent clients replay a hot/cold trace.
+
+Two entry points, like ``bench_scheduler.py``:
+
+* under pytest (``pytest benchmarks/bench_serve.py``) the cases assert
+  the service's dedup accounting and response byte-identity on a small
+  trace;
+* as a script (``python benchmarks/bench_serve.py --json
+  BENCH_serve.json``) it stands up a real HTTP server
+  (:class:`repro.serve.BackgroundServer`) over a fresh store, replays a
+  mixed trace — 8 cold points computed once, then 8 concurrent clients
+  hammering those same points 25 times each over keep-alive
+  connections — and records p50/p99 latency, throughput, and the dedup
+  ratio into the ``floors`` table the CI regression gate
+  (``benchmarks/check_regression.py --baseline BENCH_serve.json``)
+  enforces.
+
+What the floors measure — and deliberately do not measure: the service's
+job is to make *repeated* requests free (digest dedup against the
+content-addressed store) while cold requests pay exactly one
+computation.  So the gate pins
+
+* ``dedup_ratio`` — the fraction of trace requests served without
+  computing (a property of the dedup logic, not of the host: the trace
+  composition fixes the ideal at 200/208 ≈ 0.96, and the floor of 0.9
+  fails if any repeat request ever reaches a worker);
+* ``cached_speedup_p50`` — cold p50 over hot p50, a ratio of two
+  same-machine timings (machine-independent): a cache hit must be at
+  least 3x faster than computing the point, or serving from the store
+  has stopped being the point of the service;
+* ``hot_requests_per_second`` — a deliberately conservative absolute
+  floor (any functioning event loop exceeds it by an order of
+  magnitude) that catches the service accidentally serializing hits
+  behind the compute queue.
+
+The absolute ``*_seconds`` leaves ride the generic 1.5x timing budget
+and document the latency trajectory across PRs.
+
+Every client's response for a given point is byte-compared against the
+first response for that point before any timing is reported: concurrency
+that changed a single response byte would be worse than no concurrency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.scenario import ScenarioSpec
+from repro.serve import BackgroundServer, ScenarioService
+from repro.store import ResultStore
+
+BENCH_K = 8
+BENCH_N = 4_000
+BENCH_ROUNDS = 1_000
+BENCH_TRIALS = 1
+#: The cold side of the trace: distinct sweep points, each computed once.
+GAMMA_VALUES = [round(0.02 + 0.005 * i, 3) for i in range(8)]
+#: The hot side: concurrent clients replaying the cold points.
+CLIENTS = 8
+HOT_REQUESTS_PER_CLIENT = 25
+
+DEDUP_RATIO_FLOOR = 0.9
+CACHED_SPEEDUP_FLOOR = 3.0
+HOT_THROUGHPUT_FLOOR = 25.0
+
+#: Cold-point poll cadence; fine-grained so measured cold latency tracks
+#: the compute time, not the polling quantum.
+POLL_SECONDS = 0.01
+
+
+def _base_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        algorithm={"name": "ant", "params": {"gamma": 0.025}},
+        demand={"name": "powerlaw", "params": {"n": BENCH_N, "k": BENCH_K, "alpha": 1.0}},
+        feedback={"name": "exact"},
+        engine={"name": "counting"},
+        rounds=BENCH_ROUNDS,
+        seed=11,
+        label="serve-bench",
+    )
+
+
+def _payload(gamma: float) -> bytes:
+    body = {
+        "spec": _base_spec().to_dict(),
+        "params": {"algorithm.gamma": gamma},
+        "trials": BENCH_TRIALS,
+    }
+    return json.dumps(body).encode("utf-8")
+
+
+def _request(conn: http.client.HTTPConnection, method: str, path: str, body: bytes | None = None):
+    conn.request(method, path, body=body, headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    return response.status, response.read()
+
+
+def _run_cold(conn: http.client.HTTPConnection, gammas: list[float]) -> tuple[list[float], dict]:
+    """POST each distinct point, poll it to 200; returns latencies + bodies."""
+    latencies = []
+    bodies: dict[float, bytes] = {}
+    for gamma in gammas:
+        t0 = time.perf_counter()
+        status, raw = _request(conn, "POST", "/scenarios", _payload(gamma))
+        assert status == 202, f"cold POST for gamma={gamma} answered {status}: {raw!r}"
+        digest = json.loads(raw)["digest"]
+        while True:
+            status, raw = _request(conn, "GET", f"/results/{digest}")
+            if status == 200:
+                break
+            assert status == 202, f"poll for {digest[:12]} answered {status}: {raw!r}"
+            time.sleep(POLL_SECONDS)
+        latencies.append(time.perf_counter() - t0)
+        bodies[gamma] = raw
+    return latencies, bodies
+
+
+def _hot_client(
+    port: int,
+    gammas: list[float],
+    offset: int,
+    n_requests: int,
+    reference: dict,
+    out_latencies: list[float],
+    errors: list[str],
+    barrier: threading.Barrier,
+) -> None:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        barrier.wait()
+        for i in range(n_requests):
+            gamma = gammas[(offset + i) % len(gammas)]
+            t0 = time.perf_counter()
+            status, raw = _request(conn, "POST", "/scenarios", _payload(gamma))
+            out_latencies.append(time.perf_counter() - t0)
+            if status != 200:
+                errors.append(f"hot POST for gamma={gamma} answered {status}")
+                return
+            if raw != reference[gamma]:
+                errors.append(f"hot response for gamma={gamma} differs from the cold body")
+                return
+    finally:
+        conn.close()
+
+
+def _run_trace(
+    gammas: list[float] = GAMMA_VALUES,
+    clients: int = CLIENTS,
+    hot_per_client: int = HOT_REQUESTS_PER_CLIENT,
+    workers: int = 2,
+) -> dict:
+    """Replay the cold-then-hot trace against a live server; one record row."""
+    with tempfile.TemporaryDirectory() as tmp:
+        service = ScenarioService(ResultStore(Path(tmp) / "store"), workers=workers)
+        with BackgroundServer(service) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+            cold_latencies, reference = _run_cold(conn, gammas)
+
+            hot_latencies: list[list[float]] = [[] for _ in range(clients)]
+            errors: list[str] = []
+            barrier = threading.Barrier(clients)
+            threads = [
+                threading.Thread(
+                    target=_hot_client,
+                    args=(
+                        server.port,
+                        gammas,
+                        index,
+                        hot_per_client,
+                        reference,
+                        hot_latencies[index],
+                        errors,
+                        barrier,
+                    ),
+                    name=f"bench-client-{index}",
+                )
+                for index in range(clients)
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            hot_elapsed = time.perf_counter() - t0
+            assert not errors, errors
+
+            status, raw = _request(conn, "GET", "/status")
+            assert status == 200, (status, raw)
+            counters = json.loads(raw)
+            conn.close()
+
+    # The accounting must be exact before any timing means anything:
+    # every cold point computed once, every hot request a store hit.
+    n_hot = clients * hot_per_client
+    assert counters["computed"] == len(gammas), counters
+    assert counters["misses"] == len(gammas), counters
+    assert counters["hits"] == n_hot, counters
+    assert counters["failed"] == 0, counters
+
+    hot_all = np.array([lat for per_client in hot_latencies for lat in per_client])
+    cold_all = np.array(cold_latencies)
+    dedup_ratio = counters["hits"] / (counters["hits"] + counters["misses"])
+    row = {
+        "points": len(gammas),
+        "clients": clients,
+        "hot_requests": n_hot,
+        "computed": counters["computed"],
+        "coalesced": counters["coalesced"],
+        "dedup_ratio": dedup_ratio,
+        "cold_p50_seconds": float(np.percentile(cold_all, 50)),
+        "hot_p50_seconds": float(np.percentile(hot_all, 50)),
+        "hot_p99_seconds": float(np.percentile(hot_all, 99)),
+        "hot_requests_per_second": n_hot / hot_elapsed,
+        "cached_speedup_p50": float(np.percentile(cold_all, 50) / np.percentile(hot_all, 50)),
+    }
+    return row
+
+
+# ----------------------------------------------------------------------
+# pytest cases
+
+
+def test_small_trace_dedup_accounting_and_byte_identity():
+    """2 points x 3 clients x 4 requests: exact counters, identical bodies."""
+    row = _run_trace(gammas=GAMMA_VALUES[:2], clients=3, hot_per_client=4, workers=1)
+    assert row["computed"] == 2
+    assert row["dedup_ratio"] == 12 / 14
+
+
+def test_full_trace_meets_floors():
+    """The committed trace shape meets every floor the CI gate enforces."""
+    row = _run_trace()
+    assert row["dedup_ratio"] >= DEDUP_RATIO_FLOOR
+    assert row["cached_speedup_p50"] >= CACHED_SPEEDUP_FLOOR
+    assert row["hot_requests_per_second"] >= HOT_THROUGHPUT_FLOOR
+
+
+# ----------------------------------------------------------------------
+# Standalone recorder (CI writes the benchmark record with this)
+
+
+def collect() -> dict:
+    row = _run_trace()
+    assert row["dedup_ratio"] >= DEDUP_RATIO_FLOOR, row
+    assert row["cached_speedup_p50"] >= CACHED_SPEEDUP_FLOOR, row
+    record: dict = {"serve": {"hot_trace": row}}
+    record["floors"] = {
+        "serve.hot_trace.dedup_ratio": DEDUP_RATIO_FLOOR,
+        "serve.hot_trace.cached_speedup_p50": CACHED_SPEEDUP_FLOOR,
+        "serve.hot_trace.hot_requests_per_second": HOT_THROUGHPUT_FLOOR,
+    }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default="BENCH_serve.json",
+                        help="output path for the benchmark record")
+    args = parser.parse_args(argv)
+    record = collect()
+    with open(args.json, "w", encoding="utf-8") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+    row = record["serve"]["hot_trace"]
+    print(
+        f"{row['points']} cold points + {row['hot_requests']} hot requests from "
+        f"{row['clients']} clients: dedup {row['dedup_ratio']:.3f}, "
+        f"hot p50 {1e3 * row['hot_p50_seconds']:.2f}ms "
+        f"(p99 {1e3 * row['hot_p99_seconds']:.2f}ms), "
+        f"{row['hot_requests_per_second']:.0f} req/s, "
+        f"cache hits {row['cached_speedup_p50']:.1f}x faster than cold"
+    )
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,26 @@ class SchedulerError(ReproError, RuntimeError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """The scenario service could not accept or serve a request.
+
+    Raised for service-level conditions (as opposed to malformed
+    requests, which are :class:`ConfigurationError`): the HTTP layer
+    maps subclasses to response codes.
+    """
+
+
+class ServiceBusy(ServiceError):
+    """The scenario service's queue is full — back pressure.
+
+    Raised by ``ScenarioService.submit`` when accepting the request
+    would exceed ``max_pending``; the HTTP layer answers 503 so clients
+    retry later instead of piling work onto an overloaded store.
+    Already-committed digests are never refused (cache hits cost no
+    queue slot).
+    """
+
+
 class AnalysisError(ReproError, ValueError):
     """An analysis routine received data it cannot interpret.
 

@@ -23,6 +23,8 @@ Usage::
     repro-experiments sched work <dir> [--grid DIGEST] [--ttl S] [--poll S]
         [--max-points N] [--shared-pi-cache] [--worker-id ID]
     repro-experiments sched status <dir> [--grid DIGEST] [--ttl S] [--json]
+    repro-experiments serve <dir> [--workers N] [--port P] [--host H]
+        [--ttl S] [--max-pending N] [--shared-pi-cache]
     repro-experiments lint <paths...> [--disable IDS] [--no-registry]
         [--json] [--list-rules]
 
@@ -41,6 +43,13 @@ attaches one worker to an existing grid — run it from several processes
 or machines sharing the store directory and they cooperate via lease
 files; ``sched status`` reports the frontier (``--json`` for the
 canonical machine-readable form the CI smokes compare).
+
+``serve`` starts the scenario service (:mod:`repro.serve`) over a
+result store: ``POST /scenarios`` dedups requests by sweep-point
+digest (committed records answer immediately, new work is enqueued
+behind a worker pool), ``GET /results/<digest>`` polls/reads, and
+``GET /status`` reports the queue and dedup counters.  Blocks until
+interrupted.
 """
 
 from __future__ import annotations
@@ -205,6 +214,24 @@ def build_parser() -> argparse.ArgumentParser:
     sstatus.add_argument("--grid", default=None, help="grid digest (optional if unambiguous)")
     sstatus.add_argument("--ttl", type=float, default=60.0, help="lease freshness TTL")
     sstatus.add_argument("--json", action="store_true", help="canonical JSON output")
+    servep = sub.add_parser("serve", help="scenario service over a result store (repro.serve)")
+    servep.add_argument("root", help="result-store root directory to serve and write")
+    servep.add_argument("--host", default="127.0.0.1", help="bind address")
+    servep.add_argument("--port", type=int, default=8787, help="bind port (0 = ephemeral)")
+    servep.add_argument("--workers", type=int, default=2, help="computation worker threads")
+    servep.add_argument("--ttl", type=float, default=60.0, help="lease TTL seconds")
+    servep.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queue depth before POSTs answer 503 (back pressure)",
+    )
+    servep.add_argument(
+        "--shared-pi-cache",
+        action="store_true",
+        help="share join-kernel work across requests (disk tier inside the store)",
+    )
     lintp = sub.add_parser(
         "lint",
         help="run the determinism & store-protocol linter (same as python -m repro.lint)",
@@ -473,6 +500,23 @@ def _sched_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_main(args: argparse.Namespace) -> int:
+    from repro.serve import ScenarioService, run_server
+    from repro.serve.service import DEFAULT_MAX_PENDING
+    from repro.store import ResultStore
+
+    max_pending = DEFAULT_MAX_PENDING if args.max_pending is None else args.max_pending
+    service = ScenarioService(
+        ResultStore(args.root),
+        workers=args.workers,
+        ttl=args.ttl,
+        max_pending=max_pending,
+        shared_pi_cache=args.shared_pi_cache,
+    )
+    run_server(service, host=args.host, port=args.port)
+    return 0
+
+
 def _scenario_main(args: argparse.Namespace) -> int:
     from repro.core.registry import available_algorithms
     from repro.env.registry import (
@@ -544,6 +588,8 @@ def main(argv: list[str] | None = None) -> int:
         return _store_main(args)
     if args.command == "sched":
         return _sched_main(args)
+    if args.command == "serve":
+        return _serve_main(args)
     if args.command == "list":
         for eid, title in list_experiments():
             print(f"{eid:>4}  {title}")

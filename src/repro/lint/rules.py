@@ -161,9 +161,11 @@ class WallClockRule(Rule):
     A timestamp inside anything content-addressed breaks byte-identity:
     two runs of the same point would produce different record bytes, and
     the store's resume/chaos guarantees are checked by ``diff``.  The
-    digest/record/grid modules are quarantined outright (lock/lease
-    heartbeat code carries explicit ``# repro-lint: disable=RPR002``
-    pragmas — mtime freshness legitimately needs the clock); elsewhere,
+    digest/record/grid modules — and the whole ``repro/serve/`` package,
+    whose response bodies are byte-compared — are quarantined outright
+    (lock/lease heartbeat code carries explicit
+    ``# repro-lint: disable=RPR002`` pragmas — mtime freshness
+    legitimately needs the clock); elsewhere,
     a wall-clock call inside a dict literal with manifest-ish keys
     (``kind`` / ``digest`` / ``meta``) is flagged wherever it appears.
     """
@@ -178,6 +180,11 @@ class WallClockRule(Rule):
         "repro/sched/grid.py",
         "repro/sched/leases.py",
     )
+    #: Whole packages under quarantine: every response body the scenario
+    #: service emits is digest-keyed canonical JSON, so a timestamp
+    #: anywhere in ``repro/serve/`` could leak into a byte-compared
+    #: response or a committed manifest.
+    QUARANTINED_PACKAGES = ("repro/serve/",)
 
     BANNED_CALLS = frozenset(
         {
@@ -193,7 +200,9 @@ class WallClockRule(Rule):
     MANIFEST_KEYS = frozenset({"kind", "digest", "meta"})
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        quarantined = ctx.in_module(*self.QUARANTINED_MODULES)
+        quarantined = ctx.in_module(*self.QUARANTINED_MODULES) or ctx.in_package(
+            *self.QUARANTINED_PACKAGES
+        )
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -239,8 +248,10 @@ class WallClockRule(Rule):
 class CanonicalJsonRule(Rule):
     """Digest-bound and machine-compared JSON must serialize canonically.
 
-    Anything under ``repro/store/`` or ``repro/sched/`` — and the CLI,
-    whose ``--json`` output the CI smokes byte-diff — may only call
+    Anything under ``repro/store/``, ``repro/sched/`` or ``repro/serve/``
+    (HTTP response bodies are byte-diffed by the service smoke) — and
+    the CLI, whose ``--json`` output the CI smokes byte-diff — may only
+    call
     ``json.dumps``/``json.dump`` with ``sort_keys=True`` and pinned
     formatting (an explicit ``separators=`` or ``indent=``), so key
     order and whitespace can never vary between runs.
@@ -249,7 +260,7 @@ class CanonicalJsonRule(Rule):
     rule_id = "RPR003"
     title = "canonical json.dumps in store/sched/CLI-JSON paths"
 
-    SCOPED_PACKAGES = ("repro/store/", "repro/sched/")
+    SCOPED_PACKAGES = ("repro/store/", "repro/sched/", "repro/serve/")
     SCOPED_MODULES = ("repro/experiments/cli.py",)
 
     JSON_CALLS = frozenset({"json.dumps", "json.dump"})
@@ -296,9 +307,9 @@ class AtomicWriteRule(Rule):
     """
 
     rule_id = "RPR004"
-    title = "atomic-write protocol under store/sched packages"
+    title = "atomic-write protocol under store/sched/serve packages"
 
-    SCOPED_PACKAGES = ("repro/store/", "repro/sched/")
+    SCOPED_PACKAGES = ("repro/store/", "repro/sched/", "repro/serve/")
     HELPER_MODULES = (
         "repro/store/records.py",
         "repro/store/locks.py",

@@ -1,0 +1,36 @@
+"""repro.serve — async scenario service over the content-addressed store.
+
+The serving story for the content-addressed :class:`~repro.store.ResultStore`:
+an asyncio HTTP front end (stdlib only) where ``POST /scenarios`` submits a
+:class:`ScenarioRequest` (a ScenarioSpec JSON + run params), keyed by the
+same sweep-point digest the batch paths use — committed results are served
+immediately from the store, new work is enqueued behind a worker pool that
+drains through ``run_trials`` + lease-guarded store commits, and duplicate
+in-flight requests coalesce onto one computation.
+
+Layers (each importable without the ones above it):
+
+* :mod:`repro.serve.request` — the request protocol: normalization, the
+  digest/seed identity shared with ``sweep_scenario`` / ``repro.sched``,
+  and the record shape (pure data, no I/O).
+* :mod:`repro.serve.service` — :class:`ScenarioService`: queue, worker
+  pool, lease-based crash reclaim, dedup counters, back pressure.
+* :mod:`repro.serve.http` — the asyncio HTTP layer: request parsing,
+  canonical-JSON response bodies, ``run_server`` / ``BackgroundServer``.
+
+CLI entry point: ``repro-experiments serve <store-dir> [--workers N --port P]``.
+"""
+
+from repro.serve.http import BackgroundServer, record_body, run_server
+from repro.serve.request import ScenarioRequest, request_record
+from repro.serve.service import ScenarioService, ServiceStatus
+
+__all__ = [
+    "BackgroundServer",
+    "ScenarioRequest",
+    "ScenarioService",
+    "ServiceStatus",
+    "record_body",
+    "request_record",
+    "run_server",
+]

@@ -1,0 +1,236 @@
+"""The service request protocol: one ``POST /scenarios`` body, normalized.
+
+A :class:`ScenarioRequest` is the unit the scenario service dedups on.
+It carries a full :class:`~repro.scenario.ScenarioSpec`, an optional set
+of dotted parameter overrides (``{"algorithm.gamma": 0.03}``), and the
+run shape (``rounds`` / ``trials`` / ``run_params`` overrides).  Its
+identity — :meth:`ScenarioRequest.digest` — is **exactly** the
+sweep-point digest the batch paths already use
+(:func:`repro.scenario.sweep_point_digest`), and its seed root is the
+same :func:`repro.scenario.sweep_point_seed`:
+
+* a request overriding one parameter digests identically to the
+  corresponding ``sweep_scenario(store=...)`` point, so a store seeded
+  by a sweep serves the request as a cache hit — and a record computed
+  by the service resumes the sweep ``[cached]``;
+* a request overriding several parameters digests identically to the
+  matching :class:`repro.sched.GridSpec` point whose axes are sorted by
+  parameter name (requests canonicalize overrides in sorted order);
+* a request with **no** overrides is keyed with the empty coordinate
+  ``("", None)`` — impossible for real sweeps (axis parameters must be
+  dotted paths), so bare-spec requests can never alias a sweep point.
+
+Everything here is pure data + digest computation: the module performs
+no I/O, so request identity can be computed (and unit-tested) without a
+store or a server.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.exceptions import ConfigurationError
+from repro.scenario.runner import sweep_point_digest, sweep_point_seed
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.runner import TrialSummary
+from repro._version import __version__
+from repro.store import canonical_json
+from repro.util.validation import check_integer
+
+__all__ = ["ScenarioRequest", "request_record"]
+
+#: Coordinate of a request that overrides nothing: real sweep coordinates
+#: are dotted component paths, so the empty parameter cannot collide.
+EMPTY_COORDINATE: tuple[str, None] = ("", None)
+
+
+def _canonical_mapping(name: str, data: Any) -> dict[str, Any]:
+    """``data`` as a canonical-JSON-round-tripped plain dict."""
+    if data is None:
+        return {}
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"{name} must be a mapping, got {type(data).__name__}")
+    try:
+        normalized = json.loads(canonical_json(dict(data)))
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"request {name} must be canonical-JSON data: {exc}") from exc
+    assert isinstance(normalized, dict)
+    return normalized
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """One deduplicatable unit of service work, as plain data.
+
+    Parameters
+    ----------
+    spec:
+        The base scenario (its ``seed`` is the request's seed root,
+        exactly as in store-backed sweeps).
+    params:
+        Dotted component-parameter overrides applied via
+        ``spec.with_param`` — the request's *coordinate*.  Overrides are
+        canonicalized in sorted parameter order, so two JSON bodies
+        listing them differently are the same request.
+    rounds:
+        Horizon; defaults to ``spec.rounds``.
+    trials:
+        Independent trials aggregated into the record.
+    run_params:
+        Extra ``run()`` kwargs merged over ``spec.run_params`` (the same
+        merge ``sweep_scenario`` applies to keyword overrides).
+    """
+
+    spec: ScenarioSpec
+    params: dict[str, Any] = field(default_factory=dict)
+    rounds: int | None = None
+    trials: int = 1
+    run_params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.spec, Mapping):
+            object.__setattr__(self, "spec", ScenarioSpec.from_dict(dict(self.spec)))
+        if not isinstance(self.spec, ScenarioSpec):
+            raise ConfigurationError(
+                f"request spec must be a ScenarioSpec or dict, got {type(self.spec).__name__}"
+            )
+        params = _canonical_mapping("params", self.params)
+        for path in params:
+            if "." not in path:
+                raise ConfigurationError(
+                    f"request params override component params like "
+                    f"'algorithm.gamma'; got {path!r} (top-level spec fields "
+                    "belong in the spec itself)"
+                )
+        # Sorted order is the canonical coordinate order (dicts preserve
+        # insertion order, so sort once here and identity follows).
+        object.__setattr__(self, "params", {k: params[k] for k in sorted(params)})
+        rounds = self.spec.rounds if self.rounds is None else self.rounds
+        object.__setattr__(self, "rounds", check_integer("rounds", rounds, minimum=1))
+        object.__setattr__(self, "trials", check_integer("trials", self.trials, minimum=1))
+        object.__setattr__(self, "run_params", _canonical_mapping("run_params", self.run_params))
+
+    # ------------------------------------------------------------------
+    # Wire format
+
+    _KNOWN_KEYS = frozenset({"spec", "params", "rounds", "trials", "run_params"})
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioRequest":
+        """Parse one ``POST /scenarios`` body; raises ConfigurationError."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"request body must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = set(data) - cls._KNOWN_KEYS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown request keys {sorted(unknown)}; known: {sorted(cls._KNOWN_KEYS)}"
+            )
+        if data.get("spec") is None:
+            raise ConfigurationError("request needs a 'spec' (a ScenarioSpec JSON object)")
+        kwargs = {key: value for key, value in data.items() if value is not None or key == "rounds"}
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "params": dict(self.params),
+            "rounds": self.rounds,
+            "trials": self.trials,
+            "run_params": dict(self.run_params),
+        }
+
+    # ------------------------------------------------------------------
+    # Identity (the dedup key) — delegated to the sweep-point scheme
+
+    def coordinate(self) -> tuple[str | list[str], Any]:
+        """The request's sweep coordinate in the scalar-or-lists forms of
+        :func:`repro.scenario.sweep_point_digest`."""
+        if not self.params:
+            return EMPTY_COORDINATE
+        parameters = list(self.params)
+        values = list(self.params.values())
+        if len(parameters) == 1:
+            return parameters[0], values[0]
+        return parameters, values
+
+    def derived_spec(self) -> ScenarioSpec:
+        """The base spec with every override applied (canonical order)."""
+        derived = self.spec
+        for path, value in self.params.items():
+            derived = derived.with_param(path, value)
+        return derived
+
+    def merged_run_params(self) -> dict[str, Any]:
+        """The run kwargs a computation executes with (spec + overrides)."""
+        return {**self.spec.run_params, **self.run_params}
+
+    def label(self) -> str:
+        """Record label — matches the sweep/grid label for the point."""
+        if not self.params:
+            return self.spec.describe()
+        return ",".join(f"{p}={v}" for p, v in self.params.items())
+
+    def seed(self) -> int:
+        """Insertion-stable seed root (see :func:`sweep_point_seed`)."""
+        parameter, value = self.coordinate()
+        return sweep_point_seed(self.derived_spec(), parameter, value, self.spec.seed)
+
+    def digest(self) -> str:
+        """The content digest this request dedups on (the store key)."""
+        parameter, value = self.coordinate()
+        assert self.rounds is not None  # resolved in __post_init__
+        return sweep_point_digest(
+            self.derived_spec(),
+            parameter,
+            value,
+            rounds=self.rounds,
+            trials=self.trials,
+            run_params=self.merged_run_params(),
+            point_seed=self.seed(),
+        )
+
+    def closeness_inputs(self) -> tuple[float | None, float | None]:
+        """``(gamma_star, total_demand)`` from the *base* spec — the same
+        convention as ``sweep_scenario`` (closeness is always reported
+        against the base demand)."""
+        if self.spec.gamma_star is None:
+            return None, None
+        return self.spec.gamma_star, float(self.spec.initial_demand().total)
+
+
+def request_record(
+    request: ScenarioRequest, summary: TrialSummary
+) -> tuple[dict[str, npt.NDArray[np.float64]], dict[str, Any]]:
+    """``(arrays, meta)`` persisting one computed request.
+
+    Field-for-field the manifest a store-backed sweep (or a scheduler
+    worker) writes for the same point — deliberately, so a record is
+    byte-identical no matter which path computed it, and no wall-clock
+    field ever lands in a manifest (RPR002).
+    """
+    arrays: dict[str, npt.NDArray[np.float64]] = {
+        "average_regrets": summary.average_regrets,
+        "max_abs_deficits": summary.max_abs_deficits,
+        "switches_per_round": summary.switches_per_round,
+    }
+    if summary.closenesses is not None:
+        arrays["closenesses"] = summary.closenesses
+    parameter, value = request.coordinate()
+    meta = {
+        "kind": "sweep_point",
+        "label": summary.label,
+        "trials": summary.trials,
+        "rounds": summary.rounds,
+        "parameter": parameter,
+        "value": value,
+        "repro_version": __version__,
+    }
+    return arrays, meta

@@ -1,0 +1,353 @@
+"""The service core: digest-keyed dedup queue + lease-guarded worker pool.
+
+:class:`ScenarioService` is the piece between the HTTP layer and the
+store.  ``submit`` computes the request's sweep-point digest and then:
+
+* **hit** — the store already holds the record: served immediately, no
+  queue slot consumed (committed digests are never refused, even under
+  back pressure);
+* **pending** — the same digest is already queued or being computed:
+  the request *coalesces* onto the in-flight computation (the dedup
+  multiplier: N identical concurrent submissions cost one simulation);
+* **queued** — genuinely new work: enqueued for the worker pool, or
+  refused with :class:`~repro.exceptions.ServiceBusy` once
+  ``max_pending`` requests are outstanding (back pressure).
+
+Workers drain the queue through the exact computation path a
+store-backed sweep or a :mod:`repro.sched` worker uses — same seed
+derivation, same label, same merged run kwargs, same record shape — so
+a record is byte-identical no matter which path computed it.  Each
+execution is guarded by the scheduler's lease protocol
+(:class:`repro.sched.leases.LeaseManager` under
+``<store>/sched/serve/``): several service processes may front one
+store, a crashed process's in-flight request is reclaimed after the
+TTL, and the digest-keyed idempotent commit makes the double-execution
+worst case harmless.
+
+The service is synchronous and thread-based on purpose: simulations are
+CPU-bound, so the asyncio layer (:mod:`repro.serve.http`) stays
+responsive by keeping computations in plain daemon threads and only
+polling their results.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ServiceBusy
+from repro.scenario.runner import ScenarioFactory
+from repro.sched.leases import DEFAULT_LEASE_TTL, Lease, LeaseManager
+from repro.serve.request import ScenarioRequest, request_record
+from repro.sim.pi_cache import SharedPiCache
+from repro.sim.runner import run_trials
+from repro.store import ResultStore
+
+__all__ = ["DEFAULT_MAX_PENDING", "ScenarioService", "ServiceStatus"]
+
+#: Queue-depth cap before ``submit`` answers back pressure.  Sized for
+#: "a burst of distinct cold requests", not for sustained overload: at
+#: service throughput (seconds per point) a deeper queue only converts
+#: client timeouts into silent staleness.
+DEFAULT_MAX_PENDING = 256
+
+#: Subdirectory of the store's sched area holding the service's leases
+#: (kept apart from grid leases, which live under per-grid digests).
+SERVE_LEASE_DIR = "serve"
+
+
+@dataclass(frozen=True)
+class ServiceStatus:
+    """One consistent snapshot of the service's counters (``GET /status``)."""
+
+    queue_depth: int
+    workers: int
+    workers_alive: int
+    hits: int
+    misses: int
+    coalesced: int
+    computed: int
+    failed: int
+    lease_denied: int
+    reclaimed: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "queue_depth": self.queue_depth,
+            "workers": self.workers,
+            "workers_alive": self.workers_alive,
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "failed": self.failed,
+            "lease_denied": self.lease_denied,
+            "reclaimed": self.reclaimed,
+        }
+
+
+class ScenarioService:
+    """Digest-keyed scenario computations over one :class:`ResultStore`.
+
+    Parameters
+    ----------
+    store:
+        The result store (or its directory) served and written.
+    workers:
+        Worker threads draining the queue.  ``0`` is allowed (accept +
+        dedup only — used by tests and by back-pressure drills).
+    ttl:
+        Lease TTL: how long a crashed process's in-flight request stays
+        claimed before another service process may reclaim it.
+    max_pending:
+        Back-pressure threshold for :meth:`submit`.
+    shared_pi_cache:
+        ``True`` attaches per-worker join-kernel caches whose disk tier
+        lives inside the store (hot across requests and processes).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | str,
+        *,
+        workers: int = 2,
+        ttl: float = DEFAULT_LEASE_TTL,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        poll: float = 0.05,
+        shared_pi_cache: bool = False,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers!r}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending!r}")
+        self.store = ResultStore.coerce(store)
+        self.ttl = float(ttl)
+        self.max_pending = int(max_pending)
+        self.poll = float(poll)
+        self._use_pi_cache = bool(shared_pi_cache)
+        self._queue: queue.Queue[str | None] = queue.Queue()
+        self._lock = threading.Lock()
+        self._pending: dict[str, ScenarioRequest] = {}
+        self._failed: dict[str, str] = {}
+        self._hits = 0
+        self._misses = 0
+        self._coalesced = 0
+        self._computed = 0
+        self._failures = 0
+        self._lease_denied = 0
+        self._stopping = False
+        self._threads: list[threading.Thread] = []
+        self._n_workers = int(workers)
+        # One manager (and lease dir) shared by every service process
+        # fronting this store; constructed eagerly so `is_leased` works
+        # even on a workerless service.
+        self._manager = LeaseManager(
+            self.store.sched_dir / SERVE_LEASE_DIR, ttl=self.ttl, worker_id="serve"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        with self._lock:
+            if self._threads or self._n_workers == 0:
+                return
+            self._stopping = False
+            for index in range(self._n_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(index,),
+                    name=f"serve-worker-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        """Stop workers after their current computation (idempotent)."""
+        with self._lock:
+            threads, self._threads = self._threads, []
+            self._stopping = True
+        for _ in threads:
+            self._queue.put(None)  # one wake-up token per worker
+        for thread in threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ScenarioService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission / lookup
+
+    def submit(self, request: ScenarioRequest) -> tuple[str, str]:
+        """Accept one request; returns ``(digest, disposition)``.
+
+        Disposition is ``"hit"`` (record committed — read it from the
+        store), ``"pending"`` (coalesced onto in-flight work) or
+        ``"queued"`` (newly enqueued).  Raises :class:`ServiceBusy` when
+        the request needs a queue slot and none is left.
+        """
+        digest = request.digest()
+        if self.store.has_record(digest):
+            with self._lock:
+                self._hits += 1
+            return digest, "hit"
+        with self._lock:
+            if digest in self._pending:
+                self._coalesced += 1
+                return digest, "pending"
+            if len(self._pending) >= self.max_pending:
+                raise ServiceBusy(
+                    f"{len(self._pending)} requests pending (max_pending="
+                    f"{self.max_pending}); retry later"
+                )
+            self._misses += 1
+            self._failed.pop(digest, None)  # resubmission retries a failure
+            self._pending[digest] = request
+        self._queue.put(digest)
+        return digest, "queued"
+
+    def state_of(self, digest: str) -> str:
+        """``"committed"`` / ``"pending"`` / ``"failed"`` / ``"unknown"``.
+
+        A digest leased by *another* service process on the same store
+        reports ``"pending"`` too — cross-process coalescing: the poll
+        loop a client runs is the same either way.
+        """
+        if self.store.has_record(digest):
+            return "committed"
+        with self._lock:
+            if digest in self._pending:
+                return "pending"
+            if digest in self._failed:
+                return "failed"
+        if self._manager.is_leased(digest):
+            return "pending"
+        return "unknown"
+
+    def failure_of(self, digest: str) -> str | None:
+        """The recorded error for a failed digest, if any."""
+        with self._lock:
+            return self._failed.get(digest)
+
+    def status(self) -> ServiceStatus:
+        with self._lock:
+            alive = sum(1 for t in self._threads if t.is_alive())
+            return ServiceStatus(
+                queue_depth=len(self._pending),
+                workers=self._n_workers,
+                workers_alive=alive,
+                hits=self._hits,
+                misses=self._misses,
+                coalesced=self._coalesced,
+                computed=self._computed,
+                failed=self._failures,
+                lease_denied=self._lease_denied,
+                reclaimed=self._manager.reclaimed_count(),
+            )
+
+    # ------------------------------------------------------------------
+    # Worker side
+
+    def _worker_loop(self, index: int) -> None:
+        manager = LeaseManager(
+            self.store.sched_dir / SERVE_LEASE_DIR,
+            ttl=self.ttl,
+            worker_id=f"serve-{index}",
+        )
+        # Per-thread cache handle: the in-memory tier stays
+        # single-threaded, the disk tier is shared and process-safe.
+        pi_cache = SharedPiCache(disk=self.store.pi_cache()) if self._use_pi_cache else None
+        while True:
+            digest = self._queue.get()
+            if digest is None:
+                return
+            try:
+                self._execute(digest, manager, pi_cache)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, digest: str, manager: LeaseManager, pi_cache: SharedPiCache | None) -> None:
+        with self._lock:
+            request = self._pending.get(digest)
+            stopping = self._stopping
+        if request is None or stopping:
+            if request is not None:
+                with self._lock:
+                    self._pending.pop(digest, None)
+            return
+        try:
+            while not self.store.has_record(digest):
+                lease = manager.try_claim(digest)
+                if lease is None:
+                    # Another process is computing this digest; wait for
+                    # its commit (or for its heartbeat to go stale).
+                    with self._lock:
+                        self._lease_denied += 1
+                    if self._wait_for_commit_or_stale(digest, manager):
+                        break
+                    continue
+                try:
+                    # The reclaimed holder may have committed after our
+                    # staleness check — the record, not the lease, decides.
+                    if self.store.has_record(digest):
+                        break
+                    self._compute(request, digest, lease, pi_cache)
+                finally:
+                    lease.release()
+                break
+        except Exception as exc:  # noqa: BLE001 — failures become responses
+            with self._lock:
+                self._failures += 1
+                self._failed[digest] = f"{type(exc).__name__}: {exc}"
+        finally:
+            with self._lock:
+                self._pending.pop(digest, None)
+
+    def _compute(
+        self,
+        request: ScenarioRequest,
+        digest: str,
+        lease: Lease,
+        pi_cache: SharedPiCache | None,
+    ) -> None:
+        gamma_star, total_demand = request.closeness_inputs()
+        assert request.rounds is not None  # resolved on construction
+        with lease.heartbeat(self.ttl / 4.0):
+            summary = run_trials(
+                ScenarioFactory(request.derived_spec(), pi_cache),
+                request.rounds,
+                request.trials,
+                seed=request.seed(),
+                label=request.label(),
+                gamma_star=gamma_star,
+                total_demand=total_demand,
+                processes=0,
+                keep_results=False,
+                params=dict(request.params),
+                **request.merged_run_params(),
+            )
+        # Commit even when the lease was lost: the digest pins the
+        # content, so a double commit writes identical bytes.
+        arrays, meta = request_record(request, summary)
+        self.store.write_record(digest, arrays, meta)
+        with self._lock:
+            self._computed += 1
+
+    def _wait_for_commit_or_stale(self, digest: str, manager: LeaseManager) -> bool:
+        """Poll until the record lands (True) or the lease goes stale (False)."""
+        event = threading.Event()
+        while True:
+            if self.store.has_record(digest):
+                return True
+            if not manager.is_leased(digest):
+                return False
+            event.wait(self.poll)

@@ -96,6 +96,14 @@ def test_rpr002_flags_wall_clock_in_quarantined_module(lint_source):
         assert rules_of(lint_source(src, rel=rel)) == {"RPR002"}, rel
 
 
+def test_rpr002_quarantine_covers_the_whole_serve_package(lint_source):
+    # Response bodies are byte-compared by the service smoke, so every
+    # module under repro/serve/ is quarantined — including new ones.
+    src = "import time\nSTAMP = time.time()\n"
+    for rel in ("repro/serve/http.py", "repro/serve/future_module.py"):
+        assert rules_of(lint_source(src, rel=rel)) == {"RPR002"}, rel
+
+
 def test_rpr002_quarantine_covers_datetime_now(lint_source):
     findings = lint_source(
         """
@@ -172,10 +180,13 @@ def test_rpr003_accepts_canonical_and_pinned_indent_forms(lint_source):
         assert lint_source(src, rel="repro/store/x.py") == []
 
 
-def test_rpr003_scope_is_store_sched_and_cli_only(lint_source):
+def test_rpr003_scope_is_store_sched_serve_and_cli_only(lint_source):
     src = "import json\ns = json.dumps({'a': 1})\n"
     assert lint_source(src, rel="scratch/tool.py") == []
     assert rules_of(lint_source(src, rel="repro/experiments/cli.py")) == {"RPR003"}
+    # The service writes JSON response bodies that CI byte-compares, so
+    # repro/serve/ is in scope alongside store and sched.
+    assert rules_of(lint_source(src, rel="repro/serve/x.py")) == {"RPR003"}
 
 
 # ----------------------------------------------------------------------
@@ -188,6 +199,9 @@ def test_rpr004_flags_direct_writes_under_store_packages(lint_source):
     ) == {"RPR004"}
     assert rules_of(
         lint_source("path.write_text('x')\n", rel="repro/sched/newmod.py")
+    ) == {"RPR004"}
+    assert rules_of(
+        lint_source("f = open('out.json', 'w')\n", rel="repro/serve/newmod.py")
     ) == {"RPR004"}
 
 

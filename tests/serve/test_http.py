@@ -1,0 +1,187 @@
+"""HTTP layer: routes, status codes, and the concurrent-duplicate proof.
+
+The end-to-end acceptance test lives here: two clients POSTing the same
+spec while it is in flight must coalesce onto ONE computation (kernel
+spy) and both must receive byte-identical record bodies.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+import repro.serve.service as serve_service_mod
+from repro.serve import BackgroundServer, ScenarioService, record_body
+from repro.store import ResultStore
+
+from tests.serve.test_request import tiny_spec
+from tests.serve.test_service import RunTrialsSpy, request_for
+
+POLL = 0.01
+
+
+def body_for(gamma: float, trials: int = 2) -> bytes:
+    payload = {
+        "spec": tiny_spec().to_dict(),
+        "params": {"algorithm.gamma": gamma},
+        "trials": trials,
+    }
+    return json.dumps(payload).encode("utf-8")
+
+
+def call(port: int, method: str, path: str, body: bytes | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def poll_result(port: int, digest: str, deadline: float = 30.0):
+    t0 = time.perf_counter()
+    while True:
+        status, raw = call(port, "GET", f"/results/{digest}")
+        if status != 202:
+            return status, raw
+        if time.perf_counter() - t0 > deadline:
+            raise AssertionError(f"result {digest[:12]} still pending after {deadline}s")
+        time.sleep(POLL)
+
+
+@pytest.fixture
+def server(tmp_path):
+    service = ScenarioService(ResultStore(tmp_path), workers=2)
+    with BackgroundServer(service) as running:
+        yield running
+
+
+class TestRoutes:
+    def test_cold_post_then_poll_then_cached_post_byte_identical(self, server):
+        status, raw = call(server.port, "POST", "/scenarios", body_for(0.03))
+        assert status == 202
+        digest = json.loads(raw)["digest"]
+
+        status, first = poll_result(server.port, digest)
+        assert status == 200
+
+        status, second = call(server.port, "POST", "/scenarios", body_for(0.03))
+        assert status == 200
+        assert second == first  # the smoke's byte-diff, in-process
+
+        record = server.service.store.read_record(digest)
+        assert first == record_body(record)
+        payload = json.loads(first)
+        assert payload["digest"] == digest
+        assert payload["meta"]["kind"] == "sweep_point"
+        assert set(payload["arrays"]) >= {"average_regrets", "max_abs_deficits"}
+
+    def test_status_endpoint_counts(self, server):
+        status, raw = call(server.port, "GET", "/status")
+        assert status == 200
+        counters = json.loads(raw)
+        assert counters["workers"] == 2 and counters["workers_alive"] == 2
+        assert counters["queue_depth"] == 0
+
+    @pytest.mark.parametrize(
+        ("method", "path", "body", "expected"),
+        [
+            ("POST", "/scenarios", b"{not json", 400),
+            ("POST", "/scenarios", b'{"spec": null}', 400),
+            ("POST", "/scenarios", b'{"spec": {}, "nope": 1}', 400),
+            ("GET", "/scenarios", None, 405),
+            ("POST", "/status", b"", 405),
+            ("GET", "/results/NOT-HEX", None, 400),
+            ("GET", "/results/" + "ab" * 32, None, 404),
+            ("GET", "/nowhere", None, 404),
+        ],
+    )
+    def test_error_statuses(self, server, method, path, body, expected):
+        status, raw = call(server.port, method, path, body)
+        assert status == expected
+        assert "error" in json.loads(raw) or json.loads(raw).get("status") == "unknown"
+
+    def test_back_pressure_answers_503(self, tmp_path):
+        service = ScenarioService(ResultStore(tmp_path), workers=0, max_pending=1)
+        with BackgroundServer(service) as server:
+            status, _ = call(server.port, "POST", "/scenarios", body_for(0.02))
+            assert status == 202
+            status, raw = call(server.port, "POST", "/scenarios", body_for(0.03))
+            assert status == 503
+            assert "retry later" in json.loads(raw)["error"]
+
+    def test_failed_computation_answers_500(self, tmp_path, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected kernel failure")
+
+        monkeypatch.setattr(serve_service_mod, "run_trials", explode)
+        service = ScenarioService(ResultStore(tmp_path), workers=1)
+        with BackgroundServer(service) as server:
+            status, raw = call(server.port, "POST", "/scenarios", body_for(0.03))
+            assert status == 202
+            digest = json.loads(raw)["digest"]
+            status, raw = poll_result(server.port, digest)
+            assert status == 500
+            assert "injected kernel failure" in json.loads(raw)["error"]
+
+
+class TestConcurrentDuplicates:
+    def test_concurrent_duplicate_posts_coalesce_to_one_computation(
+        self, tmp_path, monkeypatch
+    ):
+        """The PR's acceptance proof: N clients racing the same spec pay
+        for ONE simulation and all read byte-identical records."""
+        spy = RunTrialsSpy(monkeypatch, delay=0.5)  # hold the point in flight
+        service = ScenarioService(ResultStore(tmp_path), workers=2)
+        n_clients = 4
+        results: list[tuple[int, bytes] | None] = [None] * n_clients
+        barrier = threading.Barrier(n_clients)
+
+        with BackgroundServer(service) as server:
+
+            def client(index: int) -> None:
+                barrier.wait()
+                status, raw = call(server.port, "POST", "/scenarios", body_for(0.03))
+                if status == 202:
+                    digest = json.loads(raw)["digest"]
+                    status, raw = poll_result(server.port, digest)
+                results[index] = (status, raw)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert spy.calls == 1  # one simulation, ever
+        assert all(result is not None and result[0] == 200 for result in results)
+        bodies = {result[1] for result in results}
+        assert len(bodies) == 1  # byte-identical for every client
+        status = service.status()
+        assert status.computed == 1
+        assert status.misses == 1
+        # every other racing POST either coalesced in flight or hit the
+        # committed record, depending on arrival time — never recomputed
+        assert status.coalesced + status.hits == n_clients - 1
+
+    def test_duplicate_posts_while_queued_return_the_same_digest(
+        self, tmp_path, monkeypatch
+    ):
+        spy = RunTrialsSpy(monkeypatch, delay=0.3)
+        service = ScenarioService(ResultStore(tmp_path), workers=1)
+        with BackgroundServer(service) as server:
+            status1, raw1 = call(server.port, "POST", "/scenarios", body_for(0.03))
+            status2, raw2 = call(server.port, "POST", "/scenarios", body_for(0.03))
+            assert status1 == status2 == 202
+            assert json.loads(raw1)["digest"] == json.loads(raw2)["digest"]
+            digest = json.loads(raw1)["digest"]
+            status, _ = poll_result(server.port, digest)
+            assert status == 200
+        assert spy.calls == 1

@@ -1,0 +1,190 @@
+"""Service core: dedup, coalescing, back pressure, leases, byte-identity.
+
+The acceptance contract mirrors the scheduler's: no matter which path
+computes a point — a store-backed sweep, a grid worker, or the service —
+the committed record files are byte-identical, and duplicate work is
+structurally impossible to observe (only counters tell you it happened).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import repro.serve.service as serve_service_mod
+from repro.exceptions import ServiceBusy
+from repro.scenario import ScenarioSpec, sweep_scenario
+from repro.sched.leases import LeaseManager
+from repro.serve import ScenarioRequest, ScenarioService
+from repro.serve.service import SERVE_LEASE_DIR
+from repro.store import ResultStore
+
+from tests.serve.test_request import tiny_spec
+
+POLL = 0.01
+DEADLINE = 30.0
+
+
+def wait_for(predicate, deadline: float = DEADLINE):
+    t0 = time.perf_counter()
+    while not predicate():
+        if time.perf_counter() - t0 > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(POLL)
+
+
+def request_for(gamma: float, trials: int = 2) -> ScenarioRequest:
+    return ScenarioRequest(
+        spec=tiny_spec(), params={"algorithm.gamma": gamma}, trials=trials
+    )
+
+
+class RunTrialsSpy:
+    """Counts (and optionally slows) the service's kernel executions."""
+
+    def __init__(self, monkeypatch, delay: float = 0.0):
+        self.calls = 0
+        self.delay = delay
+        real = serve_service_mod.run_trials
+
+        def counted(*args, **kwargs):
+            self.calls += 1
+            if self.delay:
+                time.sleep(self.delay)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(serve_service_mod, "run_trials", counted)
+
+
+class TestComputeAndDedup:
+    def test_cold_submit_computes_and_commits(self, tmp_path):
+        service = ScenarioService(ResultStore(tmp_path), workers=1)
+        request = request_for(0.03)
+        with service:
+            digest, disposition = service.submit(request)
+            assert disposition == "queued"
+            wait_for(lambda: service.state_of(digest) == "committed")
+        status = service.status()
+        assert status.computed == 1 and status.misses == 1
+
+    def test_second_submit_is_a_hit_with_no_recompute(self, tmp_path, monkeypatch):
+        service = ScenarioService(ResultStore(tmp_path), workers=1)
+        request = request_for(0.03)
+        with service:
+            digest, _ = service.submit(request)
+            wait_for(lambda: service.state_of(digest) == "committed")
+            spy = RunTrialsSpy(monkeypatch)
+            digest2, disposition = service.submit(request_for(0.03))
+            assert (digest2, disposition) == (digest, "hit")
+        assert spy.calls == 0
+        assert service.status().hits == 1
+
+    def test_service_record_is_byte_identical_to_sweep_record(self, tmp_path):
+        sweep_store = ResultStore(tmp_path / "sweep")
+        sweep_scenario(tiny_spec(), "algorithm.gamma", [0.03], trials=2, store=sweep_store)
+
+        serve_store = ResultStore(tmp_path / "serve")
+        service = ScenarioService(serve_store, workers=1)
+        with service:
+            digest, _ = service.submit(request_for(0.03))
+            wait_for(lambda: service.state_of(digest) == "committed")
+
+        sweep_dir = sweep_store.record_dir(digest)
+        serve_dir = serve_store.record_dir(digest)
+        names = sorted(p.name for p in sweep_dir.iterdir())
+        assert names == sorted(p.name for p in serve_dir.iterdir())
+        for name in names:
+            assert (sweep_dir / name).read_bytes() == (serve_dir / name).read_bytes()
+
+    def test_duplicate_in_flight_submissions_coalesce(self, tmp_path, monkeypatch):
+        spy = RunTrialsSpy(monkeypatch, delay=0.3)
+        service = ScenarioService(ResultStore(tmp_path), workers=2)
+        with service:
+            digest, first = service.submit(request_for(0.03))
+            assert first == "queued"
+            # While the computation is in flight, identical submissions
+            # coalesce instead of enqueueing a second execution.
+            wait_for(lambda: spy.calls == 1)
+            digest2, second = service.submit(request_for(0.03))
+            assert (digest2, second) == (digest, "pending")
+            wait_for(lambda: service.state_of(digest) == "committed")
+        assert spy.calls == 1
+        status = service.status()
+        assert status.coalesced == 1 and status.computed == 1
+
+
+class TestBackPressureAndFailures:
+    def test_queue_overflow_raises_service_busy(self, tmp_path):
+        service = ScenarioService(ResultStore(tmp_path), workers=0, max_pending=2)
+        service.submit(request_for(0.02))
+        service.submit(request_for(0.03))
+        with pytest.raises(ServiceBusy, match="2 requests pending"):
+            service.submit(request_for(0.04))
+
+    def test_committed_digests_are_never_refused(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep_scenario(tiny_spec(), "algorithm.gamma", [0.05], trials=2, store=store)
+        service = ScenarioService(store, workers=0, max_pending=1)
+        service.submit(request_for(0.02))  # fills the queue
+        digest, disposition = service.submit(request_for(0.05))
+        assert disposition == "hit"
+        assert service.state_of(digest) == "committed"
+
+    def test_failed_computation_is_reported_and_retryable(self, tmp_path, monkeypatch):
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected kernel failure")
+
+        monkeypatch.setattr(serve_service_mod, "run_trials", explode)
+        service = ScenarioService(ResultStore(tmp_path), workers=1)
+        with service:
+            digest, _ = service.submit(request_for(0.03))
+            wait_for(lambda: service.state_of(digest) == "failed")
+            assert "injected kernel failure" in service.failure_of(digest)
+
+            # Resubmission clears the failure and retries — this time
+            # with the real kernel restored.
+            from repro.sim.runner import run_trials as real_run_trials
+
+            monkeypatch.setattr(serve_service_mod, "run_trials", real_run_trials)
+            digest2, disposition = service.submit(request_for(0.03))
+            assert digest2 == digest and disposition == "queued"
+            wait_for(lambda: service.state_of(digest) == "committed")
+        assert service.status().failed == 1
+
+
+class TestLeases:
+    def test_stale_lease_from_crashed_process_is_reclaimed(self, tmp_path):
+        """A dead process's lease must not block the request forever."""
+        store = ResultStore(tmp_path)
+        request = request_for(0.03)
+        digest = request.digest()
+        # Simulate a crashed service process: a lease exists but its
+        # heartbeat stopped (backdated mtime), and no record ever lands.
+        crashed = LeaseManager(store.sched_dir / SERVE_LEASE_DIR, ttl=5.0, worker_id="dead")
+        stale = crashed.try_claim(digest)
+        old = stale.path.stat().st_mtime - 60.0
+        os.utime(stale.path, (old, old))
+
+        service = ScenarioService(store, workers=1, ttl=5.0)
+        with service:
+            digest2, disposition = service.submit(request)
+            assert digest2 == digest and disposition == "queued"
+            wait_for(lambda: service.state_of(digest) == "committed")
+        assert service.status().computed == 1
+        assert service.status().reclaimed == 1
+
+    def test_fresh_foreign_lease_reports_pending(self, tmp_path):
+        """Cross-process coalescing: another process's live computation
+        makes the digest poll as pending here."""
+        store = ResultStore(tmp_path)
+        digest = request_for(0.03).digest()
+        other = LeaseManager(store.sched_dir / SERVE_LEASE_DIR, ttl=60.0, worker_id="other")
+        assert other.try_claim(digest) is not None
+        service = ScenarioService(store, workers=0)
+        assert service.state_of(digest) == "pending"
+
+    def test_unknown_digest_is_unknown(self, tmp_path):
+        service = ScenarioService(ResultStore(tmp_path), workers=0)
+        assert service.state_of("ab" * 32) == "unknown"
