@@ -33,7 +33,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import time
 
 import numpy as np
 
@@ -42,6 +41,7 @@ from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
 from repro.env.critical import lambda_for_critical_value
 from repro.env.demands import uniform_demands
 from repro.env.feedback import SigmoidFeedback
+from repro.obs import monotonic as obs_monotonic
 from repro.sim.batched import BatchedCountingSimulator
 from repro.sim.counting import CountingSimulator
 
@@ -110,12 +110,12 @@ def _comparison(factory, rounds: int, floor: float, label: str) -> dict:
     t_serial = t_batched = float("inf")
     serial_out = batched_out = None
     for _ in range(REPEATS):
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         serial_out = serial()
-        t_serial = min(t_serial, time.perf_counter() - t0)
-        t0 = time.perf_counter()
+        t_serial = min(t_serial, obs_monotonic() - t0)
+        t0 = obs_monotonic()
         batched_out = batched()
-        t_batched = min(t_batched, time.perf_counter() - t0)
+        t_batched = min(t_batched, obs_monotonic() - t0)
 
     for lane_serial, lane_batched in zip(serial_out, batched_out):
         assert lane_serial.metrics.cumulative_regret == lane_batched.metrics.cumulative_regret

@@ -35,7 +35,6 @@ from __future__ import annotations
 import argparse
 import json
 import tempfile
-import time
 
 import numpy as np
 
@@ -43,6 +42,7 @@ from repro.core.ant import AntAlgorithm
 from repro.env.critical import lambda_for_critical_value
 from repro.env.demands import powerlaw_demands, uniform_demands
 from repro.env.feedback import ExactBinaryFeedback, SigmoidFeedback
+from repro.obs import monotonic as obs_monotonic
 from repro.scenario import ScenarioSpec, run_scenario
 from repro.sim.counting import CountingSimulator
 from repro.sim.pi_cache import SharedPiCache
@@ -102,9 +102,9 @@ def _time(fn, repeats: int) -> float:
     """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
     best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, obs_monotonic() - t0)
     return best
 
 
@@ -186,9 +186,9 @@ def _time_het_engine(join_kernel_method: str, pi_cache: bool) -> tuple[float, Co
     best, last_sim = float("inf"), None
     for _ in range(2):
         sim = _het_engine(join_kernel_method=join_kernel_method, pi_cache=pi_cache)
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         out = sim.run(HET_ENGINE_ROUNDS)
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, obs_monotonic() - t0)
         assert out.k == HET_ENGINE_K and out.rounds == HET_ENGINE_ROUNDS
         last_sim = sim
     return best, last_sim
@@ -269,9 +269,9 @@ def _xl_engine_run() -> dict:
     demand = powerlaw_demands(n=100 * XL_ENGINE_K, k=XL_ENGINE_K, alpha=1.0)
     lam = lambda_for_critical_value(demand, gamma_star=0.01)
     sim = CountingSimulator(AntAlgorithm(gamma=0.025), demand, SigmoidFeedback(lam), seed=0)
-    t0 = time.perf_counter()
+    t0 = obs_monotonic()
     out = sim.run(XL_ENGINE_ROUNDS)
-    elapsed = time.perf_counter() - t0
+    elapsed = obs_monotonic() - t0
     assert out.k == XL_ENGINE_K and out.rounds == XL_ENGINE_ROUNDS
     return {
         "n": sim.n,
@@ -304,15 +304,15 @@ def _shared_cache_comparison() -> dict:
     with a shared cross-trial cache; assert bit-identical statistics and
     report how much kernel work the shared cache amortized."""
     spec = _shared_sweep_spec()
-    t0 = time.perf_counter()
+    t0 = obs_monotonic()
     solo = run_scenario(spec, trials=SHARED_SWEEP_TRIALS, keep_results=False)
-    t_solo = time.perf_counter() - t0
+    t_solo = obs_monotonic() - t0
     cache = SharedPiCache()
-    t0 = time.perf_counter()
+    t0 = obs_monotonic()
     shared = run_scenario(
         spec, trials=SHARED_SWEEP_TRIALS, keep_results=False, shared_pi_cache=cache
     )
-    t_shared = time.perf_counter() - t0
+    t_shared = obs_monotonic() - t0
     assert np.array_equal(solo.average_regrets, shared.average_regrets), (
         "shared-cache run is not bit-identical to the per-trial-cache run"
     )
@@ -347,19 +347,19 @@ def _cross_session_comparison() -> dict:
     spec = _shared_sweep_spec()
     with tempfile.TemporaryDirectory() as tmp:
         first_cache = SharedPiCache(disk=DiskPiCache(tmp))
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         first = run_scenario(
             spec, trials=SHARED_SWEEP_TRIALS, keep_results=False, shared_pi_cache=first_cache
         )
-        t_first = time.perf_counter() - t0
+        t_first = obs_monotonic() - t0
         assert first_cache.disk.writes > 0
 
         second_cache = SharedPiCache(disk=DiskPiCache(tmp))
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         second = run_scenario(
             spec, trials=SHARED_SWEEP_TRIALS, keep_results=False, shared_pi_cache=second_cache
         )
-        t_second = time.perf_counter() - t0
+        t_second = obs_monotonic() - t0
 
     assert np.array_equal(first.average_regrets, second.average_regrets), (
         "disk-cache-served session is not bit-identical to the cold session"
@@ -426,9 +426,9 @@ def collect() -> dict:
 
     for k in ENGINE_KS:
         sim = _engine_for(k)
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         out = sim.run(ENGINE_ROUNDS)
-        elapsed = time.perf_counter() - t0
+        elapsed = obs_monotonic() - t0
         assert out.rounds == ENGINE_ROUNDS
         record["counting_engine"][f"k={k}"] = {
             "n": sim.n,

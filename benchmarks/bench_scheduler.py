@@ -45,6 +45,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.obs import monotonic as obs_monotonic
 from repro.scenario import ScenarioSpec, register_engine
 from repro.scenario.engines import ENGINES
 from repro.sched import GridSpec, run_grid
@@ -139,11 +140,11 @@ def _results_tree_hashes(store: ResultStore) -> dict[str, str]:
 def _drain(grid: GridSpec, root: Path, workers: int) -> tuple[float, ResultStore]:
     """Drain ``grid`` into a fresh store; returns (seconds, store)."""
     store = ResultStore(root)
-    t0 = time.perf_counter()
+    t0 = obs_monotonic()
     status = run_grid(
         store, grid, workers=workers, ttl=BENCH_TTL, poll=BENCH_POLL
     )
-    elapsed = time.perf_counter() - t0
+    elapsed = obs_monotonic() - t0
     assert status["done"], f"{workers}-worker drain left the grid unfinished: {status}"
     return elapsed, store
 

@@ -53,6 +53,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import monotonic as obs_monotonic
 from repro.scenario import ScenarioSpec
 from repro.serve import BackgroundServer, ScenarioService
 from repro.store import ResultStore
@@ -108,7 +109,7 @@ def _run_cold(conn: http.client.HTTPConnection, gammas: list[float]) -> tuple[li
     latencies = []
     bodies: dict[float, bytes] = {}
     for gamma in gammas:
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         status, raw = _request(conn, "POST", "/scenarios", _payload(gamma))
         assert status == 202, f"cold POST for gamma={gamma} answered {status}: {raw!r}"
         digest = json.loads(raw)["digest"]
@@ -118,7 +119,7 @@ def _run_cold(conn: http.client.HTTPConnection, gammas: list[float]) -> tuple[li
                 break
             assert status == 202, f"poll for {digest[:12]} answered {status}: {raw!r}"
             time.sleep(POLL_SECONDS)
-        latencies.append(time.perf_counter() - t0)
+        latencies.append(obs_monotonic() - t0)
         bodies[gamma] = raw
     return latencies, bodies
 
@@ -138,9 +139,9 @@ def _hot_client(
         barrier.wait()
         for i in range(n_requests):
             gamma = gammas[(offset + i) % len(gammas)]
-            t0 = time.perf_counter()
+            t0 = obs_monotonic()
             status, raw = _request(conn, "POST", "/scenarios", _payload(gamma))
-            out_latencies.append(time.perf_counter() - t0)
+            out_latencies.append(obs_monotonic() - t0)
             if status != 200:
                 errors.append(f"hot POST for gamma={gamma} answered {status}")
                 return
@@ -184,12 +185,12 @@ def _run_trace(
                 )
                 for index in range(clients)
             ]
-            t0 = time.perf_counter()
+            t0 = obs_monotonic()
             for thread in threads:
                 thread.start()
             for thread in threads:
                 thread.join()
-            hot_elapsed = time.perf_counter() - t0
+            hot_elapsed = obs_monotonic() - t0
             assert not errors, errors
 
             status, raw = _request(conn, "GET", "/status")

@@ -25,8 +25,16 @@ Usage::
     repro-experiments sched status <dir> [--grid DIGEST] [--ttl S] [--json]
     repro-experiments serve <dir> [--workers N] [--port P] [--host H]
         [--ttl S] [--max-pending N] [--shared-pi-cache]
+    repro-experiments obs report <trace.jsonl> [--top N] [--json]
     repro-experiments lint <paths...> [--disable IDS] [--no-registry]
         [--json] [--list-rules]
+
+``scenario run/sweep`` and ``sched run/work`` accept ``--trace FILE``:
+spans and events (engine runs, join-kernel dispatches, cache stats,
+scheduler claims, commits) are appended to the file as one canonical
+JSON line each; ``obs report`` aggregates such a file into top spans,
+kernel time per method, and cache hit ratios.  Tracing never changes
+records or digests — it is byte-transparent to the store.
 
 ``scenario sweep --store DIR`` commits every completed point to the
 store; adding ``--resume`` serves already-committed points from disk
@@ -57,11 +65,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
+from contextlib import nullcontext
 from pathlib import Path
-from typing import Any
+from typing import Any, ContextManager
 
 from repro.experiments.base import get_experiment, list_experiments
+from repro.obs import monotonic as obs_monotonic
 
 #: Exit status of a sweep stopped by ``--max-points`` (the interrupted-
 #: sweep smoke asserts it; distinct from argparse's 2 and errors' 1).
@@ -95,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
         "default defers to the spec)",
     )
     srun.add_argument("--seed", type=int, default=None, help="override spec.seed")
+    srun.add_argument(
+        "--trace", default=None, metavar="FILE", help="append obs trace spans to this JSONL file"
+    )
     ssweep = ssub.add_parser(
         "sweep", help="sweep one spec parameter (store-backed and resumable)"
     )
@@ -131,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ssweep.add_argument(
         "--out", default=None, help="write the aggregate series as canonical JSON"
+    )
+    ssweep.add_argument(
+        "--trace", default=None, metavar="FILE", help="append obs trace spans to this JSONL file"
     )
     sshow = ssub.add_parser("show", help="validate a spec file and print it normalized")
     sshow.add_argument("file", help="path to a ScenarioSpec JSON file")
@@ -195,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the grid manifest and exit without running any point",
     )
     screate.add_argument("--json", action="store_true", help="final status as canonical JSON")
+    screate.add_argument(
+        "--trace", default=None, metavar="FILE", help="append obs trace spans to this JSONL file"
+    )
     swork = scsub.add_parser("work", help="attach one worker to an existing grid")
     swork.add_argument("root", help="store root directory holding the grid")
     swork.add_argument("--grid", default=None, help="grid digest (optional if unambiguous)")
@@ -209,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="share join-kernel work across points (disk tier inside the store)",
     )
     swork.add_argument("--worker-id", default=None, help="label recorded in lease files")
+    swork.add_argument(
+        "--trace", default=None, metavar="FILE", help="append obs trace spans to this JSONL file"
+    )
     sstatus = scsub.add_parser("status", help="frontier counters of a grid")
     sstatus.add_argument("root", help="store root directory holding the grid")
     sstatus.add_argument("--grid", default=None, help="grid digest (optional if unambiguous)")
@@ -232,6 +253,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="share join-kernel work across requests (disk tier inside the store)",
     )
+    obsp = sub.add_parser("obs", help="observability tooling (repro.obs)")
+    obssub = obsp.add_subparsers(dest="obs_command", required=True)
+    oreport = obssub.add_parser("report", help="summarize a trace JSONL file")
+    oreport.add_argument("trace", help="trace file written via --trace / repro.obs.trace_to")
+    oreport.add_argument("--top", type=int, default=10, help="span rows to show (by total time)")
+    oreport.add_argument(
+        "--json", action="store_true", help="canonical JSON payload (byte-stable)"
+    )
+
     lintp = sub.add_parser(
         "lint",
         help="run the determinism & store-protocol linter (same as python -m repro.lint)",
@@ -245,6 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
     # ``lint --list-rules``), so main() short-circuits the dispatch for
     # ``lint`` before parsing; the subparser exists for --help listings.
     return parser
+
+
+def _maybe_trace(path: str | None) -> ContextManager[Any]:
+    """A tracing scope for ``--trace FILE``; a no-op scope without it.
+
+    Tracing is strictly additive: the simulation's records and digests
+    are byte-identical with or without it (the byte-identity suite in
+    ``tests/obs`` proves this), so the flag is always safe to pass.
+    """
+    if not path:
+        return nullcontext()
+    from repro.obs import trace_to
+
+    return trace_to(path)
 
 
 def _load_spec(path: str):
@@ -325,24 +369,25 @@ def _scenario_sweep_main(args: argparse.Namespace) -> int:
 
     spec = _load_spec(args.file)
     values = _parse_values(args.values)
-    t0 = time.perf_counter()
+    t0 = obs_monotonic()
     try:
-        result = sweep_scenario(
-            spec,
-            args.param,
-            values,
-            rounds=args.rounds,
-            trials=args.trials,
-            parallel=args.parallel,
-            store=args.store,
-            resume=args.resume,
-            shared_pi_cache=args.shared_pi_cache or None,
-            max_new_points=args.max_points,
-        )
+        with _maybe_trace(args.trace):
+            result = sweep_scenario(
+                spec,
+                args.param,
+                values,
+                rounds=args.rounds,
+                trials=args.trials,
+                parallel=args.parallel,
+                store=args.store,
+                resume=args.resume,
+                shared_pi_cache=args.shared_pi_cache or None,
+                max_new_points=args.max_points,
+            )
     except SweepInterrupted as exc:
         print(f"interrupted: {exc}")
         return SWEEP_INTERRUPTED_EXIT
-    dt = time.perf_counter() - t0
+    dt = obs_monotonic() - t0
 
     for i, summary in enumerate(result.summaries):
         origin = ""
@@ -450,7 +495,7 @@ def _sched_main(args: argparse.Namespace) -> int:
             if args.json:
                 print(canonical_json(grid_status(store, grid, ttl=args.ttl)))
             return 0
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         last = [""]
 
         def progress(status: dict[str, Any]) -> None:
@@ -459,16 +504,17 @@ def _sched_main(args: argparse.Namespace) -> int:
                 print(line, file=sys.stderr)
                 last[0] = line
 
-        status = run_grid(
-            store,
-            grid,
-            workers=args.workers,
-            ttl=args.ttl,
-            poll=args.poll,
-            shared_pi_cache=args.shared_pi_cache,
-            progress=progress,
-        )
-        dt = time.perf_counter() - t0
+        with _maybe_trace(args.trace):
+            status = run_grid(
+                store,
+                grid,
+                workers=args.workers,
+                ttl=args.ttl,
+                poll=args.poll,
+                shared_pi_cache=args.shared_pi_cache,
+                progress=progress,
+            )
+        dt = obs_monotonic() - t0
         print(f"(grid drained in {dt:.1f}s with {args.workers} worker(s))", file=sys.stderr)
         if args.json:
             print(canonical_json(status))
@@ -477,15 +523,16 @@ def _sched_main(args: argparse.Namespace) -> int:
     store = ResultStore(args.root)
     grid = load_grid(store, args.grid)
     if args.sched_command == "work":
-        stats = run_worker(
-            store,
-            grid,
-            ttl=args.ttl,
-            poll=args.poll,
-            shared_pi_cache=args.shared_pi_cache,
-            max_points=args.max_points,
-            worker_id=args.worker_id,
-        )
+        with _maybe_trace(args.trace):
+            stats = run_worker(
+                store,
+                grid,
+                ttl=args.ttl,
+                poll=args.poll,
+                shared_pi_cache=args.shared_pi_cache,
+                max_points=args.max_points,
+                worker_id=args.worker_id,
+            )
         print(
             f"worker done: computed={stats.computed} "
             f"lease_denied={stats.lease_denied} lost_leases={stats.lost_leases}"
@@ -497,6 +544,17 @@ def _sched_main(args: argparse.Namespace) -> int:
         print(canonical_json(status))
     else:
         print(f"grid {status['grid'][:12]}: {format_status(status)}")
+    return 0
+
+
+def _obs_main(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_json, render_text, trace_report
+
+    payload = trace_report(args.trace, top=args.top)
+    if args.json:
+        print(render_json(payload))
+    else:
+        print(render_text(payload))
     return 0
 
 
@@ -546,16 +604,17 @@ def _scenario_main(args: argparse.Namespace) -> int:
         print(spec.to_json())
         return 0
 
-    t0 = time.perf_counter()
-    out = run_scenario(
-        spec,
-        rounds=args.rounds,
-        trials=args.trials,
-        parallel=args.parallel,
-        batch=args.batch,
-        seed=args.seed,
-    )
-    dt = time.perf_counter() - t0
+    t0 = obs_monotonic()
+    with _maybe_trace(args.trace):
+        out = run_scenario(
+            spec,
+            rounds=args.rounds,
+            trials=args.trials,
+            parallel=args.parallel,
+            batch=args.batch,
+            seed=args.seed,
+        )
+    dt = obs_monotonic() - t0
     if isinstance(out, TrialSummary):
         print(out.describe())
     else:
@@ -590,6 +649,8 @@ def main(argv: list[str] | None = None) -> int:
         return _sched_main(args)
     if args.command == "serve":
         return _serve_main(args)
+    if args.command == "obs":
+        return _obs_main(args)
     if args.command == "list":
         for eid, title in list_experiments():
             print(f"{eid:>4}  {title}")
@@ -603,9 +664,9 @@ def main(argv: list[str] | None = None) -> int:
     overall_ok = True
     for eid in ids:
         fn = get_experiment(eid)
-        t0 = time.perf_counter()
+        t0 = obs_monotonic()
         result = fn(scale=args.scale, seed=args.seed)
-        dt = time.perf_counter() - t0
+        dt = obs_monotonic() - t0
         print(result.report())
         print(f"({eid} took {dt:.1f}s)\n")
         overall_ok &= result.all_ok

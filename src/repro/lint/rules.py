@@ -13,7 +13,9 @@ one protects):
   canonical (``sort_keys=True`` + pinned formatting);
 * **RPR004** — no direct file writes under store packages outside the
   atomic-write helper modules;
-* **RPR005** — no float ``==``/``!=`` against computed expressions.
+* **RPR005** — no float ``==``/``!=`` against computed expressions;
+* **RPR007** — observability isolation: ``repro.obs`` never reaches
+  digest/manifest/record construction paths.
 
 RPR006 (registry/spec consistency) is not an AST rule — it imports the
 registries and checks them live; see :mod:`repro.lint.registry_check`.
@@ -186,6 +188,14 @@ class WallClockRule(Rule):
     #: response or a committed manifest.
     QUARANTINED_PACKAGES = ("repro/serve/",)
 
+    #: The observability package is quarantined *harder*: every clock
+    #: read — wall AND monotonic — must flow through the one sanctioned
+    #: seam, ``repro/obs/clock.py`` (the clock analogue of
+    #: ``repro/util/rng.py``), so instrumented timings stay injectable
+    #: and trace files can be made deterministic with a FakeClock.
+    OBS_PACKAGES = ("repro/obs/",)
+    SANCTIONED_MODULES = ("repro/obs/clock.py",)
+
     BANNED_CALLS = frozenset(
         {
             "time.time",
@@ -197,19 +207,43 @@ class WallClockRule(Rule):
         }
     )
 
+    #: Additionally banned inside ``repro/obs/`` (outside clock.py).
+    MONOTONIC_CALLS = frozenset(
+        {
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+        }
+    )
+
     MANIFEST_KEYS = frozenset({"kind", "digest", "meta"})
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        quarantined = ctx.in_module(*self.QUARANTINED_MODULES) or ctx.in_package(
-            *self.QUARANTINED_PACKAGES
+        if ctx.in_module(*self.SANCTIONED_MODULES):
+            return
+        in_obs = ctx.in_package(*self.OBS_PACKAGES)
+        quarantined = (
+            ctx.in_module(*self.QUARANTINED_MODULES)
+            or ctx.in_package(*self.QUARANTINED_PACKAGES)
+            or in_obs
         )
+        banned = self.BANNED_CALLS | self.MONOTONIC_CALLS if in_obs else self.BANNED_CALLS
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             qname = ctx.resolve(node.func)
-            if qname not in self.BANNED_CALLS:
+            if qname not in banned:
                 continue
-            if quarantined:
+            if in_obs:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"clock call {qname}() inside repro/obs/; every clock read "
+                    "must go through repro.obs.clock (the one sanctioned seam) "
+                    "so timings stay injectable and traces deterministic",
+                )
+            elif quarantined:
                 yield self.finding(
                     ctx,
                     node,
@@ -260,7 +294,7 @@ class CanonicalJsonRule(Rule):
     rule_id = "RPR003"
     title = "canonical json.dumps in store/sched/CLI-JSON paths"
 
-    SCOPED_PACKAGES = ("repro/store/", "repro/sched/", "repro/serve/")
+    SCOPED_PACKAGES = ("repro/store/", "repro/sched/", "repro/serve/", "repro/obs/")
     SCOPED_MODULES = ("repro/experiments/cli.py",)
 
     JSON_CALLS = frozenset({"json.dumps", "json.dump"})
@@ -309,11 +343,14 @@ class AtomicWriteRule(Rule):
     rule_id = "RPR004"
     title = "atomic-write protocol under store/sched/serve packages"
 
-    SCOPED_PACKAGES = ("repro/store/", "repro/sched/", "repro/serve/")
+    SCOPED_PACKAGES = ("repro/store/", "repro/sched/", "repro/serve/", "repro/obs/")
     HELPER_MODULES = (
         "repro/store/records.py",
         "repro/store/locks.py",
         "repro/store/pi_disk.py",
+        # The tracer appends whole O_APPEND lines (the reclaim-log
+        # protocol) — it is obs's sanctioned raw-write module.
+        "repro/obs/trace.py",
     )
 
     WRITE_MODES = frozenset("wax+")
@@ -418,6 +455,114 @@ class FloatEqualityRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# RPR007 — observability isolation
+
+
+class ObsIsolationRule(Rule):
+    """``repro.obs`` must never feed digests, manifests, or records.
+
+    Observability is read-only on determinism: a metric value, clock
+    reading, or trace artifact inside anything content-addressed would
+    make record bytes depend on *how the run was observed* — breaking
+    the null-overhead invariant (records byte-identical with tracing
+    on, off, or disabled mid-run).  Two enforcement surfaces:
+
+    * importing ``repro.obs`` at all is banned inside the modules that
+      *construct* digests/manifests/records (the whole store layer plus
+      the grid/request/scenario record builders) — instrumentation of
+      those flows lives in their callers;
+    * everywhere else, passing an obs-imported name into a digest/record
+      sink call (``write_record``, ``point_record``, ``request_record``,
+      ``sweep_point_digest``, ``digest_hex``) is flagged.
+    """
+
+    rule_id = "RPR007"
+    title = "repro.obs never feeds digest/manifest/record construction"
+
+    #: Digest/manifest/record constructors: no ``repro.obs`` import here.
+    QUARANTINED_PACKAGES = ("repro/store/",)
+    QUARANTINED_MODULES = (
+        "repro/sched/grid.py",
+        "repro/serve/request.py",
+        "repro/scenario/spec.py",
+        "repro/scenario/runner.py",
+    )
+
+    #: Calls whose arguments become digests or record contents.
+    SINK_CALLS = frozenset(
+        {
+            "write_record",
+            "point_record",
+            "request_record",
+            "sweep_point_digest",
+            "digest_hex",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_package("repro/obs/"):
+            return  # obs handles its own values; sinks are banned here anyway
+        quarantined = ctx.in_package(*self.QUARANTINED_PACKAGES) or ctx.in_module(
+            *self.QUARANTINED_MODULES
+        )
+        for node in ast.walk(ctx.tree):
+            if quarantined and isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_sink(ctx, node)
+
+    def _check_import(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        else:
+            assert isinstance(node, ast.ImportFrom)
+            if node.level:
+                return
+            modules = [node.module or ""]
+        for module in modules:
+            if module == "repro.obs" or module.startswith("repro.obs."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "repro.obs imported in a digest/manifest/record "
+                    "construction module; observability is read-only on "
+                    "determinism — instrument the caller, not the "
+                    "record builder",
+                )
+
+    def _check_sink(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return
+        if name not in self.SINK_CALLS:
+            return
+        arguments: list[ast.AST] = [*node.args]
+        arguments.extend(kw.value for kw in node.keywords)
+        for argument in arguments:
+            for sub in ast.walk(argument):
+                qname: str | None = None
+                if isinstance(sub, ast.Name):
+                    qname = ctx.imports.get(sub.id)
+                elif isinstance(sub, ast.Attribute):
+                    qname = ctx.resolve(sub)
+                if qname is not None and (
+                    qname == "repro.obs" or qname.startswith("repro.obs.")
+                ):
+                    yield self.finding(
+                        ctx,
+                        sub,
+                        f"obs-derived value ({qname}) flows into digest/record "
+                        f"sink {name}(); metric and trace values must never "
+                        "reach content-addressed bytes",
+                    )
+                    break  # one finding per argument expression
+
+
+# ----------------------------------------------------------------------
 
 AST_RULES: tuple[Rule, ...] = (
     GlobalRngRule(),
@@ -425,6 +570,7 @@ AST_RULES: tuple[Rule, ...] = (
     CanonicalJsonRule(),
     AtomicWriteRule(),
     FloatEqualityRule(),
+    ObsIsolationRule(),
 )
 
 

@@ -1,0 +1,73 @@
+"""``repro.obs``: the observability spine — metrics, traces, clocks.
+
+Three seams, one rule:
+
+* :mod:`repro.obs.metrics` — process-local counters / gauges /
+  fixed-bucket histograms with canonical-JSON snapshots and Prometheus
+  text rendering (served by ``GET /metrics``);
+* :mod:`repro.obs.trace` — span tracing to append-only JSONL files,
+  no-op unless a tracer is installed;
+* :mod:`repro.obs.clock` — the single sanctioned wall/monotonic clock
+  (lint-quarantined the way ``repro.util.rng`` is for randomness).
+
+The rule: observability is *read-only on determinism*.  Nothing from
+this package — no clock reading, metric value, or trace artifact — may
+flow into a digest, manifest, or record (lint rule RPR007), and the
+store layer never imports ``repro.obs``.  Records are byte-identical
+with tracing on, off, or disabled mid-run; ``bench_obs`` holds the
+always-on metric overhead at <= 5%.
+"""
+
+from repro.obs.clock import (
+    Clock,
+    FakeClock,
+    SystemClock,
+    get_clock,
+    monotonic,
+    set_clock,
+    use_clock,
+    wall,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    Tracer,
+    complete_span,
+    current_tracer,
+    event,
+    install_tracer,
+    span,
+    trace_to,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "FakeClock",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SystemClock",
+    "Tracer",
+    "complete_span",
+    "current_tracer",
+    "event",
+    "get_clock",
+    "get_registry",
+    "install_tracer",
+    "monotonic",
+    "set_clock",
+    "set_registry",
+    "span",
+    "trace_to",
+    "uninstall_tracer",
+    "use_clock",
+    "wall",
+]

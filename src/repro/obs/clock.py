@@ -1,0 +1,132 @@
+"""The single sanctioned clock seam for the observability layer.
+
+Everything in ``repro`` that *measures durations* or *stamps wall time*
+must go through this module, the way every RNG goes through
+``repro.util.rng``.  The lint rule RPR002 quarantines the whole
+``repro/obs/`` package against direct ``time.*``/``datetime.*`` calls —
+this file is the one sanctioned exception — so a grep for clock use in
+instrumentation code has exactly one place to land.
+
+Two clock kinds:
+
+* :class:`SystemClock` — the real thing (``time.perf_counter`` for
+  durations, ``time.time`` for wall stamps).
+* :class:`FakeClock` — fully deterministic: starts at a fixed origin and
+  advances by a fixed ``tick`` per ``monotonic()`` call (plus explicit
+  :meth:`FakeClock.advance`).  Injecting one makes trace files
+  byte-identical across runs, which is how the trace-determinism tests
+  work.
+
+The process default is swappable (:func:`set_clock`,
+:func:`use_clock`) so tests and the CLI can inject without threading a
+clock argument through every call site.
+
+Determinism note: nothing read from a clock may ever flow into a
+digest, manifest, or record — that is RPR007's job to enforce.  Clock
+values are *observations about* a run, never *inputs to* it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+__all__ = [
+    "Clock",
+    "FakeClock",
+    "SystemClock",
+    "get_clock",
+    "monotonic",
+    "set_clock",
+    "use_clock",
+    "wall",
+]
+
+
+class Clock:
+    """Abstract clock: a monotonic duration source plus a wall stamp."""
+
+    def monotonic(self) -> float:
+        """Seconds from an arbitrary origin; never goes backwards."""
+        raise NotImplementedError
+
+    def wall(self) -> float:
+        """Seconds since the Unix epoch (may step; never for durations)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real process clocks."""
+
+    def monotonic(self) -> float:
+        return time.perf_counter()
+
+    def wall(self) -> float:
+        return time.time()
+
+
+class FakeClock(Clock):
+    """A deterministic clock for tests and byte-identical traces.
+
+    ``monotonic()`` returns the current reading and then advances it by
+    ``tick`` — so successive spans get distinct, reproducible
+    durations without any real time passing.  ``wall()`` tracks the
+    monotonic reading offset to ``wall_start`` and does not tick.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0, wall_start: float = 0.0) -> None:
+        self._start = float(start)
+        self._now = float(start)
+        self._tick = float(tick)
+        self._wall_start = float(wall_start)
+
+    def monotonic(self) -> float:
+        reading = self._now
+        self._now += self._tick
+        return reading
+
+    def wall(self) -> float:
+        return self._wall_start + (self._now - self._start)
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"clocks only move forward, got advance({seconds!r})")
+        self._now += float(seconds)
+
+
+_default_clock: Clock = SystemClock()
+
+
+def get_clock() -> Clock:
+    """The process-default clock (a :class:`SystemClock` unless swapped)."""
+    return _default_clock
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Swap the process-default clock; returns the previous one."""
+    global _default_clock
+    previous = _default_clock
+    _default_clock = clock
+    return previous
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Temporarily install ``clock`` as the process default."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)
+
+
+def monotonic() -> float:
+    """``get_clock().monotonic()`` — the sanctioned duration source."""
+    return _default_clock.monotonic()
+
+
+def wall() -> float:
+    """``get_clock().wall()`` — the sanctioned wall stamp."""
+    return _default_clock.wall()

@@ -1,0 +1,334 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments keyed by
+``(name, sorted label items)``.  Instruments are *bound once* at the
+call site (``counter = registry.counter("x_total", tier="local")``) and
+then incremented with a plain attribute method — the hot path is one
+lock-guarded float add, cheap enough to leave on permanently (the
+``bench_obs`` regression floor holds the engine overhead at <= 5%).
+
+Two renderings, both deterministic:
+
+* :meth:`MetricsRegistry.snapshot` → a plain dict whose canonical-JSON
+  form (:meth:`MetricsRegistry.to_json`) is byte-stable: instruments
+  are sorted by name then label items, histogram buckets are fixed at
+  construction.
+* :meth:`MetricsRegistry.render_prometheus` → Prometheus text
+  exposition (``# TYPE`` headers, ``name{label="v"} value`` lines,
+  cumulative ``le`` buckets with ``+Inf``), served by ``GET /metrics``.
+
+Metrics never feed digests or records — they are observations *about*
+runs (enforced by lint rule RPR007).  The registry is process-local by
+design: worker processes aggregate nothing across the pool; cross-run
+aggregation happens offline over trace files (``repro.obs.report``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.store.digest import canonical_json
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+LabelItems = tuple[tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Geometric latency buckets (seconds): 10us .. 10s, then +Inf.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5,
+    2.5e-5,
+    5e-5,
+    1e-4,
+    2.5e-4,
+    5e-4,
+    1e-3,
+    2.5e-3,
+    5e-3,
+    1e-2,
+    2.5e-2,
+    5e-2,
+    1e-1,
+    2.5e-1,
+    5e-1,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _label_items(labels: Mapping[str, str]) -> LabelItems:
+    items = tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+    for key, _ in items:
+        if not _NAME_RE.match(key):
+            raise ConfigurationError(f"invalid metric label name: {key!r}")
+    return items
+
+
+def _label_suffix(items: LabelItems) -> str:
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in items)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counters only go up: inc({amount!r}) on {self.name}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (bucket uppers chosen at construction).
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``
+    exclusive of earlier buckets; ``counts[-1]`` is the overflow
+    (``+Inf``) bucket.  Rendering is cumulative, Prometheus-style.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems, buckets: Sequence[float]) -> None:
+        uppers = tuple(float(b) for b in buckets)
+        if not uppers or any(b <= a for a, b in zip(uppers, uppers[1:])):
+            raise ConfigurationError(
+                f"histogram buckets must be non-empty and strictly increasing: {uppers!r}"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = uppers
+        self._counts = [0] * (len(uppers) + 1)
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(self._counts)
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """A process-local namespace of instruments.
+
+    get-or-create semantics: asking twice for the same ``(name,
+    labels)`` returns the same object; asking for the same name with a
+    different instrument kind (or different histogram buckets) is a
+    :class:`ConfigurationError` — a name means one thing per process.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, LabelItems], Instrument] = {}
+        self._kinds: dict[str, str] = {}
+        self._hist_buckets: dict[str, tuple[float, ...]] = {}
+
+    def _check_name(self, name: str, kind: str) -> None:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name: {name!r}")
+        registered = self._kinds.setdefault(name, kind)
+        if registered != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {registered}, not a {kind}"
+            )
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        items = _label_items(labels)
+        with self._lock:
+            self._check_name(name, "counter")
+            instrument = self._instruments.setdefault((name, items), Counter(name, items))
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        items = _label_items(labels)
+        with self._lock:
+            self._check_name(name, "gauge")
+            instrument = self._instruments.setdefault((name, items), Gauge(name, items))
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        items = _label_items(labels)
+        uppers = tuple(float(b) for b in buckets)
+        with self._lock:
+            self._check_name(name, "histogram")
+            registered = self._hist_buckets.setdefault(name, uppers)
+            if registered != uppers:
+                raise ConfigurationError(
+                    f"histogram {name!r} already registered with buckets {registered!r}"
+                )
+            instrument = self._instruments.setdefault(
+                (name, items), Histogram(name, items, uppers)
+            )
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    def _sorted_instruments(self) -> list[Instrument]:
+        with self._lock:
+            keys = sorted(self._instruments)
+            return [self._instruments[key] for key in keys]
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-data, canonically sortable view of every instrument."""
+        counters: list[dict[str, object]] = []
+        gauges: list[dict[str, object]] = []
+        histograms: list[dict[str, object]] = []
+        for instrument in self._sorted_instruments():
+            labels = dict(instrument.labels)
+            if isinstance(instrument, Counter):
+                counters.append(
+                    {"name": instrument.name, "labels": labels, "value": instrument.value}
+                )
+            elif isinstance(instrument, Gauge):
+                gauges.append(
+                    {"name": instrument.name, "labels": labels, "value": instrument.value}
+                )
+            else:
+                histograms.append(
+                    {
+                        "name": instrument.name,
+                        "labels": labels,
+                        "buckets": list(instrument.buckets),
+                        "counts": list(instrument.bucket_counts()),
+                        "sum": instrument.total,
+                    }
+                )
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def to_json(self) -> str:
+        """Canonical-JSON rendering of :meth:`snapshot` (byte-stable)."""
+        return canonical_json(self.snapshot())
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for instrument in self._sorted_instruments():
+            name = instrument.name
+            if isinstance(instrument, Counter):
+                if name not in seen_types:
+                    seen_types.add(name)
+                    lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name}{_label_suffix(instrument.labels)} {instrument.value:g}")
+            elif isinstance(instrument, Gauge):
+                if name not in seen_types:
+                    seen_types.add(name)
+                    lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name}{_label_suffix(instrument.labels)} {instrument.value:g}")
+            else:
+                if name not in seen_types:
+                    seen_types.add(name)
+                    lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                counts = instrument.bucket_counts()
+                for upper, count in zip(instrument.buckets, counts):
+                    cumulative += count
+                    items = instrument.labels + (("le", f"{upper:g}"),)
+                    lines.append(f"{name}_bucket{_label_suffix(items)} {cumulative}")
+                cumulative += counts[-1]
+                items = instrument.labels + (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_label_suffix(items)} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_label_suffix(instrument.labels)} {instrument.total:g}"
+                )
+                lines.append(f"{name}_count{_label_suffix(instrument.labels)} {cumulative}")
+        return "\n".join(lines) + "\n"
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-default registry (instrument bindings go through here)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-default registry; returns the previous one.
+
+    Existing bound instruments keep pointing at the old registry — swap
+    *before* constructing the objects you want observed.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,202 @@
+"""Span tracing: append-only JSONL event files over the clock seam.
+
+A :class:`Tracer` appends one canonical-JSON line per event to a trace
+file, using the same write protocol as the scheduler's reclaim log
+(``os.open(..., O_APPEND)`` + one ``os.write`` per whole line, so
+concurrent writers interleave complete lines, and a crash can lose at
+most the final line — ``repro.obs.report`` tolerates a torn tail).
+
+Line schema (keys always in canonical order)::
+
+    {"attrs":{...},"dur":0.25,"kind":"span","name":"join_kernel","seq":3,"t":1.5}
+
+* ``seq`` — per-tracer sequence number (total order of emission);
+* ``t`` — seconds since the tracer's own monotonic origin, read from
+  the injected :class:`~repro.obs.clock.Clock` (a
+  :class:`~repro.obs.clock.FakeClock` makes whole files byte-identical
+  across runs — the determinism tests rely on this);
+* ``dur`` — present for ``kind == "span"``, absent for plain events;
+* ``attrs`` — caller-supplied canonical-JSON-able values; span attrs
+  carry store digests (``digest=...``) so traces link to records.
+
+Instrumented code never talks to a tracer directly: it calls the
+module-level :func:`span` / :func:`event`, which are no-ops unless a
+tracer is installed (:func:`install_tracer` / :func:`trace_to`).  That
+is the null-overhead switch — with no tracer installed the hot path is
+one global read and a ``None`` check, and the byte-identity suite
+proves records are unchanged with tracing on, off, or disabled
+mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from types import TracebackType
+
+from repro.obs.clock import Clock, get_clock
+from repro.store.digest import canonical_json
+
+__all__ = [
+    "Tracer",
+    "complete_span",
+    "current_tracer",
+    "event",
+    "install_tracer",
+    "span",
+    "trace_to",
+    "uninstall_tracer",
+]
+
+AttrValue = str | int | float | bool | None
+
+
+class Tracer:
+    """Appends canonical-JSON event lines to one trace file."""
+
+    def __init__(self, path: str | Path, *, clock: Clock | None = None) -> None:
+        self.path = Path(path)
+        self._clock = clock if clock is not None else get_clock()
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._fd: int | None = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._origin = self._clock.monotonic()
+
+    # ------------------------------------------------------------------
+    def _emit(self, name: str, kind: str, start: float, dur: float | None,
+              attrs: dict[str, AttrValue]) -> None:
+        record: dict[str, object] = {
+            "attrs": attrs,
+            "kind": kind,
+            "name": name,
+            "t": start - self._origin,
+        }
+        if dur is not None:
+            record["dur"] = dur
+        with self._lock:
+            if self._fd is None:
+                return
+            record["seq"] = self._seq
+            self._seq += 1
+            line = canonical_json(record) + "\n"
+            os.write(self._fd, line.encode("utf-8"))
+
+    def event(self, name: str, **attrs: AttrValue) -> None:
+        """Append a point-in-time event line."""
+        self._emit(name, "event", self._clock.monotonic(), None, attrs)
+
+    @contextmanager
+    def span(self, name: str, **attrs: AttrValue) -> Iterator[None]:
+        """Time a block; append a ``kind=span`` line with its duration."""
+        start = self._clock.monotonic()
+        try:
+            yield
+        finally:
+            self._emit(name, "span", start, self._clock.monotonic() - start, attrs)
+
+    def complete(self, name: str, dur: float, **attrs: AttrValue) -> None:
+        """Append a span whose duration the caller already measured.
+
+        For call sites that time an operation once through the clock
+        seam (to feed a histogram) and also want the span on the trace
+        without paying a second pair of clock reads.  ``t`` is the span
+        start, reconstructed as ``now - dur``.
+        """
+        self._emit(name, "span", self._clock.monotonic() - dur, dur, attrs)
+
+    def close(self) -> None:
+        """Close the trace file; further emits become no-ops."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> Tracer:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The process-global tracer: instrumentation calls the module functions,
+# which no-op unless one is installed.
+
+_tracer: Tracer | None = None
+
+
+def install_tracer(target: Tracer | str | Path, *, clock: Clock | None = None) -> Tracer:
+    """Install the process tracer (closing any previous one)."""
+    global _tracer
+    tracer = target if isinstance(target, Tracer) else Tracer(target, clock=clock)
+    previous = _tracer
+    _tracer = tracer
+    if previous is not None and previous is not tracer:
+        previous.close()
+    return tracer
+
+
+def uninstall_tracer() -> None:
+    """Remove and close the process tracer; spans become no-ops again."""
+    global _tracer
+    previous = _tracer
+    _tracer = None
+    if previous is not None:
+        previous.close()
+
+
+def current_tracer() -> Tracer | None:
+    """The installed process tracer, if any."""
+    return _tracer
+
+
+@contextmanager
+def trace_to(path: str | Path, *, clock: Clock | None = None) -> Iterator[Tracer]:
+    """Install a tracer writing to ``path`` for the duration of a block."""
+    tracer = install_tracer(path, clock=clock)
+    try:
+        yield tracer
+    finally:
+        if _tracer is tracer:
+            uninstall_tracer()
+        else:  # someone swapped tracers mid-block; just close ours
+            tracer.close()
+
+
+def event(name: str, **attrs: AttrValue) -> None:
+    """Emit an event through the installed tracer; no-op without one."""
+    tracer = _tracer
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+def complete_span(name: str, dur: float, **attrs: AttrValue) -> None:
+    """Emit a caller-timed span through the tracer; no-op without one."""
+    tracer = _tracer
+    if tracer is not None:
+        tracer.complete(name, dur, **attrs)
+
+
+@contextmanager
+def span(name: str, **attrs: AttrValue) -> Iterator[None]:
+    """Span through the installed tracer; near-free no-op without one.
+
+    The tracer is looked up once at entry — installing or removing a
+    tracer mid-span affects the *next* span, never tears this one.
+    """
+    tracer = _tracer
+    if tracer is None:
+        yield
+        return
+    with tracer.span(name, **attrs):
+        yield

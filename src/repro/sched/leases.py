@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.obs import event as obs_event
+from repro.obs import get_registry
 from repro.store import (
     LEASE_SUFFIX,
     break_stale,
@@ -80,6 +82,7 @@ class Lease:
             os.utime(self.path)
         except OSError:
             return False
+        get_registry().counter("repro_sched_heartbeats_total").inc()
         return True
 
     def release(self) -> bool:
@@ -178,6 +181,8 @@ class LeaseManager:
 
     # ------------------------------------------------------------------
     def _log_reclaim(self, digest: str, evicted: dict[str, Any]) -> None:
+        get_registry().counter("repro_sched_reclaims_total").inc()
+        obs_event("sched_reclaim", digest=digest)
         line = canonical_json(
             {
                 "digest": digest,

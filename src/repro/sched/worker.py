@@ -34,6 +34,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs import get_registry
+from repro.obs import monotonic as obs_monotonic
+from repro.obs import span as obs_span
 from repro.scenario.runner import ScenarioFactory
 from repro.sim.pi_cache import SharedPiCache
 from repro.sim.runner import run_trials
@@ -94,6 +97,13 @@ def run_worker(
     gamma_star, total_demand = grid.closeness_inputs()
     run_params = grid.run_params
     stats = WorkerStats()
+    # Per-outcome counters + point latency; cumulative, process-wide.
+    registry = get_registry()
+    outcomes = {
+        outcome: registry.counter("repro_sched_points_total", outcome=outcome)
+        for outcome in ("computed", "resumed_skip", "lease_denied", "lost_lease")
+    }
+    point_seconds = registry.histogram("repro_sched_point_seconds")
 
     while True:
         outstanding = 0
@@ -105,35 +115,43 @@ def run_worker(
             lease = manager.try_claim(point.digest)
             if lease is None:
                 stats.lease_denied += 1
+                outcomes["lease_denied"].inc()
                 continue
             try:
                 # The reclaimed holder may have committed after our
                 # staleness check — the record, not the lease, decides.
                 if store.has_record(point.digest):
                     stats.resumed_skips += 1
+                    outcomes["resumed_skip"].inc()
                     progressed = True
                     continue
+                started = obs_monotonic()
                 with lease.heartbeat(heartbeat_interval) as lost:
-                    summary = run_trials(
-                        ScenarioFactory(point.spec, pi_cache),
-                        grid.rounds,
-                        grid.trials,
-                        seed=point.seed,
-                        label=point.label,
-                        gamma_star=gamma_star,
-                        total_demand=total_demand,
-                        processes=0,
-                        keep_results=False,
-                        params=dict(point.coords),
-                        **run_params,
-                    )
+                    with obs_span("sched_point", digest=point.digest, label=point.label):
+                        summary = run_trials(
+                            ScenarioFactory(point.spec, pi_cache),
+                            grid.rounds,
+                            grid.trials,
+                            seed=point.seed,
+                            label=point.label,
+                            gamma_star=gamma_star,
+                            total_demand=total_demand,
+                            processes=0,
+                            keep_results=False,
+                            params=dict(point.coords),
+                            **run_params,
+                        )
+                point_seconds.observe(obs_monotonic() - started)
                 # Commit even when the lease was lost: the digest pins
                 # the content, so a double commit writes identical bytes.
                 arrays, meta = point_record(point, summary)
-                store.write_record(point.digest, arrays, meta)
+                with obs_span("sched_commit", digest=point.digest):
+                    store.write_record(point.digest, arrays, meta)
                 if lost.is_set():
                     stats.lost_leases += 1
+                    outcomes["lost_lease"].inc()
                 stats.computed += 1
+                outcomes["computed"].inc()
                 stats.digests.append(point.digest)
                 progressed = True
                 if on_point is not None:

@@ -40,6 +40,8 @@ import threading
 from typing import Any
 
 from repro.exceptions import ConfigurationError, ServiceBusy
+from repro.obs import complete_span, get_registry
+from repro.obs import monotonic as obs_monotonic
 from repro.serve.request import ScenarioRequest
 from repro.serve.service import ScenarioService
 from repro.store import Record, canonical_json
@@ -62,8 +64,48 @@ _STATUS_TEXT = {
 }
 
 
+JSON_TYPE = "application/json"
+PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
 def _json_body(payload: dict[str, Any]) -> bytes:
     return (canonical_json(payload) + "\n").encode("utf-8")
+
+
+def _route_label(path: str) -> str:
+    """Bounded-cardinality route label for metrics (digests stripped)."""
+    if path == "/scenarios":
+        return "/scenarios"
+    if path.startswith("/results/"):
+        return "/results"
+    if path in ("/status", "/metrics"):
+        return path
+    return "other"
+
+
+def _request_counts() -> dict[str, int]:
+    """Per-``route:status`` request totals from the metrics registry
+    (the ``observability`` block of the enriched ``/status``)."""
+    counts: dict[str, int] = {}
+    snapshot = get_registry().snapshot()
+    counters = snapshot.get("counters")
+    if isinstance(counters, list):
+        for row in counters:
+            if not isinstance(row, dict) or row.get("name") != "repro_http_requests_total":
+                continue
+            labels = row.get("labels")
+            value = row.get("value")
+            if isinstance(labels, dict) and isinstance(value, (int, float)):
+                counts[f"{labels.get('route')}:{labels.get('status')}"] = int(value)
+    return counts
+
+
+def _observe_request(route: str, status: int, dur: float) -> None:
+    """One request's metrics + trace span (route label, never the path)."""
+    registry = get_registry()
+    registry.counter("repro_http_requests_total", route=route, status=str(status)).inc()
+    registry.histogram("repro_http_request_seconds", route=route).observe(dur)
+    complete_span("http_request", dur, route=route, status=status)
 
 
 def record_body(record: Record) -> bytes:
@@ -90,8 +132,10 @@ class _HttpError(Exception):
         self.message = message
 
 
-def _route(service: ScenarioService, method: str, path: str, body: bytes) -> tuple[int, bytes]:
-    """Dispatch one request; returns ``(status, response body)``."""
+def _route(
+    service: ScenarioService, method: str, path: str, body: bytes
+) -> tuple[int, bytes, str]:
+    """Dispatch one request; returns ``(status, body, content type)``."""
     if path == "/scenarios":
         if method != "POST":
             raise _HttpError(405, "POST /scenarios")
@@ -109,14 +153,14 @@ def _route(service: ScenarioService, method: str, path: str, body: bytes) -> tup
         if disposition == "hit":
             record = service.store.read_record(digest)
             if record is not None:
-                return 200, record_body(record)
+                return 200, record_body(record), JSON_TYPE
             # The record vanished between digest check and read (gc
             # race): the resubmission path recomputes it.
             try:
                 service.submit(request)
             except ServiceBusy as exc:
                 raise _HttpError(503, str(exc)) from exc
-        return 202, _json_body({"digest": digest, "status": "pending"})
+        return 202, _json_body({"digest": digest, "status": "pending"}), JSON_TYPE
 
     if path.startswith("/results/"):
         if method != "GET":
@@ -128,27 +172,41 @@ def _route(service: ScenarioService, method: str, path: str, body: bytes) -> tup
         if state == "committed":
             record = service.store.read_record(digest)
             if record is not None:
-                return 200, record_body(record)
+                return 200, record_body(record), JSON_TYPE
             state = "unknown"
         if state == "pending":
-            return 202, _json_body({"digest": digest, "status": "pending"})
+            return 202, _json_body({"digest": digest, "status": "pending"}), JSON_TYPE
         if state == "failed":
             error = service.failure_of(digest) or "computation failed"
-            return 500, _json_body({"digest": digest, "status": "failed", "error": error})
-        return 404, _json_body({"digest": digest, "status": "unknown"})
+            return (
+                500,
+                _json_body({"digest": digest, "status": "failed", "error": error}),
+                JSON_TYPE,
+            )
+        return 404, _json_body({"digest": digest, "status": "unknown"}), JSON_TYPE
 
     if path == "/status":
         if method != "GET":
             raise _HttpError(405, "GET /status")
-        return 200, _json_body(service.status().to_dict())
+        payload = service.status().to_dict()
+        # Additive enrichment: per-route request totals from the
+        # metrics registry (full detail lives at /metrics).
+        payload["requests"] = _request_counts()
+        return 200, _json_body(payload), JSON_TYPE
+
+    if path == "/metrics":
+        if method != "GET":
+            raise _HttpError(405, "GET /metrics")
+        text = get_registry().render_prometheus()
+        return 200, text.encode("utf-8"), PROMETHEUS_TYPE
 
     raise _HttpError(404, f"no route for {path!r}")
 
 
-def _render(status: int, body: bytes, *, keep_alive: bool) -> bytes:
+def _render(status: int, body: bytes, *, keep_alive: bool, content_type: str = JSON_TYPE) -> bytes:
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         f"\r\n"
@@ -206,16 +264,24 @@ async def _handle_connection(
                 break
             method, path, headers, body = parsed
             keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+            route = _route_label(path)
+            started = obs_monotonic()
+            content_type = JSON_TYPE
             try:
                 # The route handler does blocking store I/O (reads are
                 # mmap-fast); run it off the event loop so one slow
                 # disk read never stalls other connections.
-                status, payload = await asyncio.to_thread(_route, service, method, path, body)
+                status, payload, content_type = await asyncio.to_thread(
+                    _route, service, method, path, body
+                )
             except _HttpError as exc:
                 status, payload = exc.status, _json_body({"error": exc.message})
             except Exception as exc:  # noqa: BLE001 — keep serving
                 status, payload = 500, _json_body({"error": f"{type(exc).__name__}: {exc}"})
-            writer.write(_render(status, payload, keep_alive=keep_alive))
+            _observe_request(route, status, obs_monotonic() - started)
+            writer.write(
+                _render(status, payload, keep_alive=keep_alive, content_type=content_type)
+            )
             await writer.drain()
             if not keep_alive:
                 break

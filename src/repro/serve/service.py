@@ -38,6 +38,9 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import ServiceBusy
+from repro.obs import get_registry
+from repro.obs import monotonic as obs_monotonic
+from repro.obs import span as obs_span
 from repro.scenario.runner import ScenarioFactory
 from repro.sched.leases import DEFAULT_LEASE_TTL, Lease, LeaseManager
 from repro.serve.request import ScenarioRequest, request_record
@@ -196,15 +199,19 @@ class ScenarioService:
         the request needs a queue slot and none is left.
         """
         digest = request.digest()
+        registry = get_registry()
         if self.store.has_record(digest):
             with self._lock:
                 self._hits += 1
+            registry.counter("repro_serve_requests_total", disposition="hit").inc()
             return digest, "hit"
         with self._lock:
             if digest in self._pending:
                 self._coalesced += 1
+                registry.counter("repro_serve_requests_total", disposition="coalesced").inc()
                 return digest, "pending"
             if len(self._pending) >= self.max_pending:
+                registry.counter("repro_serve_requests_total", disposition="busy").inc()
                 raise ServiceBusy(
                     f"{len(self._pending)} requests pending (max_pending="
                     f"{self.max_pending}); retry later"
@@ -212,6 +219,7 @@ class ScenarioService:
             self._misses += 1
             self._failed.pop(digest, None)  # resubmission retries a failure
             self._pending[digest] = request
+        registry.counter("repro_serve_requests_total", disposition="queued").inc()
         self._queue.put(digest)
         return digest, "queued"
 
@@ -321,20 +329,25 @@ class ScenarioService:
     ) -> None:
         gamma_star, total_demand = request.closeness_inputs()
         assert request.rounds is not None  # resolved on construction
+        started = obs_monotonic()
         with lease.heartbeat(self.ttl / 4.0):
-            summary = run_trials(
-                ScenarioFactory(request.derived_spec(), pi_cache),
-                request.rounds,
-                request.trials,
-                seed=request.seed(),
-                label=request.label(),
-                gamma_star=gamma_star,
-                total_demand=total_demand,
-                processes=0,
-                keep_results=False,
-                params=dict(request.params),
-                **request.merged_run_params(),
-            )
+            with obs_span("serve_compute", digest=digest):
+                summary = run_trials(
+                    ScenarioFactory(request.derived_spec(), pi_cache),
+                    request.rounds,
+                    request.trials,
+                    seed=request.seed(),
+                    label=request.label(),
+                    gamma_star=gamma_star,
+                    total_demand=total_demand,
+                    processes=0,
+                    keep_results=False,
+                    params=dict(request.params),
+                    **request.merged_run_params(),
+                )
+        get_registry().histogram("repro_serve_compute_seconds").observe(
+            obs_monotonic() - started
+        )
         # Commit even when the lease was lost: the digest pins the
         # content, so a double commit writes identical bytes.
         arrays, meta = request_record(request, summary)

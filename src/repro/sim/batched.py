@@ -54,6 +54,8 @@ from repro.core.precise_sigmoid import PreciseSigmoidAlgorithm
 from repro.env.feedback import SigmoidFeedback
 from repro.env.population import apply_population_change
 from repro.exceptions import AnalysisError, ConfigurationError, SimulationError
+from repro.obs import event as obs_event
+from repro.obs import span as obs_span
 from repro.sim.counting import CountingSimulator, JoinDistributionCache
 from repro.sim.engine import SimulationResult
 from repro.sim.metrics import RunMetrics
@@ -378,12 +380,21 @@ class BatchedCountingSimulator:
             loads_iter = self._run_trivial(rounds, rngs)
 
         W = self._stack_initial_loads()
-        for t, W, switches in loads_iter:
-            d_now = self.schedule.demands_at(t).demands
-            r = tracker.observe(t, d_now, W, switches)
-            if record_trace:
-                for b, trace in enumerate(traces):
-                    trace.record(t, W[b], float(r[b]))
+        with obs_span(
+            "batched_run",
+            engine="batched",
+            algorithm=type(self.algorithm).__name__,
+            k=self.k,
+            rounds=rounds,
+            batch=self.batch,
+        ):
+            for t, W, switches in loads_iter:
+                d_now = self.schedule.demands_at(t).demands
+                r = tracker.observe(t, d_now, W, switches)
+                if record_trace:
+                    for b, trace in enumerate(traces):
+                        trace.record(t, W[b], float(r[b]))
+        obs_event("pi_cache_stats", engine="batched", **self._join_cache.stats())
 
         metrics = tracker.finalize()
         return [

@@ -48,6 +48,10 @@ from repro.env.demands import DemandSchedule, DemandVector
 from repro.env.feedback import FeedbackModel
 from repro.env.population import PopulationSchedule, StaticPopulation, apply_population_change
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.obs import complete_span, get_registry
+from repro.obs import event as obs_event
+from repro.obs import monotonic as obs_monotonic
+from repro.obs import span as obs_span
 from repro.sim.engine import SimulationResult, _coerce_schedule
 from repro.sim.metrics import RegretTracker
 from repro.sim.pi_cache import SharedPiCache
@@ -115,6 +119,18 @@ class JoinDistributionCache:
         self.shared_hits = 0
         self.disk_hits = 0
         self.misses = 0
+        # Cumulative process-wide instruments (never reset): the per-run
+        # ints above remain the engines' per-run stats view, the bound
+        # registry counters are the observability view.  Bound once here
+        # so the lookup hot path pays one attribute read + one add.
+        registry = get_registry()
+        self._obs_tiers = {
+            tier: registry.counter("repro_pi_cache_lookups_total", tier=tier)
+            for tier in ("local", "shared", "disk", "miss")
+        }
+        self._obs_kernel_seconds = registry.histogram(
+            "repro_join_kernel_seconds", method=resolved_method
+        )
 
     def reset_stats(self) -> None:
         """Rewind every per-tier counter (cache *contents* stay warm —
@@ -129,14 +145,24 @@ class JoinDistributionCache:
         """Total hits (local + shared + disk) since the last reset."""
         return self.local_hits + self.shared_hits + self.disk_hits
 
+    def stats(self) -> dict[str, int]:
+        """The per-run tier counters as a plain dict (compat/trace view)."""
+        return {
+            "local_hits": self.local_hits,
+            "shared_hits": self.shared_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
+
     def distribution(self, u: np.ndarray) -> np.ndarray:
         """The exact action distribution for mark probabilities ``u``."""
         if not self.enabled:
-            return exact_join_probabilities(u, method=self.kernel_method)
+            return self._run_kernel(u)
         key = u.tobytes()
         pi = self._local.get(key)
         if pi is not None:
             self.local_hits += 1
+            self._obs_tiers["local"].inc()
             return pi
         shared_key = None
         if self.shared is not None:
@@ -145,15 +171,35 @@ class JoinDistributionCache:
             if pi is not None:
                 if tier == "disk":
                     self.disk_hits += 1
+                    self._obs_tiers["disk"].inc()
                 else:
                     self.shared_hits += 1
+                    self._obs_tiers["shared"].inc()
                 self._store_local(key, pi)
                 return pi
         self.misses += 1
-        pi = exact_join_probabilities(u, method=self.kernel_method)
+        self._obs_tiers["miss"].inc()
+        pi = self._run_kernel(u)
         if shared_key is not None:
             pi = self.shared.put(shared_key, pi)
         self._store_local(key, pi)
+        return pi
+
+    def _run_kernel(self, u: np.ndarray) -> np.ndarray:
+        """Dispatch the exact join kernel, timed through the clock seam.
+
+        The duration feeds the kernel-latency histogram always and the
+        trace (as a ``join_kernel`` span) only when a tracer is
+        installed — misses are the expensive operation, so tracing at
+        miss granularity keeps the null-overhead guarantee.
+        """
+        start = obs_monotonic()
+        pi = exact_join_probabilities(u, method=self.kernel_method)
+        dur = obs_monotonic() - start
+        self._obs_kernel_seconds.observe(dur)
+        complete_span(
+            "join_kernel", dur, method=self.resolved_method, k=int(u.shape[0])
+        )
         return pi
 
     def _store_local(self, key: bytes, pi: np.ndarray) -> None:
@@ -349,11 +395,19 @@ class CountingSimulator:
             loads_iter = self._run_trivial(rounds, rng)
 
         loads = self.initial_loads
-        for t, loads, switches in loads_iter:
-            d_now = self.schedule.demands_at(t).demands
-            r = tracker.observe(t, d_now, loads, switches)
-            if record_trace:
-                trace.record(t, loads, r)
+        with obs_span(
+            "counting_run",
+            engine="counting",
+            algorithm=type(self.algorithm).__name__,
+            k=self.k,
+            rounds=rounds,
+        ):
+            for t, loads, switches in loads_iter:
+                d_now = self.schedule.demands_at(t).demands
+                r = tracker.observe(t, d_now, loads, switches)
+                if record_trace:
+                    trace.record(t, loads, r)
+        obs_event("pi_cache_stats", engine="counting", **self._join_cache.stats())
 
         return SimulationResult(
             metrics=tracker.finalize(),

@@ -45,6 +45,8 @@ import weakref
 
 import numpy as np
 
+from repro.obs import get_registry
+from repro.obs import monotonic as obs_monotonic
 from repro.store.pi_disk import DiskPiCache
 from repro.util.validation import check_integer
 
@@ -125,6 +127,14 @@ class SharedPiCache:
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
+        # Cumulative process-wide observability (never reset by clear()):
+        # one counter per tier outcome, plus disk-read latency.
+        registry = get_registry()
+        self._obs_tiers = {
+            tier: registry.counter("repro_shared_pi_cache_fetch_total", tier=tier)
+            for tier in ("memory", "disk", "miss")
+        }
+        self._obs_disk_seconds = registry.histogram("repro_disk_pi_cache_read_seconds")
         _PROCESS_REGISTRY[self._token] = self
 
     # ------------------------------------------------------------------
@@ -151,9 +161,12 @@ class SharedPiCache:
         pi = self._entries.get(key)
         if pi is not None:
             self.hits += 1
+            self._obs_tiers["memory"].inc()
             return pi, "memory"
         if self.disk is not None:
+            start = obs_monotonic()
             pi = self.disk.get(key)
+            self._obs_disk_seconds.observe(obs_monotonic() - start)
             if pi is not None:
                 # Pin an in-memory copy, not the memmap itself: a pinned
                 # memmap would hold its file mapping (and descriptor)
@@ -164,9 +177,11 @@ class SharedPiCache:
                 pi = np.array(pi, dtype=np.float64)
                 pi.setflags(write=False)
                 self.disk_hits += 1
+                self._obs_tiers["disk"].inc()
                 self._pin(key, pi)
                 return pi, "disk"
         self.misses += 1
+        self._obs_tiers["miss"].inc()
         return None, None
 
     def get(self, key: tuple[str, bytes]) -> np.ndarray | None:

@@ -60,12 +60,12 @@ def test_disable_filters_rules(tree):
     assert main([str(tree), "--no-registry", "--disable", "RPR001"]) == EXIT_CLEAN
 
 
-def test_list_rules_covers_all_six(capsys):
+def test_list_rules_covers_all_seven(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
-    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007"):
         assert rule_id in out
-    assert len(rule_table()) == 6
+    assert len(rule_table()) == 7
 
 
 def test_iter_python_files_skips_caches_and_dedupes(tmp_path):

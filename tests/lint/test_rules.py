@@ -235,3 +235,94 @@ def test_rpr005_allows_zero_sentinel_and_int_compares(lint_source):
     assert lint_source("ok = x == 0.0\n") == []
     assert lint_source("ok = x == 1\n") == []
     assert lint_source("ok = x < 1.5\n") == []
+
+
+# ----------------------------------------------------------------------
+# RPR002 — the obs clock quarantine (monotonic calls included)
+
+
+def test_rpr002_obs_package_bans_monotonic_clocks_too(lint_source):
+    for call in ("time.perf_counter()", "time.monotonic()", "time.time()"):
+        findings = lint_source(f"import time\nt = {call}\n", rel="repro/obs/newmod.py")
+        assert rules_of(findings) == {"RPR002"}, call
+        assert "repro.obs.clock" in findings[0].message
+
+
+def test_rpr002_obs_clock_module_is_the_sanctioned_seam(lint_source):
+    src = "import time\nt0 = time.perf_counter()\nw = time.time()\n"
+    assert lint_source(src, rel="repro/obs/clock.py") == []
+
+
+def test_rpr002_monotonic_stays_legal_outside_obs(lint_source):
+    # Only wall clocks are quarantined elsewhere; perf_counter in a
+    # scratch tool (or a benchmark) is not obs code.
+    assert lint_source("import time\nt = time.perf_counter()\n", rel="scratch/tool.py") == []
+
+
+# ----------------------------------------------------------------------
+# RPR007 — obs isolation from digests/manifests/records
+
+
+def test_rpr007_flags_obs_import_in_store_modules(lint_source):
+    for src in (
+        "from repro.obs import get_registry\n",
+        "import repro.obs\n",
+        "from repro.obs.metrics import MetricsRegistry\n",
+    ):
+        findings = lint_source(src, rel="repro/store/newmod.py")
+        assert rules_of(findings) == {"RPR007"}, src
+        assert "read-only on determinism" in findings[0].message
+
+
+def test_rpr007_quarantines_the_record_builders(lint_source):
+    src = "from repro.obs import monotonic\n"
+    for rel in (
+        "repro/sched/grid.py",
+        "repro/serve/request.py",
+        "repro/scenario/spec.py",
+        "repro/scenario/runner.py",
+    ):
+        assert rules_of(lint_source(src, rel=rel)) == {"RPR007"}, rel
+
+
+def test_rpr007_flags_obs_values_flowing_into_sinks(lint_source):
+    findings = lint_source(
+        """
+        from repro.obs import monotonic
+
+        def commit(store, arrays, meta):
+            store.write_record(digest, arrays, {"took": monotonic()})
+        """
+    )
+    assert rules_of(findings) == {"RPR007"}
+    assert "write_record" in findings[0].message
+
+    findings = lint_source(
+        """
+        from repro.obs import wall
+        from repro.store import digest_hex
+
+        token = digest_hex({"at": wall()})
+        """
+    )
+    assert rules_of(findings) == {"RPR007"}
+
+
+def test_rpr007_allows_obs_next_to_sinks_but_not_inside(lint_source):
+    # The sanctioned idiom: measure around the sink call, never through it.
+    findings = lint_source(
+        """
+        from repro.obs import monotonic
+
+        def commit(store, digest, arrays, meta):
+            t0 = monotonic()
+            store.write_record(digest, arrays, meta)
+            return monotonic() - t0
+        """
+    )
+    assert findings == []
+
+
+def test_rpr007_ignores_out_of_scope_imports_and_plain_calls(lint_source):
+    assert lint_source("from repro.obs import get_registry\n", rel="scratch/tool.py") == []
+    assert lint_source("from repro.obs import span\n", rel="repro/sim/newmod.py") == []

@@ -1,0 +1,72 @@
+"""The clock seam: deterministic FakeClock, swappable process default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import FakeClock, SystemClock, get_clock, monotonic, set_clock, use_clock
+
+
+class TestFakeClock:
+    def test_monotonic_returns_then_ticks(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert clock.monotonic() == 10.0
+        assert clock.monotonic() == 10.5
+        assert clock.monotonic() == 11.0
+
+    def test_zero_tick_is_frozen(self):
+        clock = FakeClock(start=3.0)
+        assert clock.monotonic() == clock.monotonic() == 3.0
+
+    def test_advance_moves_forward(self):
+        clock = FakeClock(start=0.0, tick=0.0)
+        clock.advance(2.5)
+        assert clock.monotonic() == 2.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError, match="forward"):
+            FakeClock().advance(-1.0)
+
+    def test_wall_tracks_monotonic_offset(self):
+        clock = FakeClock(start=100.0, tick=1.0, wall_start=1_700_000_000.0)
+        assert clock.wall() == 1_700_000_000.0
+        clock.advance(5.0)
+        assert clock.wall() == 1_700_000_005.0
+        clock.monotonic()  # consumes a tick
+        assert clock.wall() == 1_700_000_006.0
+
+
+class TestSystemClock:
+    def test_monotonic_never_goes_backwards(self):
+        clock = SystemClock()
+        readings = [clock.monotonic() for _ in range(5)]
+        assert readings == sorted(readings)
+
+    def test_wall_is_epoch_scale(self):
+        assert SystemClock().wall() > 1_500_000_000.0
+
+
+class TestProcessDefault:
+    def test_set_clock_returns_previous(self):
+        fake = FakeClock(start=7.0)
+        previous = set_clock(fake)
+        try:
+            assert get_clock() is fake
+            assert monotonic() == 7.0
+        finally:
+            set_clock(previous)
+        assert get_clock() is previous
+
+    def test_use_clock_restores_on_exit(self):
+        before = get_clock()
+        with use_clock(FakeClock(start=1.0)) as fake:
+            assert get_clock() is fake
+            assert monotonic() == 1.0
+        assert get_clock() is before
+
+    def test_use_clock_restores_on_error(self):
+        before = get_clock()
+        with pytest.raises(RuntimeError):
+            with use_clock(FakeClock()):
+                raise RuntimeError("boom")
+        assert get_clock() is before

@@ -1,0 +1,144 @@
+"""Metrics registry: get-or-create, conflicts, deterministic renderings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry, get_registry, set_registry
+
+
+class TestCounters:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", tier="local")
+        b = registry.counter("x_total", tier="local")
+        assert a is b
+        a.inc()
+        assert b.value == 1.0
+
+    def test_distinct_labels_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", tier="local").inc(3)
+        assert registry.counter("x_total", tier="disk").value == 0.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", a="1", b="2")
+        b = registry.counter("x_total", b="2", a="1")
+        assert a is b
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ConfigurationError, match="only go up"):
+            MetricsRegistry().counter("x_total").inc(-1)
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="invalid metric name"):
+            registry.counter("X-Total")
+        with pytest.raises(ConfigurationError, match="invalid metric label"):
+            registry.counter("x_total", **{"Bad-Label": "v"})
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value == 3.0
+
+
+class TestHistograms:
+    def test_bucketing_and_overflow(self):
+        hist = MetricsRegistry().histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.1, 0.5, 2.0, 100.0):
+            hist.observe(value)
+        # counts: <=0.1 | <=1.0 | +Inf
+        assert hist.bucket_counts() == (2, 1, 2)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(102.65)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            MetricsRegistry().histogram("lat_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            MetricsRegistry().histogram("lat_seconds", buckets=())
+
+    def test_same_name_different_buckets_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        with pytest.raises(ConfigurationError, match="already registered with buckets"):
+            registry.histogram("lat_seconds", buckets=(0.2, 1.0))
+
+
+class TestKindConflicts:
+    def test_name_means_one_kind_per_process(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ConfigurationError, match="already registered as a counter"):
+            registry.gauge("x_total")
+        with pytest.raises(ConfigurationError, match="already registered as a counter"):
+            registry.histogram("x_total")
+
+
+def _populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("b_total", tier="disk").inc(2)
+    registry.counter("b_total", tier="local").inc(5)
+    registry.counter("a_total").inc()
+    registry.gauge("depth").set(3)
+    hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(7.0)
+    return registry
+
+
+class TestRenderings:
+    def test_snapshot_sorted_and_complete(self):
+        snap = _populated().snapshot()
+        assert [c["name"] for c in snap["counters"]] == ["a_total", "b_total", "b_total"]
+        assert [c["labels"] for c in snap["counters"]][1:] == [
+            {"tier": "disk"},
+            {"tier": "local"},
+        ]
+        (hist,) = snap["histograms"]
+        assert hist["buckets"] == [0.1, 1.0]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["sum"] == pytest.approx(7.55)
+
+    def test_to_json_byte_stable(self):
+        registry = _populated()
+        assert registry.to_json() == registry.to_json()
+        # independently built identical registries render identically
+        assert registry.to_json() == _populated().to_json()
+
+    def test_prometheus_rendering(self):
+        text = _populated().render_prometheus()
+        assert text == (
+            "# TYPE a_total counter\n"
+            "a_total 1\n"
+            "# TYPE b_total counter\n"
+            'b_total{tier="disk"} 2\n'
+            'b_total{tier="local"} 5\n'
+            "# TYPE depth gauge\n"
+            "depth 3\n"
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.1"} 1\n'
+            'lat_seconds_bucket{le="1"} 2\n'
+            'lat_seconds_bucket{le="+Inf"} 3\n'
+            "lat_seconds_sum 7.55\n"
+            "lat_seconds_count 3\n"
+        )
+
+
+class TestProcessDefault:
+    def test_set_registry_swaps_and_restores(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

@@ -1,0 +1,142 @@
+"""Tracer semantics: deterministic JSONL under a FakeClock, null switch."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    FakeClock,
+    Tracer,
+    complete_span,
+    current_tracer,
+    event,
+    install_tracer,
+    span,
+    trace_to,
+    uninstall_tracer,
+)
+
+
+def _lines(path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text(encoding="utf-8").splitlines()]
+
+
+class TestTracer:
+    def test_span_line_schema(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, clock=FakeClock(start=100.0, tick=0.25)) as tracer:
+            with tracer.span("work", method="dp", k=8):
+                pass
+        (line,) = _lines(path)
+        # origin read consumes the first tick: start at t=0.25, one more
+        # tick for the end read.
+        assert line == {
+            "attrs": {"k": 8, "method": "dp"},
+            "dur": 0.25,
+            "kind": "span",
+            "name": "work",
+            "seq": 0,
+            "t": 0.25,
+        }
+
+    def test_event_line_has_no_dur(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, clock=FakeClock(tick=1.0)) as tracer:
+            tracer.event("mark", ok=True)
+        (line,) = _lines(path)
+        assert line["kind"] == "event" and "dur" not in line
+
+    def test_complete_reconstructs_start(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, clock=FakeClock(start=0.0, tick=1.0)) as tracer:
+            tracer.complete("work", 0.5)
+        (line,) = _lines(path)
+        # origin=0, the complete() read returns 1.0 -> t = 1.0 - 0.5 - origin
+        assert line["t"] == 0.5 and line["dur"] == 0.5
+
+    def test_seq_is_a_total_order(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, clock=FakeClock(tick=0.1)) as tracer:
+            for _ in range(3):
+                tracer.event("e")
+            with tracer.span("s"):
+                tracer.event("inner")
+        assert [line["seq"] for line in _lines(path)] == [0, 1, 2, 3, 4]
+
+    def test_two_identical_runs_are_byte_identical(self, tmp_path):
+        def run(path):
+            with Tracer(path, clock=FakeClock(start=5.0, tick=0.125)) as tracer:
+                with tracer.span("outer", label="x"):
+                    tracer.event("mark", n=3)
+                    with tracer.span("inner"):
+                        pass
+                tracer.complete("post", 0.5, digest="abc")
+
+        run(tmp_path / "a.jsonl")
+        run(tmp_path / "b.jsonl")
+        a = (tmp_path / "a.jsonl").read_bytes()
+        assert a == (tmp_path / "b.jsonl").read_bytes()
+        assert a  # non-empty: the comparison proves something
+
+    def test_close_is_idempotent_and_silences_emits(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path, clock=FakeClock())
+        tracer.event("before")
+        tracer.close()
+        tracer.close()
+        tracer.event("after")  # no-op, no error
+        assert [line["name"] for line in _lines(path)] == ["before"]
+
+
+class TestModuleSwitch:
+    def test_noop_without_tracer(self, tmp_path):
+        assert current_tracer() is None
+        event("e", x=1)
+        complete_span("c", 0.1)
+        with span("s", y=2):
+            pass  # nothing raises, nothing is written anywhere
+
+    def test_trace_to_installs_and_uninstalls(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace_to(path, clock=FakeClock(tick=0.5)) as tracer:
+            assert current_tracer() is tracer
+            event("e")
+            with span("s", k=1):
+                pass
+            complete_span("c", 0.25)
+        assert current_tracer() is None
+        names = [line["name"] for line in _lines(path)]
+        assert names == ["e", "s", "c"]
+
+    def test_install_closes_previous(self, tmp_path):
+        first = install_tracer(tmp_path / "a.jsonl", clock=FakeClock())
+        try:
+            install_tracer(tmp_path / "b.jsonl", clock=FakeClock())
+            first.event("late")  # first was closed: silently dropped
+            event("kept")
+        finally:
+            uninstall_tracer()
+        assert (tmp_path / "a.jsonl").read_bytes() == b""
+        assert [line["name"] for line in _lines(tmp_path / "b.jsonl")] == ["kept"]
+
+    def test_span_survives_mid_span_uninstall(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        install_tracer(path, clock=FakeClock(tick=0.1))
+        try:
+            with span("s"):
+                uninstall_tracer()  # the open span still completes
+        finally:
+            uninstall_tracer()
+        # the file was closed before the span could be written; no crash,
+        # and the next span after uninstall is a clean no-op
+        with span("after"):
+            pass
+        assert _lines(path) == []
+
+    def test_appends_across_installs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace_to(path, clock=FakeClock()):
+            event("one")
+        with trace_to(path, clock=FakeClock()):
+            event("two")
+        assert [line["name"] for line in _lines(path)] == ["one", "two"]

@@ -130,6 +130,50 @@ class TestRoutes:
             assert "injected kernel failure" in json.loads(raw)["error"]
 
 
+class TestMetricsEndpoint:
+    def call_with_type(self, port: int, method: str, path: str):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            return response.status, response.read(), response.getheader("Content-Type")
+        finally:
+            conn.close()
+
+    def test_metrics_renders_prometheus_text(self, server):
+        call(server.port, "GET", "/status")  # guarantee at least one observed request
+        status, raw, content_type = self.call_with_type(server.port, "GET", "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = raw.decode("utf-8")
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'repro_http_requests_total{route="/status",status="200"}' in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+
+    def test_metrics_reports_request_dispositions(self, server):
+        status, raw = call(server.port, "POST", "/scenarios", body_for(0.07, trials=1))
+        assert status == 202
+        digest = json.loads(raw)["digest"]
+        poll_result(server.port, digest)
+        _, raw, _ = self.call_with_type(server.port, "GET", "/metrics")
+        text = raw.decode("utf-8")
+        assert 'repro_serve_requests_total{disposition="queued"}' in text
+        assert "# TYPE repro_serve_compute_seconds histogram" in text
+
+    def test_metrics_is_get_only(self, server):
+        status, raw, content_type = self.call_with_type(server.port, "POST", "/metrics")
+        assert status == 405
+        assert content_type == "application/json"
+        assert "error" in json.loads(raw)
+
+    def test_status_carries_per_route_request_counts(self, server):
+        call(server.port, "GET", "/status")
+        _, raw = call(server.port, "GET", "/status")
+        counts = json.loads(raw)["requests"]
+        assert isinstance(counts, dict)
+        assert counts.get("/status:200", 0) >= 1
+
+
 class TestConcurrentDuplicates:
     def test_concurrent_duplicate_posts_coalesce_to_one_computation(
         self, tmp_path, monkeypatch
